@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the kernels behind the paper's latency claims:
+//! matrix multiplication (the embedding forward pass), feature extraction
+//! (the linear-time preprocessing argument), herding selection, NCM
+//! classification (per-window inference on the edge) and exemplar
+//! quantisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pilote_core::{select_exemplars, EmbeddingNet, NcmClassifier, NetConfig, SelectionStrategy};
+use pilote_edge_sim::quantize::{Quantization, QuantizedMatrix};
+use pilote_har_data::features::{extract, extract_batch};
+use pilote_har_data::{Activity, Simulator};
+use pilote_tensor::{Rng64, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = Rng64::new(1);
+    for &(m, k, n) in &[(64usize, 80usize, 1024usize), (256, 1024, 512), (256, 128, 64)] {
+        let a = Tensor::randn([m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.matmul(b).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("features");
+    let mut sim = Simulator::with_seed(2);
+    let window = sim.window(Activity::Run);
+    group.bench_function("extract_one_window", |b| {
+        b.iter(|| black_box(extract(&window).unwrap()));
+    });
+    let raw = sim.raw_dataset(&[(Activity::Walk, 64)]);
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("extract_batch_64", |b| {
+        b.iter(|| black_box(extract_batch(&raw).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_embedding_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding_forward");
+    let mut rng = Rng64::new(3);
+    let mut net = EmbeddingNet::new(NetConfig::paper(), &mut rng);
+    for &batch in &[1usize, 32, 256] {
+        let x = Tensor::randn([batch, 80], 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &x, |b, x| {
+            b.iter(|| black_box(net.embed(x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_herding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("herding");
+    let mut rng = Rng64::new(4);
+    for &(n, m) in &[(500usize, 50usize), (500, 200)] {
+        let emb = Tensor::randn([n, 128], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &emb, |b, emb| {
+            let mut r = Rng64::new(5);
+            b.iter(|| {
+                black_box(select_exemplars(emb, m, SelectionStrategy::Herding, &mut r).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ncm_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ncm");
+    let mut rng = Rng64::new(6);
+    let mut clf = NcmClassifier::new(128);
+    for label in 0..5 {
+        clf.set_prototype(label, &Tensor::randn([128], 0.0, 1.0, &mut rng)).unwrap();
+    }
+    for &batch in &[1usize, 256] {
+        let emb = Tensor::randn([batch, 128], 0.0, 1.0, &mut rng);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &emb, |b, emb| {
+            b.iter(|| black_box(clf.classify(emb).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize");
+    let mut rng = Rng64::new(7);
+    let data = Tensor::randn([800, 80], 0.0, 1.0, &mut rng);
+    group.bench_function("encode_i8_800x80", |b| {
+        b.iter(|| black_box(QuantizedMatrix::encode(&data, Quantization::I8).unwrap()));
+    });
+    let q = QuantizedMatrix::encode(&data, Quantization::I8).unwrap();
+    group.bench_function("decode_i8_800x80", |b| {
+        b.iter(|| black_box(q.decode()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_feature_extraction, bench_embedding_forward, bench_herding, bench_ncm_classify, bench_quantize
+}
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! `repro` — regenerates every table and figure of the PILOTE paper.
+//!
+//! ```text
+//! repro <experiment> [--quick] [--rounds N] [--per-activity N]
+//!                    [--seed N] [--out DIR]
+//!
+//! experiments: all, table2, fig4, fig5, fig6, fig7, timing,
+//!              ablate-alpha, ablate-margin, ablate-pairs,
+//!              ablate-strategies, cloud-vs-edge
+//! ```
+//!
+//! Run it in release mode: `cargo run --release -p pilote-bench --bin repro -- all`.
+
+use pilote_bench::report::results_dir;
+use pilote_bench::{
+    exp_ablations, exp_cloud, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_table2, exp_timing,
+    Scale,
+};
+use std::process::ExitCode;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <experiment> [--quick] [--rounds N] [--per-activity N] [--seed N] [--out DIR]\n\
+         experiments: all, table2, fig4, fig5, fig6, fig7, timing,\n\
+                      ablate-alpha, ablate-margin, ablate-pairs, ablate-strategies, cloud-vs-edge"
+    );
+    ExitCode::from(2)
+}
+
+fn parse() -> Result<Args, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let Some(experiment) = args.next() else {
+        return Err(usage());
+    };
+    let mut scale = Scale::default();
+    let mut seed = 20230328; // EDBT 2023 opening day
+    let mut out = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--rounds" => {
+                scale.rounds = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--per-activity" => {
+                scale.per_activity = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--out" => {
+                out = Some(args.next().ok_or_else(usage)?);
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(Args { experiment, scale, seed, out })
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let out = results_dir(args.out.as_deref());
+    let scale = args.scale;
+    let seed = args.seed;
+    eprintln!(
+        "[repro] experiment={} per_activity={} rounds={} exemplars={} seed={}",
+        args.experiment, scale.per_activity, scale.rounds, scale.exemplars_per_class, seed
+    );
+
+    let started = std::time::Instant::now();
+    match args.experiment.as_str() {
+        "table2" => {
+            exp_table2::run(&scale, seed, &out);
+        }
+        "fig4" => {
+            exp_fig4::run(&scale, seed, &out);
+        }
+        "fig5" => {
+            exp_fig5::run(&scale, seed, &out);
+        }
+        "fig6" => {
+            exp_fig6::run(&scale, seed, &out);
+        }
+        "fig7" => {
+            exp_fig7::run(&scale, seed, &out);
+        }
+        "timing" => {
+            exp_timing::run(&scale, seed, &out);
+        }
+        "ablate-alpha" => {
+            exp_ablations::alpha_sweep(&scale, seed, &out);
+        }
+        "ablate-margin" => {
+            exp_ablations::margin_sweep(&scale, seed, &out);
+        }
+        "ablate-pairs" => {
+            exp_ablations::pair_scheme_sweep(&scale, seed, &out);
+        }
+        "ablate-strategies" => {
+            exp_ablations::strategy_comparison(&scale, seed, &out);
+        }
+        "cloud-vs-edge" => {
+            exp_cloud::run(&out);
+        }
+        "all" => {
+            exp_table2::run(&scale, seed, &out);
+            exp_fig4::run(&scale, seed, &out);
+            exp_fig5::run(&scale, seed, &out);
+            exp_fig6::run(&scale, seed, &out);
+            exp_fig7::run(&scale, seed, &out);
+            exp_timing::run(&scale, seed, &out);
+            exp_ablations::alpha_sweep(&scale, seed, &out);
+            exp_ablations::margin_sweep(&scale, seed, &out);
+            exp_ablations::pair_scheme_sweep(&scale, seed, &out);
+            exp_ablations::strategy_comparison(&scale, seed, &out);
+            exp_cloud::run(&out);
+        }
+        _ => return usage(),
+    }
+    eprintln!("[repro] done in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,83 @@
+//! **Figure 4** — confusion matrices of the three models when learning
+//! the new class 'Run' with 200 exemplars per class in the support set.
+//!
+//! The paper's headline observation: the re-trained model floods 'Run'
+//! with false positives at the expense of 'Walk'; PILOTE keeps the
+//! boundary.
+
+use crate::report::{write_json, Table};
+use crate::scale::Scale;
+use crate::scenario::{build_scenario, pretrain_base, run_pilote, run_pretrained, run_retrained};
+use pilote_core::{ConfusionMatrix, Pilote};
+use pilote_har_data::{Activity, Dataset};
+use serde_json::json;
+use std::path::Path;
+
+fn confusion(model: &mut Pilote, test: &Dataset) -> ConfusionMatrix {
+    let labels: Vec<usize> = Activity::ALL.iter().map(|a| a.label()).collect();
+    let names: Vec<String> = Activity::ALL.iter().map(|a| a.name().to_string()).collect();
+    let pred = model.predict(&test.features).expect("predict");
+    ConfusionMatrix::from_predictions(&labels, &names, &pred, &test.labels)
+}
+
+fn matrix_json(m: &ConfusionMatrix) -> serde_json::Value {
+    json!({
+        "labels": Activity::ALL.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        "rates": m.normalized(),
+        "accuracy": m.accuracy(),
+        "run_recall": m.recall(Activity::Run.label()),
+        "walk_recall": m.recall(Activity::Walk.label()),
+        "run_precision": m.precision(Activity::Run.label()),
+    })
+}
+
+/// Runs the Figure 4 protocol. Returns `(pretrained, retrained, pilote)`
+/// confusion matrices.
+pub fn run(scale: &Scale, seed: u64, out: &Path) -> (ConfusionMatrix, ConfusionMatrix, ConfusionMatrix) {
+    eprintln!("[fig4] scenario: new class Run, {} exemplars/class", scale.exemplars_per_class);
+    let scenario = build_scenario(Activity::Run, scale, seed);
+    let base = pretrain_base(scenario, scale, seed);
+    let n_new = scale.exemplars_per_class;
+
+    let mut pre = base.model.clone_model();
+    run_pretrained(&mut pre, &base.scenario, n_new, seed ^ 1);
+    let cm_pre = confusion(&mut pre, &base.scenario.test);
+
+    let mut retr = base.model.clone_model();
+    run_retrained(&mut retr, &base.scenario, n_new, seed ^ 2);
+    let cm_retr = confusion(&mut retr, &base.scenario.test);
+
+    let mut pil = base.model.clone_model();
+    run_pilote(&mut pil, &base.scenario, n_new, seed ^ 2);
+    let cm_pil = confusion(&mut pil, &base.scenario.test);
+
+    for (name, cm) in [("Pre-trained", &cm_pre), ("Re-trained", &cm_retr), ("PILOTE", &cm_pil)] {
+        println!("Figure 4 — {name} (accuracy {:.4})\n{cm}", cm.accuracy());
+    }
+
+    // The paper's qualitative claim, in one comparison table.
+    let mut t = Table::new(
+        "Figure 4 summary: the Run/Walk boundary",
+        &["model", "Walk recall", "Run recall", "Run precision"],
+    );
+    for (name, cm) in [("pre-trained", &cm_pre), ("re-trained", &cm_retr), ("pilote", &cm_pil)] {
+        t.row(vec![
+            name.into(),
+            format!("{:.4}", cm.recall(Activity::Walk.label())),
+            format!("{:.4}", cm.recall(Activity::Run.label())),
+            format!("{:.4}", cm.precision(Activity::Run.label())),
+        ]);
+    }
+    println!("{t}");
+
+    write_json(
+        out,
+        "fig4.json",
+        &json!({
+            "pretrained": matrix_json(&cm_pre),
+            "retrained": matrix_json(&cm_retr),
+            "pilote": matrix_json(&cm_pil),
+        }),
+    );
+    (cm_pre, cm_retr, cm_pil)
+}

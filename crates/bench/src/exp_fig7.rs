@@ -1,0 +1,82 @@
+//! **Figure 7** — model accuracy as a function of the number of new-class
+//! ('Run') exemplars, with 200 representative exemplars per old class —
+//! the extreme-edge question (Q3).
+//!
+//! Paper shape: PILOTE reaches ~90% with only 30 Run exemplars and
+//! dominates the re-trained model, most clearly below 50 exemplars; the
+//! pre-trained model is a flat warm-start line.
+
+use crate::report::{write_json, Table};
+use crate::scale::Scale;
+use crate::scenario::{build_scenario, pretrain_base, run_pilote, run_pretrained, run_retrained};
+use pilote_har_data::Activity;
+use serde_json::json;
+use std::path::Path;
+
+/// Sweep over new-class exemplar counts (the paper's x-axis).
+pub const NEW_COUNTS: [usize; 7] = [5, 10, 20, 30, 50, 100, 200];
+
+/// One point of the sweep.
+#[derive(Debug, Clone)]
+pub struct Fig7Point {
+    /// New-class exemplars available on the edge.
+    pub new_exemplars: usize,
+    /// Pre-trained accuracy (prototype from the same few samples).
+    pub pretrained: f32,
+    /// Re-trained accuracy.
+    pub retrained: f32,
+    /// PILOTE accuracy.
+    pub pilote: f32,
+}
+
+/// Runs the Figure 7 sweep.
+pub fn run(scale: &Scale, seed: u64, out: &Path) -> Vec<Fig7Point> {
+    let scenario = build_scenario(Activity::Run, scale, seed);
+    let base = pretrain_base(scenario, scale, seed);
+    let mut points = Vec::new();
+
+    for &n_new in &NEW_COUNTS {
+        eprintln!("[fig7] {} new-class exemplars", n_new);
+        let mut pre = base.model.clone_model();
+        let r_pre = run_pretrained(&mut pre, &base.scenario, n_new, seed ^ 0x70);
+        let mut retr = base.model.clone_model();
+        let r_retr = run_retrained(&mut retr, &base.scenario, n_new, seed ^ 0x71);
+        let mut pil = base.model.clone_model();
+        let (r_pil, _) = run_pilote(&mut pil, &base.scenario, n_new, seed ^ 0x71);
+        points.push(Fig7Point {
+            new_exemplars: n_new,
+            pretrained: r_pre.accuracy,
+            retrained: r_retr.accuracy,
+            pilote: r_pil.accuracy,
+        });
+    }
+
+    let mut t = Table::new(
+        "Figure 7: accuracy vs new-class ('Run') exemplar count (200/old class)",
+        &["new exemplars", "Pre-trained", "Re-trained", "PILOTE"],
+    );
+    for p in &points {
+        t.row(vec![
+            p.new_exemplars.to_string(),
+            format!("{:.4}", p.pretrained),
+            format!("{:.4}", p.retrained),
+            format!("{:.4}", p.pilote),
+        ]);
+    }
+    println!("{t}");
+
+    write_json(
+        out,
+        "fig7.json",
+        &json!(points
+            .iter()
+            .map(|p| json!({
+                "new_exemplars": p.new_exemplars,
+                "pretrained": p.pretrained,
+                "retrained": p.retrained,
+                "pilote": p.pilote,
+            }))
+            .collect::<Vec<_>>()),
+    );
+    points
+}

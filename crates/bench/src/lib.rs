@@ -1,0 +1,39 @@
+//! # pilote-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! PILOTE paper (EDBT 2023), plus the ablations called out in DESIGN.md.
+//!
+//! Each experiment module produces both a human-readable text table (the
+//! same rows/series the paper reports) and a machine-readable JSON file
+//! under the output directory. The `repro` binary dispatches to them:
+//!
+//! ```text
+//! repro all            # everything below, in order
+//! repro table2         # Table 2  — accuracy per new-class scenario
+//! repro fig4           # Figure 4 — confusion matrices (new class Run)
+//! repro fig5           # Figure 5 — embedding projections + separation
+//! repro fig6           # Figure 6 — accuracy vs support-set size/strategy
+//! repro fig7           # Figure 7 — accuracy vs new-class exemplar count
+//! repro timing         # §6.3 Q2  — epoch latency and storage budgets
+//! repro ablate-alpha   # A1 — α sweep
+//! repro ablate-margin  # A2 — margin and loss-form sweep
+//! repro ablate-pairs   # A3 — full vs reduced pair scheme
+//! repro ablate-strategies # A4 — CL strategy comparison
+//! repro cloud-vs-edge  # A5 — link-cost comparison
+//! ```
+
+pub mod exp_ablations;
+pub mod exp_cloud;
+pub mod exp_fig4;
+pub mod exp_fig5;
+pub mod exp_fig6;
+pub mod exp_fig7;
+pub mod exp_table2;
+pub mod exp_timing;
+pub mod report;
+pub mod scale;
+pub mod scenario;
+
+pub use report::Table;
+pub use scale::Scale;
+pub use scenario::{build_scenario, pretrain_base, ModelRun, PretrainedBase, Scenario};

@@ -1,0 +1,135 @@
+//! Text tables and JSON result files.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption, printed above the rows.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (ragged rows are padded with empty cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<1$}|", "", w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats `mean ± std` the way Table 2 prints it.
+pub fn pm(mean: f32, std: f32) -> String {
+    format!("{mean:.4}±{std:.4}")
+}
+
+/// Resolves (and creates) the output directory, default `results/`.
+pub fn results_dir(out: Option<&str>) -> PathBuf {
+    let dir = PathBuf::from(out.unwrap_or("results"));
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes pretty-printed JSON next to the text output.
+pub fn write_json(dir: &Path, name: &str, value: &serde_json::Value) {
+    let path = dir.join(name);
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  → wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| long-name |"));
+        // aligned: "a" padded to width of "long-name"
+        assert!(s.contains("| a         |"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new("ragged", &["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        let s = t.to_string();
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn pm_formats_like_the_paper() {
+        assert_eq!(pm(0.9372, 0.0319), "0.9372±0.0319");
+    }
+
+    #[test]
+    fn results_dir_creates() {
+        let dir = std::env::temp_dir().join("pilote_test_results");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = results_dir(dir.to_str());
+        assert!(d.exists());
+        write_json(&d, "x.json", &serde_json::json!({"ok": true}));
+        assert!(d.join("x.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's two comparison strategies (§6.1.3).
+//!
+//! Both start from the *same* pre-trained model as PILOTE (the paper: "the
+//! re-trained model and PILOTE in each scenario are based on the same
+//! pre-trained model"):
+//!
+//! 1. **Pre-trained**: the embedding is frozen; the new class only gets a
+//!    prototype computed from (randomly selected) new-class samples.
+//! 2. **Re-trained**: the embedding is fine-tuned on the enriched support
+//!    set (`D₀ ∪ Dₙ`) with the contrastive loss alone — no distillation —
+//!    which is exactly PILOTE with `α = 0` and full pair sampling.
+
+use crate::exemplar::SelectionStrategy;
+use crate::pairs::PairScheme;
+use crate::pilote::{train_embedding, Pilote, TrainOptions, TrainReport};
+use pilote_har_data::Dataset;
+use pilote_tensor::TensorError;
+
+/// Pre-trained baseline: adds new-class prototypes to a frozen embedding.
+///
+/// `new_exemplar_budget` caps how many (randomly chosen) new-class samples
+/// enter the support set; the embedding network is untouched.
+pub fn pretrained_update(
+    model: &mut Pilote,
+    new_data: &Dataset,
+    new_exemplar_budget: usize,
+) -> Result<(), TensorError> {
+    let mut rng = model.fork_rng();
+    for label in new_data.classes() {
+        let class = new_data.filter_classes(&[label])?;
+        let chosen = crate::exemplar::select_exemplars(
+            &model.embed(&class.features),
+            new_exemplar_budget,
+            SelectionStrategy::Random,
+            &mut rng,
+        )?;
+        let features = class.features.select_rows(&chosen)?;
+        model.support_mut().put_class(label, features);
+    }
+    model.refresh_prototypes()
+}
+
+/// Re-trained baseline: fine-tunes the embedding on `D₀ ∪ Dₙ` with the
+/// contrastive loss only (no distillation), then stores new-class
+/// exemplars and refreshes prototypes.
+pub fn retrained_update(
+    model: &mut Pilote,
+    new_data: &Dataset,
+    new_exemplar_budget: usize,
+) -> Result<TrainReport, TensorError> {
+    let d0 = model.support().to_dataset()?;
+    let combined = d0.concat(new_data)?;
+    let mut is_new = vec![false; d0.len()];
+    is_new.extend(std::iter::repeat_n(true, new_data.len()));
+
+    let cfg = model.config().clone();
+    let mut rng = model.fork_rng();
+    let opts = TrainOptions {
+        alpha: 0.0,
+        teacher: None,
+        distill_rows: Vec::new(),
+        scheme: PairScheme::Full,
+        freeze_bn: true,
+    };
+    let report = train_embedding(model.net_mut(), &combined, &is_new, &cfg, opts, &mut rng)?;
+
+    for label in new_data.classes() {
+        let class = new_data.filter_classes(&[label])?;
+        let chosen = crate::exemplar::select_exemplars(
+            &model.embed(&class.features),
+            new_exemplar_budget,
+            SelectionStrategy::Random,
+            &mut rng,
+        )?;
+        let features = class.features.select_rows(&chosen)?;
+        model.support_mut().put_class(label, features);
+    }
+    model.refresh_prototypes()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PiloteConfig;
+    use pilote_har_data::dataset::generate_features;
+    use pilote_har_data::{Activity, Simulator};
+    use pilote_tensor::Rng64;
+
+    fn scenario() -> (Pilote, Dataset, Dataset) {
+        let mut sim = Simulator::with_seed(21);
+        let (all, _) = generate_features(
+            &mut sim,
+            &[
+                (Activity::Still, 50),
+                (Activity::Walk, 50),
+                (Activity::Run, 50),
+            ],
+        )
+        .unwrap();
+        let mut rng = Rng64::new(2);
+        let (train, test) = all.stratified_split(0.3, &mut rng).unwrap();
+        let old = train
+            .filter_classes(&[Activity::Still.label(), Activity::Walk.label()])
+            .unwrap();
+        let new = train.filter_classes(&[Activity::Run.label()]).unwrap();
+        let cfg = PiloteConfig::fast_test(3);
+        let (model, _) =
+            Pilote::pretrain(cfg, &old, 15, SelectionStrategy::Herding).unwrap();
+        (model, new, test)
+    }
+
+    #[test]
+    fn pretrained_update_freezes_embedding() {
+        let (model, new, _) = scenario();
+        let mut m = model.clone_model();
+        let probe = new.features.slice_rows(0, 3).unwrap();
+        let before = m.embed(&probe);
+        pretrained_update(&mut m, &new, 10).unwrap();
+        let after = m.embed(&probe);
+        assert!(before.max_abs_diff(&after).unwrap() < 1e-6, "embedding moved");
+        assert_eq!(m.classifier().n_classes(), 3);
+    }
+
+    #[test]
+    fn retrained_update_moves_embedding_and_learns() {
+        let (model, new, test) = scenario();
+        let mut m = model.clone_model();
+        let probe = new.features.slice_rows(0, 3).unwrap();
+        let before = m.embed(&probe);
+        let report = retrained_update(&mut m, &new, 10).unwrap();
+        assert!(!report.epochs.is_empty());
+        let after = m.embed(&probe);
+        assert!(before.max_abs_diff(&after).unwrap() > 1e-4, "embedding did not move");
+        let run_test = test.filter_classes(&[Activity::Run.label()]).unwrap();
+        assert!(m.accuracy(&run_test).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn budget_caps_new_exemplars() {
+        let (model, new, _) = scenario();
+        let mut m = model.clone_model();
+        pretrained_update(&mut m, &new, 7).unwrap();
+        assert_eq!(m.support().class(Activity::Run.label()).unwrap().rows(), 7);
+    }
+}

@@ -1,0 +1,140 @@
+//! Hyper-parameter configuration.
+
+use pilote_har_data::FEATURE_DIM;
+use pilote_nn::loss::ContrastiveForm;
+use serde::{Deserialize, Serialize};
+
+/// Architecture of the embedding network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Input dimensionality (the feature-extractor width).
+    pub input_dim: usize,
+    /// Hidden layer widths (each followed by BatchNorm + ReLU).
+    pub hidden: Vec<usize>,
+    /// Embedding dimensionality (the final projection, no activation).
+    pub embedding_dim: usize,
+}
+
+impl NetConfig {
+    /// The paper's backbone (§6.1.2): FC `[1024 × 512 × 128 × 64 × 128]`
+    /// over the 80 statistical features, BatchNorm + ReLU on the first
+    /// four layers, 128-d embedding output.
+    pub fn paper() -> Self {
+        NetConfig { input_dim: FEATURE_DIM, hidden: vec![1024, 512, 128, 64], embedding_dim: 128 }
+    }
+
+    /// A compact backbone for unit tests and debug builds (same topology,
+    /// ~50× fewer parameters).
+    pub fn small() -> Self {
+        NetConfig { input_dim: FEATURE_DIM, hidden: vec![64, 32], embedding_dim: 16 }
+    }
+}
+
+/// Full PILOTE hyper-parameter set, defaulting to the paper's §6.1.2
+/// settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiloteConfig {
+    /// Network architecture.
+    pub net: NetConfig,
+    /// Balancing weight α between distillation and contrastive terms
+    /// (paper: 0.5).
+    pub alpha: f32,
+    /// Contrastive margin `m` of Eq. 2.
+    pub margin: f32,
+    /// Which dissimilar-pair penalty to use.
+    pub contrastive_form: ContrastiveForm,
+    /// Initial learning rate (paper: 0.01, halved every epoch).
+    pub initial_lr: f32,
+    /// Epochs between LR halvings (paper: 1 — the edge schedule; cloud
+    /// pre-training uses a slower decay to reach convergence).
+    pub lr_halve_every: usize,
+    /// Per-batch cap on distillation rows (stochastic distillation keeps
+    /// the edge update cheap when `D₀` is large).
+    pub distill_batch: usize,
+    /// Hard cap on training epochs.
+    pub max_epochs: usize,
+    /// Contrastive pairs per mini-batch.
+    pub pair_batch: usize,
+    /// Number of pairs sampled per epoch per anchor sample (controls
+    /// epoch size; the reduced scheme of §5.2 bounds the total).
+    pub pairs_per_sample: usize,
+    /// Validation fraction (paper: 0.2).
+    pub val_fraction: f32,
+    /// Early-stop threshold on |Δ val-loss| (paper: 1e-4).
+    pub early_stop_threshold: f32,
+    /// Early-stop patience in epochs (paper: 5).
+    pub early_stop_patience: usize,
+    /// RNG seed for initialisation, shuffling and pair sampling.
+    pub seed: u64,
+}
+
+impl Default for PiloteConfig {
+    fn default() -> Self {
+        PiloteConfig {
+            net: NetConfig::paper(),
+            alpha: 0.5,
+            margin: 4.0,
+            contrastive_form: ContrastiveForm::SquaredMargin,
+            initial_lr: 0.01,
+            lr_halve_every: 1,
+            distill_batch: 256,
+            max_epochs: 20,
+            pair_batch: 256,
+            pairs_per_sample: 8,
+            val_fraction: 0.2,
+            early_stop_threshold: 1e-4,
+            early_stop_patience: 5,
+            seed: 0,
+        }
+    }
+}
+
+impl PiloteConfig {
+    /// The paper's configuration with a given seed.
+    pub fn paper(seed: u64) -> Self {
+        PiloteConfig { seed, ..PiloteConfig::default() }
+    }
+
+    /// A fast configuration for unit tests: small network, few epochs.
+    pub fn fast_test(seed: u64) -> Self {
+        PiloteConfig {
+            net: NetConfig::small(),
+            max_epochs: 6,
+            pair_batch: 64,
+            pairs_per_sample: 4,
+            seed,
+            ..PiloteConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_net_matches_section_6_1_2() {
+        let net = NetConfig::paper();
+        assert_eq!(net.input_dim, 80);
+        assert_eq!(net.hidden, vec![1024, 512, 128, 64]);
+        assert_eq!(net.embedding_dim, 128);
+    }
+
+    #[test]
+    fn default_config_matches_paper_text() {
+        let cfg = PiloteConfig::default();
+        assert_eq!(cfg.alpha, 0.5);
+        assert_eq!(cfg.initial_lr, 0.01);
+        assert_eq!(cfg.val_fraction, 0.2);
+        assert_eq!(cfg.early_stop_threshold, 1e-4);
+        assert_eq!(cfg.early_stop_patience, 5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = PiloteConfig::paper(7);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: PiloteConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

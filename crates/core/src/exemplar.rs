@@ -1,0 +1,235 @@
+//! Exemplar (support-set) selection — Algorithm 1, lines 1–7.
+//!
+//! The herding selector iteratively picks the sample whose inclusion keeps
+//! the running mean of selected embeddings closest to the true class
+//! prototype μ — the same construction as iCaRL's exemplar management,
+//! which the paper adapts. Random selection is the ablation used in
+//! Fig. 6's "random exemplars" curves.
+
+use pilote_tensor::{Rng64, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// How to choose the `m` exemplars that represent a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Herding: greedily track the class prototype (Algorithm 1, line 6).
+    #[default]
+    Herding,
+    /// Uniform random subset.
+    Random,
+    /// Farthest-from-prototype samples — a deliberately adversarial
+    /// selection used to probe sensitivity (not in the paper).
+    Boundary,
+}
+
+impl SelectionStrategy {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectionStrategy::Herding => "herding",
+            SelectionStrategy::Random => "random",
+            SelectionStrategy::Boundary => "boundary",
+        }
+    }
+}
+
+/// Selects `m` exemplar indices from a class's `[n, d]` embedding matrix.
+///
+/// Returns at most `min(m, n)` distinct indices into the rows of
+/// `embeddings`, in selection order (herding order matters: a prefix of a
+/// herding selection is itself a valid smaller herding selection, which is
+/// how the edge cache shrinks per-class budgets when new classes arrive).
+pub fn select_exemplars(
+    embeddings: &Tensor,
+    m: usize,
+    strategy: SelectionStrategy,
+    rng: &mut Rng64,
+) -> Result<Vec<usize>, TensorError> {
+    if embeddings.rank() != 2 {
+        return Err(TensorError::RankMismatch { got: embeddings.rank(), expected: 2, op: "select_exemplars" });
+    }
+    let n = embeddings.rows();
+    let m = m.min(n);
+    if m == 0 {
+        return Ok(Vec::new());
+    }
+    match strategy {
+        SelectionStrategy::Random => Ok(rng.sample_indices(n, m)),
+        SelectionStrategy::Herding => herding(embeddings, m),
+        SelectionStrategy::Boundary => {
+            let mu = class_prototype(embeddings)?;
+            let mut order: Vec<usize> = (0..n).collect();
+            let dists: Vec<f32> = (0..n)
+                .map(|i| Tensor::vector(embeddings.row(i)).sq_dist(&mu).expect("same dim"))
+                .collect();
+            order.sort_by(|&a, &b| dists[b].partial_cmp(&dists[a]).expect("finite distances"));
+            order.truncate(m);
+            Ok(order)
+        }
+    }
+}
+
+/// The class prototype μ = mean of the class's embeddings (Eq. 1).
+pub fn class_prototype(embeddings: &Tensor) -> Result<Tensor, TensorError> {
+    if embeddings.rank() != 2 || embeddings.rows() == 0 {
+        return Err(TensorError::Empty { op: "class_prototype" });
+    }
+    embeddings.mean_axis(pilote_tensor::reduce::Axis::Rows)
+}
+
+/// Herding selection (Algorithm 1, line 6):
+///
+/// ```text
+/// p_k = argmin_x ‖ μ − (φ(x) + Σ_{j<k} φ(p_j)) / k ‖
+/// ```
+fn herding(embeddings: &Tensor, m: usize) -> Result<Vec<usize>, TensorError> {
+    let n = embeddings.rows();
+    let d = embeddings.cols();
+    let mu = class_prototype(embeddings)?;
+    let mut selected = Vec::with_capacity(m);
+    let mut taken = vec![false; n];
+    // Running sum of selected embeddings.
+    let mut acc = vec![0.0f32; d];
+
+    for k in 1..=m {
+        let inv_k = 1.0 / k as f32;
+        let mut best: Option<(usize, f32)> = None;
+        #[allow(clippy::needless_range_loop)] // `i` indexes both `taken` and the rows
+        for i in 0..n {
+            if taken[i] {
+                continue;
+            }
+            let row = embeddings.row(i);
+            let mut dist = 0.0f32;
+            for j in 0..d {
+                let mean_j = (acc[j] + row[j]) * inv_k;
+                let diff = mu.as_slice()[j] - mean_j;
+                dist += diff * diff;
+            }
+            match best {
+                Some((_, bd)) if dist >= bd => {}
+                _ => best = Some((i, dist)),
+            }
+        }
+        let (idx, _) = best.expect("m ≤ n guarantees a candidate");
+        taken[idx] = true;
+        for (a, &v) in acc.iter_mut().zip(embeddings.row(idx)) {
+            *a += v;
+        }
+        selected.push(idx);
+    }
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(rng: &mut Rng64, n: usize, center: f32) -> Tensor {
+        Tensor::randn([n, 4], center, 0.5, rng)
+    }
+
+    #[test]
+    fn herding_mean_tracks_prototype() {
+        let mut rng = Rng64::new(1);
+        let emb = cluster(&mut rng, 100, 3.0);
+        let mu = class_prototype(&emb).unwrap();
+        let sel = select_exemplars(&emb, 10, SelectionStrategy::Herding, &mut rng).unwrap();
+        let herd_mean = class_prototype(&emb.select_rows(&sel).unwrap()).unwrap();
+
+        // Compare against the average random selection of the same size.
+        let mut rand_dist = 0.0f32;
+        for _ in 0..20 {
+            let rsel = select_exemplars(&emb, 10, SelectionStrategy::Random, &mut rng).unwrap();
+            let rmean = class_prototype(&emb.select_rows(&rsel).unwrap()).unwrap();
+            rand_dist += rmean.sq_dist(&mu).unwrap();
+        }
+        rand_dist /= 20.0;
+        let herd_dist = herd_mean.sq_dist(&mu).unwrap();
+        assert!(
+            herd_dist < rand_dist / 2.0,
+            "herding {herd_dist} should beat random {rand_dist}"
+        );
+    }
+
+    #[test]
+    fn selection_is_distinct_and_in_range() {
+        let mut rng = Rng64::new(2);
+        let emb = cluster(&mut rng, 30, 0.0);
+        for strategy in
+            [SelectionStrategy::Herding, SelectionStrategy::Random, SelectionStrategy::Boundary]
+        {
+            let sel = select_exemplars(&emb, 12, strategy, &mut rng).unwrap();
+            assert_eq!(sel.len(), 12, "{strategy:?}");
+            let mut s = sel.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 12, "{strategy:?} produced duplicates");
+            assert!(sel.iter().all(|&i| i < 30));
+        }
+    }
+
+    #[test]
+    fn m_larger_than_n_is_clamped() {
+        let mut rng = Rng64::new(3);
+        let emb = cluster(&mut rng, 5, 0.0);
+        let sel = select_exemplars(&emb, 50, SelectionStrategy::Herding, &mut rng).unwrap();
+        assert_eq!(sel.len(), 5);
+    }
+
+    #[test]
+    fn m_zero_returns_empty() {
+        let mut rng = Rng64::new(4);
+        let emb = cluster(&mut rng, 5, 0.0);
+        for strategy in
+            [SelectionStrategy::Herding, SelectionStrategy::Random, SelectionStrategy::Boundary]
+        {
+            assert!(select_exemplars(&emb, 0, strategy, &mut rng).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn herding_prefix_property() {
+        // The first k elements of an m-herding equal the k-herding.
+        let mut rng = Rng64::new(5);
+        let emb = cluster(&mut rng, 40, 1.0);
+        let big = select_exemplars(&emb, 15, SelectionStrategy::Herding, &mut rng).unwrap();
+        let small = select_exemplars(&emb, 5, SelectionStrategy::Herding, &mut rng).unwrap();
+        assert_eq!(&big[..5], &small[..]);
+    }
+
+    #[test]
+    fn herding_first_pick_is_nearest_to_prototype() {
+        let mut rng = Rng64::new(6);
+        let emb = cluster(&mut rng, 50, 2.0);
+        let mu = class_prototype(&emb).unwrap();
+        let sel = select_exemplars(&emb, 1, SelectionStrategy::Herding, &mut rng).unwrap();
+        let picked = Tensor::vector(emb.row(sel[0])).sq_dist(&mu).unwrap();
+        for i in 0..50 {
+            let di = Tensor::vector(emb.row(i)).sq_dist(&mu).unwrap();
+            assert!(picked <= di + 1e-5);
+        }
+    }
+
+    #[test]
+    fn boundary_picks_farthest() {
+        let mut rng = Rng64::new(7);
+        let emb = cluster(&mut rng, 50, 0.0);
+        let mu = class_prototype(&emb).unwrap();
+        let sel = select_exemplars(&emb, 5, SelectionStrategy::Boundary, &mut rng).unwrap();
+        let min_sel = sel
+            .iter()
+            .map(|&i| Tensor::vector(emb.row(i)).sq_dist(&mu).unwrap())
+            .fold(f32::INFINITY, f32::min);
+        let unselected_max = (0..50)
+            .filter(|i| !sel.contains(i))
+            .map(|i| Tensor::vector(emb.row(i)).sq_dist(&mu).unwrap())
+            .fold(0.0f32, f32::max);
+        assert!(min_sel >= unselected_max - 1e-5);
+    }
+
+    #[test]
+    fn prototype_of_empty_errors() {
+        assert!(class_prototype(&Tensor::zeros([0, 3])).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! k-nearest-neighbour classification in embedding space — the natural
+//! alternative to the NCM rule. The paper's related work (Zuo et al. 2019,
+//! ref. [33]) pairs interpretable features with a kNN classifier; here kNN
+//! runs over the same exemplar support set as NCM, trading prototype
+//! compression for instance-level boundaries.
+//!
+//! Memory: NCM stores one prototype per class; kNN keeps every exemplar
+//! embedding (`m × d` per class). On the edge that is exactly the support
+//! set that is already cached, so kNN costs no extra storage — only extra
+//! distance computations at inference time (`O(Σm)` vs `O(classes)`).
+
+use pilote_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// kNN classifier over labelled exemplar embeddings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    k: usize,
+    /// `[n, d]` exemplar embeddings.
+    embeddings: Tensor,
+    /// Label of each exemplar row.
+    labels: Vec<usize>,
+}
+
+impl KnnClassifier {
+    /// Empty classifier with embedding width `d` and neighbourhood size
+    /// `k` (≥ 1).
+    pub fn new(k: usize, d: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KnnClassifier { k, embeddings: Tensor::zeros([0, d]), labels: Vec::new() }
+    }
+
+    /// Neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stored exemplar count.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no exemplars are stored.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Distinct labels present.
+    pub fn classes(&self) -> Vec<usize> {
+        let mut c = self.labels.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// Adds a class's exemplar embeddings (`[m, d]`).
+    pub fn add_class(&mut self, label: usize, embeddings: &Tensor) -> Result<(), TensorError> {
+        if embeddings.rank() != 2 || embeddings.cols() != self.embeddings.cols() {
+            return Err(TensorError::ShapeMismatch {
+                left: embeddings.shape().dims().to_vec(),
+                right: vec![self.embeddings.cols()],
+                op: "KnnClassifier::add_class",
+            });
+        }
+        self.embeddings = Tensor::vstack(&[&self.embeddings, embeddings])?;
+        self.labels.extend(std::iter::repeat_n(label, embeddings.rows()));
+        Ok(())
+    }
+
+    /// Classifies each query row by majority vote among its `k` nearest
+    /// exemplars (ties broken by the closer total distance).
+    pub fn classify(&self, queries: &Tensor) -> Result<Vec<usize>, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "KnnClassifier::classify" });
+        }
+        let dists = queries.pairwise_sq_dists(&self.embeddings)?;
+        let k = self.k.min(self.len());
+        let mut out = Vec::with_capacity(queries.rows());
+        for q in 0..queries.rows() {
+            let row = dists.row(q);
+            // Partial selection of the k smallest distances.
+            let mut idx: Vec<usize> = (0..row.len()).collect();
+            idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("finite distances"));
+            idx.truncate(k);
+            // Vote: count per label, accumulate distance for tie-breaks.
+            let mut votes: std::collections::BTreeMap<usize, (usize, f32)> =
+                std::collections::BTreeMap::new();
+            for &i in &idx {
+                let e = votes.entry(self.labels[i]).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += row[i];
+            }
+            let best = votes
+                .into_iter()
+                .max_by(|(_, (ca, da)), (_, (cb, db))| {
+                    ca.cmp(cb).then(db.partial_cmp(da).expect("finite"))
+                })
+                .map(|(label, _)| label)
+                .expect("non-empty votes");
+            out.push(best);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_tensor::Rng64;
+
+    fn two_blob_clf(k: usize) -> KnnClassifier {
+        let mut rng = Rng64::new(1);
+        let mut clf = KnnClassifier::new(k, 3);
+        clf.add_class(7, &Tensor::randn([20, 3], 0.0, 0.5, &mut rng)).unwrap();
+        clf.add_class(9, &Tensor::randn([20, 3], 5.0, 0.5, &mut rng)).unwrap();
+        clf
+    }
+
+    #[test]
+    fn classifies_obvious_queries() {
+        let clf = two_blob_clf(5);
+        let q = Tensor::from_rows(&[vec![0.1, 0.0, -0.1], vec![5.2, 4.9, 5.0]]).unwrap();
+        assert_eq!(clf.classify(&q).unwrap(), vec![7, 9]);
+    }
+
+    #[test]
+    fn k_one_is_nearest_neighbour() {
+        let mut clf = KnnClassifier::new(1, 1);
+        clf.add_class(0, &Tensor::from_rows(&[vec![0.0]]).unwrap()).unwrap();
+        clf.add_class(1, &Tensor::from_rows(&[vec![10.0]]).unwrap()).unwrap();
+        let q = Tensor::from_rows(&[vec![4.0], vec![6.0]]).unwrap();
+        assert_eq!(clf.classify(&q).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn majority_vote_beats_single_closer_outlier() {
+        let mut clf = KnnClassifier::new(3, 1);
+        // One class-1 exemplar sits closest, but two class-0 exemplars are
+        // in the neighbourhood → majority wins.
+        clf.add_class(1, &Tensor::from_rows(&[vec![1.0]]).unwrap()).unwrap();
+        clf.add_class(0, &Tensor::from_rows(&[vec![1.5], vec![1.6]]).unwrap()).unwrap();
+        let q = Tensor::from_rows(&[vec![0.9]]).unwrap();
+        assert_eq!(clf.classify(&q).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn k_larger_than_population_is_clamped() {
+        let clf = two_blob_clf(1000);
+        let q = Tensor::from_rows(&[vec![0.0, 0.0, 0.0]]).unwrap();
+        // With all 40 exemplars voting, the tie (20 vs 20) breaks by total
+        // distance: the near blob wins.
+        assert_eq!(clf.classify(&q).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn empty_classifier_errors() {
+        let clf = KnnClassifier::new(3, 4);
+        assert!(clf.classify(&Tensor::zeros([1, 4])).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut clf = KnnClassifier::new(1, 4);
+        assert!(clf.add_class(0, &Tensor::zeros([2, 3])).is_err());
+    }
+
+    #[test]
+    fn classes_and_len() {
+        let clf = two_blob_clf(3);
+        assert_eq!(clf.classes(), vec![7, 9]);
+        assert_eq!(clf.len(), 40);
+        assert_eq!(clf.k(), 3);
+    }
+
+    #[test]
+    fn agrees_with_ncm_on_well_separated_blobs() {
+        let mut rng = Rng64::new(2);
+        let a = Tensor::randn([30, 4], 0.0, 0.6, &mut rng);
+        let b = Tensor::randn([30, 4], 6.0, 0.6, &mut rng);
+        let mut knn = KnnClassifier::new(5, 4);
+        knn.add_class(0, &a).unwrap();
+        knn.add_class(1, &b).unwrap();
+        let ncm = crate::ncm::NcmClassifier::from_exemplars(&[(0, &a), (1, &b)]).unwrap();
+        let queries = Tensor::vstack(&[
+            &Tensor::randn([15, 4], 0.0, 0.6, &mut rng),
+            &Tensor::randn([15, 4], 6.0, 0.6, &mut rng),
+        ])
+        .unwrap();
+        assert_eq!(knn.classify(&queries).unwrap(), ncm.classify(&queries).unwrap());
+    }
+}

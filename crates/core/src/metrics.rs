@@ -1,0 +1,309 @@
+//! Evaluation metrics: accuracy, confusion matrices (Fig. 4), per-class
+//! scores and the forgetting measure.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to the true label (0 for empty input).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f32 {
+    assert_eq!(predicted.len(), truth.len(), "prediction/label length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f32 / truth.len() as f32
+}
+
+/// Mean and population standard deviation of a sample of scores — the
+/// "± " columns of Table 2.
+pub fn mean_std(values: &[f32]) -> (f32, f32) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+    (mean as f32, var.sqrt() as f32)
+}
+
+/// A confusion matrix over an explicit label set.
+///
+/// Row = true class, column = predicted class (both indexed by position in
+/// `labels`). Predictions outside the label set are counted in a separate
+/// `rejected` bucket rather than silently dropped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    labels: Vec<usize>,
+    names: Vec<String>,
+    counts: Vec<Vec<u64>>,
+    rejected: u64,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix over `labels`, with display `names` (same order).
+    ///
+    /// # Panics
+    /// Panics if `labels` and `names` differ in length or labels repeat.
+    pub fn new(labels: &[usize], names: &[String]) -> Self {
+        assert_eq!(labels.len(), names.len(), "labels/names length mismatch");
+        let mut dedup = labels.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "duplicate labels");
+        ConfusionMatrix {
+            labels: labels.to_vec(),
+            names: names.to_vec(),
+            counts: vec![vec![0; labels.len()]; labels.len()],
+            rejected: 0,
+        }
+    }
+
+    /// Builds and fills a matrix in one step.
+    pub fn from_predictions(
+        labels: &[usize],
+        names: &[String],
+        predicted: &[usize],
+        truth: &[usize],
+    ) -> Self {
+        let mut m = ConfusionMatrix::new(labels, names);
+        m.record_all(predicted, truth);
+        m
+    }
+
+    /// Records one `(predicted, true)` observation.
+    pub fn record(&mut self, predicted: usize, truth: usize) {
+        let Some(row) = self.labels.iter().position(|&l| l == truth) else {
+            self.rejected += 1;
+            return;
+        };
+        match self.labels.iter().position(|&l| l == predicted) {
+            Some(col) => self.counts[row][col] += 1,
+            None => self.rejected += 1,
+        }
+    }
+
+    /// Records a batch of observations.
+    pub fn record_all(&mut self, predicted: &[usize], truth: &[usize]) {
+        assert_eq!(predicted.len(), truth.len(), "prediction/label length mismatch");
+        for (&p, &t) in predicted.iter().zip(truth) {
+            self.record(p, t);
+        }
+    }
+
+    /// The label set (row/column order).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Count at `(true_label, predicted_label)`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        let row = self.labels.iter().position(|&l| l == truth).expect("unknown true label");
+        let col = self.labels.iter().position(|&l| l == predicted).expect("unknown predicted label");
+        self.counts[row][col]
+    }
+
+    /// Observations whose true or predicted label was outside the label set.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total recorded observations (excluding rejected).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.labels.len()).map(|i| self.counts[i][i]).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Recall of one class (diagonal / row sum).
+    pub fn recall(&self, label: usize) -> f32 {
+        let row = self.labels.iter().position(|&l| l == label).expect("unknown label");
+        let sum: u64 = self.counts[row].iter().sum();
+        if sum == 0 {
+            return 0.0;
+        }
+        self.counts[row][row] as f32 / sum as f32
+    }
+
+    /// Precision of one class (diagonal / column sum).
+    pub fn precision(&self, label: usize) -> f32 {
+        let col = self.labels.iter().position(|&l| l == label).expect("unknown label");
+        let sum: u64 = (0..self.labels.len()).map(|r| self.counts[r][col]).sum();
+        if sum == 0 {
+            return 0.0;
+        }
+        self.counts[col][col] as f32 / sum as f32
+    }
+
+    /// Macro-averaged F1 score.
+    pub fn macro_f1(&self) -> f32 {
+        let k = self.labels.len();
+        if k == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0f32;
+        for &label in &self.labels {
+            let p = self.precision(label);
+            let r = self.recall(label);
+            sum += if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        }
+        sum / k as f32
+    }
+
+    /// Row-normalised rates (each row sums to 1 where it has data).
+    pub fn normalized(&self) -> Vec<Vec<f32>> {
+        self.counts
+            .iter()
+            .map(|row| {
+                let sum: u64 = row.iter().sum();
+                row.iter()
+                    .map(|&c| if sum == 0 { 0.0 } else { c as f32 / sum as f32 })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self.names.iter().map(|n| n.len()).max().unwrap_or(4).max(6);
+        write!(f, "{:>width$} |", "t\\p")?;
+        for name in &self.names {
+            write!(f, " {name:>width$}")?;
+        }
+        writeln!(f)?;
+        for (i, name) in self.names.iter().enumerate() {
+            write!(f, "{name:>width$} |")?;
+            for j in 0..self.names.len() {
+                write!(f, " {:>width$}", self.counts[i][j])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The forgetting measure used in our analysis: the drop in old-class
+/// accuracy after an incremental update (positive = forgot).
+pub fn forgetting(old_acc_before: f32, old_acc_after: f32) -> f32 {
+    old_acc_before - old_acc_after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: &[&str]) -> Vec<String> {
+        n.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn mean_std_known() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-6);
+        assert!((s - (2.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let mut m = ConfusionMatrix::new(&[2, 4], &names(&["Run", "Walk"]));
+        m.record_all(&[2, 2, 4, 2], &[2, 4, 4, 2]);
+        assert_eq!(m.count(2, 2), 2);
+        assert_eq!(m.count(4, 2), 1);
+        assert_eq!(m.count(4, 4), 1);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn rejected_bucket_for_unknown_labels() {
+        let mut m = ConfusionMatrix::new(&[0], &names(&["a"]));
+        m.record(1, 0); // unknown prediction
+        m.record(0, 1); // unknown truth
+        assert_eq!(m.rejected(), 2);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let mut m = ConfusionMatrix::new(&[0, 1], &names(&["a", "b"]));
+        // truth 0: 8 correct, 2 → 1 ; truth 1: 1 → 0, 9 correct
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(1, 0);
+        }
+        m.record(0, 1);
+        for _ in 0..9 {
+            m.record(1, 1);
+        }
+        assert!((m.recall(0) - 0.8).abs() < 1e-6);
+        assert!((m.precision(0) - 8.0 / 9.0).abs() < 1e-6);
+        assert!((m.recall(1) - 0.9).abs() < 1e-6);
+        let f1 = m.macro_f1();
+        assert!(f1 > 0.8 && f1 < 0.9, "f1 {f1}");
+    }
+
+    #[test]
+    fn normalized_rows_sum_to_one() {
+        let mut m = ConfusionMatrix::new(&[0, 1], &names(&["a", "b"]));
+        m.record_all(&[0, 1, 1], &[0, 0, 1]);
+        let n = m.normalized();
+        for row in &n {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn display_contains_names_and_counts() {
+        let mut m = ConfusionMatrix::new(&[0, 1], &names(&["Run", "Walk"]));
+        m.record(0, 0);
+        let s = m.to_string();
+        assert!(s.contains("Run"));
+        assert!(s.contains("Walk"));
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero() {
+        let m = ConfusionMatrix::new(&[0, 1], &names(&["a", "b"]));
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.recall(0), 0.0);
+        assert_eq!(m.precision(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate labels")]
+    fn duplicate_labels_rejected() {
+        let _ = ConfusionMatrix::new(&[1, 1], &names(&["a", "b"]));
+    }
+
+    #[test]
+    fn forgetting_sign_convention() {
+        assert!(forgetting(0.9, 0.7) > 0.0);
+        assert!(forgetting(0.7, 0.9) < 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The nearest-class-mean classifier (Eq. 1).
+//!
+//! ```text
+//! y* = argmin_y dist(φ_Θ(x), μ_y),   μ_y = (1/n_y)·Σ φ_Θ(p_i)
+//! ```
+//!
+//! Prototypes are computed from exemplar support sets, never from full
+//! class data — that is what keeps the edge memory footprint constant.
+
+use pilote_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// NCM classifier over class prototypes in embedding space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NcmClassifier {
+    /// Class labels, in prototype-row order.
+    labels: Vec<usize>,
+    /// `[classes, d]` prototype matrix.
+    prototypes: Tensor,
+}
+
+impl NcmClassifier {
+    /// Builds an empty classifier with embedding width `d`.
+    pub fn new(d: usize) -> Self {
+        NcmClassifier { labels: Vec::new(), prototypes: Tensor::zeros([0, d]) }
+    }
+
+    /// Builds a classifier from `(label, exemplar_embeddings)` pairs; each
+    /// prototype is the mean of its exemplar embeddings.
+    pub fn from_exemplars(classes: &[(usize, &Tensor)]) -> Result<Self, TensorError> {
+        let d = classes
+            .first()
+            .map(|(_, e)| e.cols())
+            .ok_or(TensorError::Empty { op: "NcmClassifier::from_exemplars" })?;
+        let mut clf = NcmClassifier::new(d);
+        for &(label, embeddings) in classes {
+            clf.set_prototype_from(label, embeddings)?;
+        }
+        Ok(clf)
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.prototypes.cols()
+    }
+
+    /// Number of known classes.
+    pub fn n_classes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Known class labels (prototype order).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The prototype of `label`, if known.
+    pub fn prototype(&self, label: usize) -> Option<Tensor> {
+        let row = self.labels.iter().position(|&l| l == label)?;
+        Some(Tensor::vector(self.prototypes.row(row)))
+    }
+
+    /// Inserts or replaces the prototype of `label` with the mean of
+    /// `embeddings` (`[n, d]`, n ≥ 1).
+    pub fn set_prototype_from(&mut self, label: usize, embeddings: &Tensor) -> Result<(), TensorError> {
+        let mu = crate::exemplar::class_prototype(embeddings)?;
+        self.set_prototype(label, &mu)
+    }
+
+    /// Inserts or replaces the prototype of `label` directly.
+    pub fn set_prototype(&mut self, label: usize, prototype: &Tensor) -> Result<(), TensorError> {
+        if prototype.rank() != 1 || prototype.len() != self.dim() {
+            return Err(TensorError::ShapeMismatch {
+                left: prototype.shape().dims().to_vec(),
+                right: vec![self.dim()],
+                op: "NcmClassifier::set_prototype",
+            });
+        }
+        match self.labels.iter().position(|&l| l == label) {
+            Some(row) => {
+                self.prototypes.row_mut(row).copy_from_slice(prototype.as_slice());
+            }
+            None => {
+                self.labels.push(label);
+                self.prototypes =
+                    Tensor::vstack(&[&self.prototypes, &prototype.reshape([1, self.dim()])?])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a class prototype; returns whether it existed.
+    pub fn remove(&mut self, label: usize) -> bool {
+        let Some(row) = self.labels.iter().position(|&l| l == label) else {
+            return false;
+        };
+        self.labels.remove(row);
+        let keep: Vec<usize> =
+            (0..self.prototypes.rows()).filter(|&r| r != row).collect();
+        self.prototypes = self.prototypes.select_rows(&keep).expect("rows in range");
+        true
+    }
+
+    /// Squared distances `[n, classes]` from each embedding row to each
+    /// prototype.
+    pub fn distances(&self, embeddings: &Tensor) -> Result<Tensor, TensorError> {
+        if self.n_classes() == 0 {
+            return Err(TensorError::Empty { op: "NcmClassifier::distances" });
+        }
+        embeddings.pairwise_sq_dists(&self.prototypes)
+    }
+
+    /// Classifies each embedding row to the nearest prototype's label.
+    pub fn classify(&self, embeddings: &Tensor) -> Result<Vec<usize>, TensorError> {
+        let d = self.distances(embeddings)?;
+        Ok(d.argmin_rows()?.into_iter().map(|r| self.labels[r]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_tensor::Rng64;
+
+    fn two_class() -> NcmClassifier {
+        let mut clf = NcmClassifier::new(2);
+        clf.set_prototype(7, &Tensor::vector(&[0.0, 0.0])).unwrap();
+        clf.set_prototype(9, &Tensor::vector(&[10.0, 0.0])).unwrap();
+        clf
+    }
+
+    #[test]
+    fn classify_nearest() {
+        let clf = two_class();
+        let x = Tensor::from_rows(&[vec![1.0, 1.0], vec![9.0, -1.0]]).unwrap();
+        assert_eq!(clf.classify(&x).unwrap(), vec![7, 9]);
+    }
+
+    #[test]
+    fn labels_are_arbitrary_not_dense() {
+        let clf = two_class();
+        assert_eq!(clf.labels(), &[7, 9]);
+        assert!(clf.prototype(8).is_none());
+        assert_eq!(clf.prototype(9).unwrap().as_slice(), &[10.0, 0.0]);
+    }
+
+    #[test]
+    fn prototype_replacement() {
+        let mut clf = two_class();
+        clf.set_prototype(7, &Tensor::vector(&[100.0, 0.0])).unwrap();
+        assert_eq!(clf.n_classes(), 2);
+        let x = Tensor::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        assert_eq!(clf.classify(&x).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn from_exemplars_uses_means() {
+        let e0 = Tensor::from_rows(&[vec![0.0, 0.0], vec![2.0, 0.0]]).unwrap();
+        let e1 = Tensor::from_rows(&[vec![10.0, 10.0]]).unwrap();
+        let clf = NcmClassifier::from_exemplars(&[(0, &e0), (1, &e1)]).unwrap();
+        assert_eq!(clf.prototype(0).unwrap().as_slice(), &[1.0, 0.0]);
+        assert_eq!(clf.prototype(1).unwrap().as_slice(), &[10.0, 10.0]);
+    }
+
+    #[test]
+    fn remove_class() {
+        let mut clf = two_class();
+        assert!(clf.remove(7));
+        assert!(!clf.remove(7));
+        assert_eq!(clf.n_classes(), 1);
+        let x = Tensor::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        assert_eq!(clf.classify(&x).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn empty_classifier_errors() {
+        let clf = NcmClassifier::new(3);
+        assert!(clf.classify(&Tensor::zeros([1, 3])).is_err());
+    }
+
+    #[test]
+    fn classification_invariant_to_insertion_order() {
+        let mut rng = Rng64::new(1);
+        let protos: Vec<Tensor> =
+            (0..4).map(|_| Tensor::randn([3], 0.0, 1.0, &mut rng)).collect();
+        let mut a = NcmClassifier::new(3);
+        let mut b = NcmClassifier::new(3);
+        for (i, p) in protos.iter().enumerate() {
+            a.set_prototype(i, p).unwrap();
+        }
+        for (i, p) in protos.iter().enumerate().rev() {
+            b.set_prototype(i, p).unwrap();
+        }
+        let x = Tensor::randn([20, 3], 0.0, 2.0, &mut rng);
+        assert_eq!(a.classify(&x).unwrap(), b.classify(&x).unwrap());
+    }
+
+    #[test]
+    fn distances_shape() {
+        let clf = two_class();
+        let x = Tensor::zeros([5, 2]);
+        let d = clf.distances(&x).unwrap();
+        assert_eq!(d.shape().dims(), &[5, 2]);
+        assert_eq!(d.at(0, 0), 0.0);
+        assert_eq!(d.at(0, 1), 100.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let clf = two_class();
+        let json = serde_json::to_string(&clf).unwrap();
+        let back: NcmClassifier = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, clf);
+    }
+}

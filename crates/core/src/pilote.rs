@@ -1,0 +1,663 @@
+//! The PILOTE incremental learner (Algorithm 1).
+//!
+//! Lifecycle:
+//!
+//! 1. **Cloud pre-training** ([`Pilote::pretrain`]): train the embedding
+//!    network on the old classes with the supervised contrastive loss,
+//!    then select per-class exemplar support sets by herding (lines 1–7).
+//! 2. **Edge update** ([`Pilote::learn_new_class`]): freeze a teacher copy,
+//!    combine the support set `D₀` with the new-class samples `Dₙ`, and
+//!    optimise `L = α·L_disti + (1 − α)·L_contra` (lines 8–12) with the
+//!    reduced pair scheme of §5.2. Finally store new-class exemplars and
+//!    refresh all prototypes under the updated embedding.
+//! 3. **Inference** ([`Pilote::predict`]): NCM over the support-set
+//!    prototypes (Eq. 1).
+
+use crate::config::PiloteConfig;
+use crate::embedding::EmbeddingNet;
+use crate::exemplar::{select_exemplars, SelectionStrategy};
+use crate::ncm::NcmClassifier;
+use crate::pairs::{build_epoch_pairs, PairScheme, PairSet};
+use pilote_har_data::Dataset;
+use pilote_nn::loss::{contrastive_pair_loss, distillation_loss};
+use pilote_nn::sched::{LrSchedule, StepLr};
+use pilote_nn::train::train_val_split;
+use pilote_nn::{Adam, EarlyStopper, EpochStats, Optimizer};
+use pilote_tensor::{Rng64, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Per-class exemplar storage, rows kept in *selection order* so that a
+/// budget shrink (new class arriving under a fixed cache size `K`) keeps
+/// the best prefix — valid for herding, whose prefixes are themselves
+/// herding selections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupportSet {
+    classes: Vec<(usize, Tensor)>,
+}
+
+impl SupportSet {
+    /// Empty support set.
+    pub fn new() -> Self {
+        SupportSet { classes: Vec::new() }
+    }
+
+    /// Selects `m` exemplars per class from `data` under the current
+    /// embedding, using the given strategy.
+    pub fn select_from(
+        data: &Dataset,
+        net: &mut EmbeddingNet,
+        m: usize,
+        strategy: SelectionStrategy,
+        rng: &mut Rng64,
+    ) -> Result<SupportSet, TensorError> {
+        let mut out = SupportSet::new();
+        for label in data.classes() {
+            let class = data.filter_classes(&[label])?;
+            let embeddings = net.embed(&class.features);
+            let chosen = select_exemplars(&embeddings, m, strategy, rng)?;
+            out.put_class(label, class.features.select_rows(&chosen)?);
+        }
+        Ok(out)
+    }
+
+    /// Inserts or replaces the exemplars of a class (rows must already be
+    /// in selection order).
+    pub fn put_class(&mut self, label: usize, features: Tensor) {
+        match self.classes.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, f)) => *f = features,
+            None => self.classes.push((label, features)),
+        }
+    }
+
+    /// Exemplar features of a class.
+    pub fn class(&self, label: usize) -> Option<&Tensor> {
+        self.classes.iter().find(|(l, _)| *l == label).map(|(_, f)| f)
+    }
+
+    /// Labels with stored exemplars, in insertion order.
+    pub fn labels(&self) -> Vec<usize> {
+        self.classes.iter().map(|(l, _)| *l).collect()
+    }
+
+    /// Total number of stored exemplars.
+    pub fn len(&self) -> usize {
+        self.classes.iter().map(|(_, f)| f.rows()).sum()
+    }
+
+    /// Whether no exemplars are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keeps only the first `m` exemplars of every class (the prefix
+    /// property of herding makes this the correct shrink under a fixed
+    /// cache size `K`: `m = K / (s − 1)`, Algorithm 1 line 1).
+    pub fn shrink_per_class(&mut self, m: usize) {
+        for (_, f) in &mut self.classes {
+            let keep = m.min(f.rows());
+            *f = f.slice_rows(0, keep).expect("keep ≤ rows");
+        }
+    }
+
+    /// Flattens the support set into a labelled dataset (`D₀`).
+    pub fn to_dataset(&self) -> Result<Dataset, TensorError> {
+        if self.classes.is_empty() {
+            return Ok(Dataset::empty());
+        }
+        let tensors: Vec<&Tensor> = self.classes.iter().map(|(_, f)| f).collect();
+        let features = Tensor::vstack(&tensors)?;
+        let mut labels = Vec::with_capacity(self.len());
+        for (label, f) in &self.classes {
+            labels.extend(std::iter::repeat_n(*label, f.rows()));
+        }
+        Dataset::new(features, labels)
+    }
+}
+
+impl Default for SupportSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+    /// Whether the early stopper fired before `max_epochs`.
+    pub stopped_early: bool,
+}
+
+impl TrainReport {
+    /// Total wall-clock seconds across epochs.
+    pub fn total_seconds(&self) -> f64 {
+        self.epochs.iter().map(|e| e.seconds).sum()
+    }
+
+    /// Final training loss (NaN if no epochs ran).
+    pub fn final_train_loss(&self) -> f32 {
+        self.epochs.last().map_or(f32::NAN, |e| e.train_loss)
+    }
+}
+
+/// Options for the shared embedding-training routine.
+pub struct TrainOptions<'a> {
+    /// Balancing weight α (0 disables distillation entirely).
+    pub alpha: f32,
+    /// Frozen teacher network; required when `alpha > 0`.
+    pub teacher: Option<&'a mut EmbeddingNet>,
+    /// Rows of the combined dataset to distil on (the old-class exemplars
+    /// `D₀`); ignored when `alpha == 0`.
+    pub distill_rows: Vec<usize>,
+    /// Pair population scheme.
+    pub scheme: PairScheme,
+    /// Freeze batch-norm statistics: forward passes normalise with the
+    /// (pre-trained) running statistics instead of batch statistics, and
+    /// the running estimates are not updated. Essential for edge updates —
+    /// pair batches are dominated by the new class, and letting them drag
+    /// the BN statistics silently shifts every old-class embedding out
+    /// from under the distillation anchor.
+    pub freeze_bn: bool,
+}
+
+/// Trains `net` on `data` with the joint PILOTE objective.
+///
+/// `is_new[i]` marks rows of `data` belonging to the incoming new-class
+/// batch (`Dₙ`); for plain pre-training pass all-`false` with
+/// [`PairScheme::Full`].
+pub fn train_embedding(
+    net: &mut EmbeddingNet,
+    data: &Dataset,
+    is_new: &[bool],
+    cfg: &PiloteConfig,
+    opts: TrainOptions<'_>,
+    rng: &mut Rng64,
+) -> Result<TrainReport, TensorError> {
+    assert_eq!(data.len(), is_new.len(), "is_new must cover every row");
+    assert!(
+        opts.alpha == 0.0 || opts.teacher.is_some(),
+        "distillation (alpha > 0) requires a teacher network"
+    );
+    let mut report = TrainReport::default();
+    if data.len() < 2 {
+        return Ok(report);
+    }
+
+    // ---- validation split over rows -----------------------------------
+    let (train_rows, val_rows) = train_val_split(data.len(), cfg.val_fraction, rng);
+    let train_labels: Vec<usize> = train_rows.iter().map(|&i| data.labels[i]).collect();
+    let train_is_new: Vec<bool> = train_rows.iter().map(|&i| is_new[i]).collect();
+
+    // Fixed validation pair set (stable loss across epochs).
+    let val_labels: Vec<usize> = val_rows.iter().map(|&i| data.labels[i]).collect();
+    let val_is_new: Vec<bool> = val_rows.iter().map(|&i| is_new[i]).collect();
+    let val_pairs_local =
+        build_epoch_pairs(&val_labels, &val_is_new, opts.scheme, cfg.pairs_per_sample, rng);
+    let val_pairs = PairSet {
+        a: val_pairs_local.a.iter().map(|&i| val_rows[i]).collect(),
+        b: val_pairs_local.b.iter().map(|&i| val_rows[i]).collect(),
+        similar: val_pairs_local.similar,
+    };
+
+    // ---- teacher embeddings for the distillation anchor ----------------
+    let distill_features = if opts.alpha > 0.0 && !opts.distill_rows.is_empty() {
+        Some(data.features.select_rows(&opts.distill_rows)?)
+    } else {
+        None
+    };
+    let teacher_embeddings = match (&distill_features, opts.teacher) {
+        (Some(df), Some(teacher)) => Some(teacher.embed(df)),
+        _ => None,
+    };
+
+    let mut optimizer = Adam::new();
+    let schedule = StepLr {
+        initial: cfg.initial_lr,
+        step_size: cfg.lr_halve_every.max(1),
+        gamma: 0.5,
+    };
+    let mut stopper = EarlyStopper::new(cfg.early_stop_threshold, cfg.early_stop_patience);
+    // Eval-style BN (frozen statistics) still backpropagates through γ/β.
+    let forward_mode = if opts.freeze_bn { pilote_nn::Mode::Eval } else { pilote_nn::Mode::Train };
+
+    for epoch in 0..cfg.max_epochs {
+        let started = Instant::now();
+        let lr = schedule.lr_at(epoch);
+
+        // Fresh pair population each epoch (indices local to train_rows).
+        let pairs_local =
+            build_epoch_pairs(&train_labels, &train_is_new, opts.scheme, cfg.pairs_per_sample, rng);
+        if pairs_local.is_empty() {
+            break;
+        }
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        let mut start = 0usize;
+        while start < pairs_local.len() {
+            let end = (start + cfg.pair_batch).min(pairs_local.len());
+            let batch = pairs_local.slice(start, end);
+            start = end;
+
+            // Map local indices to dataset rows and gather features.
+            let rows_a: Vec<usize> = batch.a.iter().map(|&i| train_rows[i]).collect();
+            let rows_b: Vec<usize> = batch.b.iter().map(|&i| train_rows[i]).collect();
+            let fa = data.features.select_rows(&rows_a)?;
+            let fb = data.features.select_rows(&rows_b)?;
+
+            net.zero_grad();
+
+            // Siamese forward: both branches share weights, so stack into
+            // one batch (also gives BatchNorm a well-mixed batch).
+            let stacked = Tensor::vstack(&[&fa, &fb])?;
+            let emb = net.forward_mode(&stacked, forward_mode);
+            let n_pairs = batch.len();
+            let ea = emb.slice_rows(0, n_pairs)?;
+            let eb = emb.slice_rows(n_pairs, 2 * n_pairs)?;
+            let (c_loss, ga, gb) =
+                contrastive_pair_loss(&ea, &eb, &batch.similar, cfg.margin, cfg.contrastive_form)?;
+            let contrastive_weight = 1.0 - opts.alpha;
+            let grad = Tensor::vstack(&[&ga.scale(contrastive_weight), &gb.scale(contrastive_weight)])?;
+            net.backward(&grad);
+            let mut batch_loss = contrastive_weight * c_loss;
+
+            // Distillation branch: separate forward/backward accumulates
+            // into the same parameter gradients before the optimizer step.
+            // When D₀ is larger than `distill_batch`, a random subset is
+            // distilled each step (stochastic distillation) — same
+            // expected gradient, much cheaper forward.
+            if let (Some(df), Some(te)) = (&distill_features, &teacher_embeddings) {
+                let n0 = df.rows();
+                let (df_b, te_b);
+                let (dfr, ter) = if n0 > cfg.distill_batch {
+                    let subset = rng.sample_indices(n0, cfg.distill_batch);
+                    df_b = df.select_rows(&subset)?;
+                    te_b = te.select_rows(&subset)?;
+                    (&df_b, &te_b)
+                } else {
+                    (df, te)
+                };
+                let student = net.forward_mode(dfr, forward_mode);
+                let (d_loss, d_grad) = distillation_loss(&student, ter)?;
+                net.backward(&d_grad.scale(opts.alpha));
+                batch_loss += opts.alpha * d_loss;
+            }
+
+            optimizer.step(net.layers_mut(), lr);
+            loss_sum += batch_loss as f64;
+            batches += 1;
+        }
+
+        // ---- validation loss (eval mode, fixed pairs) -------------------
+        let val_loss = if val_pairs.is_empty() {
+            None
+        } else {
+            let (va, vb) = val_pairs.gather(&data.features)?;
+            let ea = net.embed(&va);
+            let eb = net.embed(&vb);
+            let (c_loss, _, _) =
+                contrastive_pair_loss(&ea, &eb, &val_pairs.similar, cfg.margin, cfg.contrastive_form)?;
+            let mut v = (1.0 - opts.alpha) * c_loss;
+            if let (Some(df), Some(te)) = (&distill_features, &teacher_embeddings) {
+                let student = net.embed(df);
+                let (d_loss, _) = distillation_loss(&student, te)?;
+                v += opts.alpha * d_loss;
+            }
+            Some(v)
+        };
+
+        report.epochs.push(EpochStats {
+            epoch,
+            train_loss: (loss_sum / batches.max(1) as f64) as f32,
+            val_loss,
+            lr,
+            seconds: started.elapsed().as_secs_f64(),
+        });
+
+        if let Some(v) = val_loss {
+            if stopper.observe(v) {
+                report.stopped_early = true;
+                break;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// The PILOTE model: embedding network + exemplar support set + NCM
+/// classifier.
+pub struct Pilote {
+    cfg: PiloteConfig,
+    net: EmbeddingNet,
+    support: SupportSet,
+    classifier: NcmClassifier,
+    rng: Rng64,
+}
+
+impl Pilote {
+    /// Cloud phase: trains the embedding on `data` (the old classes) with
+    /// the full-pair contrastive loss, then selects `exemplars_per_class`
+    /// support exemplars per class with `strategy`.
+    pub fn pretrain(
+        cfg: PiloteConfig,
+        data: &Dataset,
+        exemplars_per_class: usize,
+        strategy: SelectionStrategy,
+    ) -> Result<(Pilote, TrainReport), TensorError> {
+        let mut rng = Rng64::new(cfg.seed);
+        let mut net = EmbeddingNet::new(cfg.net.clone(), &mut rng);
+        let is_new = vec![false; data.len()];
+        let opts = TrainOptions {
+            alpha: 0.0,
+            teacher: None,
+            distill_rows: Vec::new(),
+            scheme: PairScheme::Full,
+            freeze_bn: false,
+        };
+        let report = train_embedding(&mut net, data, &is_new, &cfg, opts, &mut rng)?;
+        let support =
+            SupportSet::select_from(data, &mut net, exemplars_per_class, strategy, &mut rng)?;
+        let mut model = Pilote {
+            cfg,
+            net,
+            support,
+            classifier: NcmClassifier::new(0),
+            rng,
+        };
+        model.refresh_prototypes()?;
+        Ok((model, report))
+    }
+
+    /// Builds a model directly from parts (used by the baselines to share
+    /// one pre-trained starting point across comparisons).
+    pub fn from_parts(cfg: PiloteConfig, net: EmbeddingNet, support: SupportSet, rng: Rng64) -> Result<Pilote, TensorError> {
+        let mut model = Pilote { cfg, net, support, classifier: NcmClassifier::new(0), rng };
+        model.refresh_prototypes()?;
+        Ok(model)
+    }
+
+    /// Deep copy (shared pre-trained starting point for baselines).
+    pub fn clone_model(&self) -> Pilote {
+        Pilote {
+            cfg: self.cfg.clone(),
+            net: self.net.clone_frozen(),
+            support: self.support.clone(),
+            classifier: self.classifier.clone(),
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Edge phase (Algorithm 1, lines 8–13): learns the classes present in
+    /// `new_data` with the joint distillation + contrastive objective,
+    /// stores up to `new_exemplar_budget` exemplars for each new class
+    /// (random selection, per §6.4), and refreshes all prototypes.
+    pub fn learn_new_class(
+        &mut self,
+        new_data: &Dataset,
+        new_exemplar_budget: usize,
+    ) -> Result<TrainReport, TensorError> {
+        let d0 = self.support.to_dataset()?;
+        let combined = d0.concat(new_data)?;
+        let mut is_new = vec![false; d0.len()];
+        is_new.extend(std::iter::repeat_n(true, new_data.len()));
+        let distill_rows: Vec<usize> = (0..d0.len()).collect();
+
+        let mut teacher = self.net.clone_frozen();
+        let alpha = self.cfg.alpha;
+        let mut cfg = self.cfg.clone();
+        // §5.2: the reduced scheme anchors only the nₜ new samples, so the
+        // pair population shrinks from t·Σ_y C(n_y,2) to C(nₜ,2) + nₜ·|D₀|.
+        // Spend part of that saving on pair density — 4× per anchor still
+        // keeps the total below the full scheme's.
+        cfg.pairs_per_sample = cfg.pairs_per_sample.saturating_mul(4);
+        let opts = TrainOptions {
+            alpha,
+            teacher: Some(&mut teacher),
+            distill_rows,
+            scheme: PairScheme::Reduced,
+            freeze_bn: true,
+        };
+        let report =
+            train_embedding(&mut self.net, &combined, &is_new, &cfg, opts, &mut self.rng)?;
+
+        // Store new-class exemplars (random subset of the incoming data,
+        // as in §6.4) and refresh prototypes under the updated embedding.
+        for label in new_data.classes() {
+            let class = new_data.filter_classes(&[label])?;
+            let embeddings = self.net.embed(&class.features);
+            let chosen = select_exemplars(
+                &embeddings,
+                new_exemplar_budget,
+                SelectionStrategy::Random,
+                &mut self.rng,
+            )?;
+            self.support.put_class(label, class.features.select_rows(&chosen)?);
+        }
+        self.refresh_prototypes()?;
+        Ok(report)
+    }
+
+    /// Recomputes every class prototype from the support set under the
+    /// current embedding.
+    pub fn refresh_prototypes(&mut self) -> Result<(), TensorError> {
+        let mut clf = NcmClassifier::new(self.cfg.net.embedding_dim);
+        for label in self.support.labels() {
+            let features = self.support.class(label).expect("label from labels()");
+            let embeddings = self.net.embed(features);
+            clf.set_prototype_from(label, &embeddings)?;
+        }
+        self.classifier = clf;
+        Ok(())
+    }
+
+    /// Classifies a `[n, input_dim]` feature batch.
+    pub fn predict(&mut self, features: &Tensor) -> Result<Vec<usize>, TensorError> {
+        let embeddings = self.net.embed(features);
+        self.classifier.classify(&embeddings)
+    }
+
+    /// Accuracy on a labelled dataset.
+    pub fn accuracy(&mut self, data: &Dataset) -> Result<f32, TensorError> {
+        let pred = self.predict(&data.features)?;
+        Ok(crate::metrics::accuracy(&pred, &data.labels))
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PiloteConfig {
+        &self.cfg
+    }
+
+    /// Mutable configuration access (e.g. for α ablations between phases).
+    pub fn config_mut(&mut self) -> &mut PiloteConfig {
+        &mut self.cfg
+    }
+
+    /// The exemplar support set.
+    pub fn support(&self) -> &SupportSet {
+        &self.support
+    }
+
+    /// Mutable support set (edge cache management); call
+    /// [`Pilote::refresh_prototypes`] afterwards.
+    pub fn support_mut(&mut self) -> &mut SupportSet {
+        &mut self.support
+    }
+
+    /// The embedding network.
+    pub fn net_mut(&mut self) -> &mut EmbeddingNet {
+        &mut self.net
+    }
+
+    /// The NCM classifier.
+    pub fn classifier(&self) -> &NcmClassifier {
+        &self.classifier
+    }
+
+    /// Embeds features under the current model (inference mode).
+    pub fn embed(&mut self, features: &Tensor) -> Tensor {
+        self.net.embed(features)
+    }
+
+    /// Forked RNG for auxiliary sampling that must not perturb the model's
+    /// own stream.
+    pub fn fork_rng(&mut self) -> Rng64 {
+        self.rng.fork()
+    }
+
+    /// Re-seeds the model's RNG stream. Used by the experiment harness so
+    /// that repetition rounds cloned from one pre-trained model draw
+    /// independent pair samples and exemplar subsets.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = Rng64::new(seed);
+    }
+}
+
+impl std::fmt::Debug for Pilote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pilote")
+            .field("classes", &self.classifier.labels())
+            .field("support_len", &self.support.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_har_data::dataset::generate_features;
+    use pilote_har_data::{Activity, Simulator};
+
+    fn tiny_scenario() -> (Dataset, Dataset, Dataset) {
+        // Old classes: Still, Walk, Drive; new class: Run.
+        let mut sim = Simulator::with_seed(11);
+        let (all, _) = generate_features(
+            &mut sim,
+            &[
+                (Activity::Still, 60),
+                (Activity::Walk, 60),
+                (Activity::Drive, 60),
+                (Activity::Run, 60),
+            ],
+        )
+        .unwrap();
+        let mut rng = Rng64::new(1);
+        let (train, test) = all.stratified_split(0.3, &mut rng).unwrap();
+        let old = train
+            .filter_classes(&[
+                Activity::Still.label(),
+                Activity::Walk.label(),
+                Activity::Drive.label(),
+            ])
+            .unwrap();
+        let new = train.filter_classes(&[Activity::Run.label()]).unwrap();
+        (old, new, test)
+    }
+
+    #[test]
+    fn support_set_round_trip() {
+        let mut s = SupportSet::new();
+        s.put_class(3, Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap());
+        s.put_class(1, Tensor::from_rows(&[vec![5.0, 6.0]]).unwrap());
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), vec![3, 1]);
+        let ds = s.to_dataset().unwrap();
+        assert_eq!(ds.labels, vec![3, 3, 1]);
+        // replacement
+        s.put_class(1, Tensor::from_rows(&[vec![7.0, 8.0], vec![9.0, 0.0]]).unwrap());
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn support_set_shrink_keeps_prefix() {
+        let mut s = SupportSet::new();
+        s.put_class(0, Tensor::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap());
+        s.shrink_per_class(2);
+        assert_eq!(s.class(0).unwrap().as_slice(), &[0.0, 1.0]);
+        s.shrink_per_class(10); // no-op when larger
+        assert_eq!(s.class(0).unwrap().rows(), 2);
+    }
+
+    #[test]
+    fn pretrain_learns_separable_classes() {
+        let (old, _, test) = tiny_scenario();
+        let cfg = PiloteConfig::fast_test(5);
+        let (mut model, report) =
+            Pilote::pretrain(cfg, &old, 20, SelectionStrategy::Herding).unwrap();
+        assert!(!report.epochs.is_empty());
+        let old_test = test
+            .filter_classes(&[
+                Activity::Still.label(),
+                Activity::Walk.label(),
+                Activity::Drive.label(),
+            ])
+            .unwrap();
+        let acc = model.accuracy(&old_test).unwrap();
+        assert!(acc > 0.7, "pre-trained accuracy {acc}");
+        assert_eq!(model.classifier().n_classes(), 3);
+    }
+
+    #[test]
+    fn learn_new_class_adds_class_and_keeps_old() {
+        let (old, new, test) = tiny_scenario();
+        let cfg = PiloteConfig::fast_test(6);
+        let (model, _) = Pilote::pretrain(cfg, &old, 20, SelectionStrategy::Herding).unwrap();
+        let mut model = model;
+        let old_test = test
+            .filter_classes(&[
+                Activity::Still.label(),
+                Activity::Walk.label(),
+                Activity::Drive.label(),
+            ])
+            .unwrap();
+        let before = model.accuracy(&old_test).unwrap();
+        model.learn_new_class(&new, 20).unwrap();
+        assert_eq!(model.classifier().n_classes(), 4);
+        let after_old = model.accuracy(&old_test).unwrap();
+        let run_test = test.filter_classes(&[Activity::Run.label()]).unwrap();
+        let run_acc = model.accuracy(&run_test).unwrap();
+        assert!(run_acc > 0.5, "new-class accuracy {run_acc}");
+        assert!(after_old > before - 0.25, "old accuracy collapsed {before} → {after_old}");
+    }
+
+    #[test]
+    fn clone_model_is_independent() {
+        let (old, new, _) = tiny_scenario();
+        let cfg = PiloteConfig::fast_test(7);
+        let (model, _) = Pilote::pretrain(cfg, &old, 10, SelectionStrategy::Herding).unwrap();
+        let mut copy = model.clone_model();
+        copy.learn_new_class(&new, 10).unwrap();
+        assert_eq!(copy.classifier().n_classes(), 4);
+        assert_eq!(model.classifier().n_classes(), 3);
+    }
+
+    #[test]
+    fn train_embedding_requires_teacher_with_alpha() {
+        let (old, _, _) = tiny_scenario();
+        let cfg = PiloteConfig::fast_test(8);
+        let mut rng = Rng64::new(1);
+        let mut net = EmbeddingNet::new(cfg.net.clone(), &mut rng);
+        let is_new = vec![false; old.len()];
+        let opts = TrainOptions {
+            alpha: 0.5,
+            teacher: None,
+            distill_rows: vec![],
+            scheme: PairScheme::Full,
+            freeze_bn: true,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = train_embedding(&mut net, &old, &is_new, &cfg, opts, &mut rng);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn train_report_totals() {
+        let mut r = TrainReport::default();
+        assert!(r.final_train_loss().is_nan());
+        r.epochs.push(EpochStats { epoch: 0, train_loss: 1.0, val_loss: None, lr: 0.01, seconds: 0.5 });
+        r.epochs.push(EpochStats { epoch: 1, train_loss: 0.5, val_loss: None, lr: 0.005, seconds: 0.25 });
+        assert_eq!(r.final_train_loss(), 0.5);
+        assert!((r.total_seconds() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! Embedding-space projection and cluster quality — the machinery behind
+//! Fig. 5.
+//!
+//! The paper visualises 128-d embeddings in 2-D. We project with PCA
+//! (power iteration on the embedding covariance) and complement the
+//! pictures with a quantitative **separation score**, so the claim "the
+//! boundary between Run and Walk is blurrier for the re-trained model" is
+//! checkable without eyeballing a scatter plot.
+
+use pilote_tensor::linalg::symmetric_eigen_top_k;
+use pilote_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    mean: Tensor,
+    /// `[k, d]` — one principal axis per row.
+    components: Tensor,
+    /// Eigenvalues (explained variance) per component.
+    explained: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits a `k`-component PCA on `[n, d]` data.
+    pub fn fit(data: &Tensor, k: usize) -> Result<Pca, TensorError> {
+        if data.rank() != 2 || data.rows() < 2 {
+            return Err(TensorError::Empty { op: "Pca::fit (need ≥ 2 rows)" });
+        }
+        let (centered, mean) = data.center_columns()?;
+        let cov = {
+            let n = data.rows() as f32;
+            centered.t_matmul(&centered)?.scale(1.0 / (n - 1.0))
+        };
+        let (explained, components) = symmetric_eigen_top_k(&cov, k, 300)?;
+        Ok(Pca { mean, components, explained })
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Explained variance per component (descending).
+    pub fn explained_variance(&self) -> &[f32] {
+        &self.explained
+    }
+
+    /// Projects `[n, d]` data to `[n, k]`.
+    pub fn transform(&self, data: &Tensor) -> Result<Tensor, TensorError> {
+        let centered = data.try_sub(&self.mean)?;
+        centered.matmul_t(&self.components)
+    }
+}
+
+/// 2-D scatter points of an embedding set, grouped by label — the data
+/// series behind one panel of Fig. 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddingScatter {
+    /// Class labels, one entry per series.
+    pub labels: Vec<usize>,
+    /// `(x, y)` points per series, aligned with `labels`.
+    pub points: Vec<Vec<(f32, f32)>>,
+}
+
+/// Projects embeddings to 2-D and groups the points by label.
+pub fn scatter_2d(embeddings: &Tensor, labels: &[usize]) -> Result<EmbeddingScatter, TensorError> {
+    if embeddings.rows() != labels.len() {
+        return Err(TensorError::LengthMismatch { len: labels.len(), expected: embeddings.rows() });
+    }
+    let pca = Pca::fit(embeddings, 2)?;
+    let proj = pca.transform(embeddings)?;
+    let mut classes: Vec<usize> = labels.to_vec();
+    classes.sort_unstable();
+    classes.dedup();
+    let mut points = vec![Vec::new(); classes.len()];
+    for (i, &label) in labels.iter().enumerate() {
+        let series = classes.iter().position(|&c| c == label).expect("label in classes");
+        points[series].push((proj.at(i, 0), proj.at(i, 1)));
+    }
+    Ok(EmbeddingScatter { labels: classes, points })
+}
+
+/// Cluster separation score: mean inter-class prototype distance divided
+/// by mean intra-class spread (root-mean-square distance to the class
+/// mean). Higher = cleaner clusters; computed in the full embedding space,
+/// not the projection.
+pub fn separation_score(embeddings: &Tensor, labels: &[usize]) -> Result<f32, TensorError> {
+    if embeddings.rows() != labels.len() {
+        return Err(TensorError::LengthMismatch { len: labels.len(), expected: embeddings.rows() });
+    }
+    let mut classes: Vec<usize> = labels.to_vec();
+    classes.sort_unstable();
+    classes.dedup();
+    if classes.len() < 2 {
+        return Err(TensorError::Empty { op: "separation_score (need ≥ 2 classes)" });
+    }
+    let d = embeddings.cols();
+    let mut protos = Tensor::zeros([classes.len(), d]);
+    let mut spread = 0.0f64;
+    for (ci, &class) in classes.iter().enumerate() {
+        let rows: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == class).then_some(i))
+            .collect();
+        let sub = embeddings.select_rows(&rows)?;
+        let mu = sub.mean_axis(pilote_tensor::reduce::Axis::Rows)?;
+        let mut ss = 0.0f64;
+        for r in 0..sub.rows() {
+            ss += Tensor::vector(sub.row(r)).sq_dist(&mu)? as f64;
+        }
+        spread += (ss / sub.rows().max(1) as f64).sqrt();
+        protos.row_mut(ci).copy_from_slice(mu.as_slice());
+    }
+    spread /= classes.len() as f64;
+
+    let dists = protos.pairwise_sq_dists(&protos)?;
+    let mut inter = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..classes.len() {
+        for j in i + 1..classes.len() {
+            inter += (dists.at(i, j) as f64).sqrt();
+            count += 1;
+        }
+    }
+    inter /= count as f64;
+    Ok((inter / spread.max(1e-12)) as f32)
+}
+
+/// Pairwise separation of exactly two classes (the Run/Walk diagnostic).
+pub fn pairwise_separation(
+    embeddings: &Tensor,
+    labels: &[usize],
+    class_a: usize,
+    class_b: usize,
+) -> Result<f32, TensorError> {
+    let rows: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &l)| (l == class_a || l == class_b).then_some(i))
+        .collect();
+    let sub_labels: Vec<usize> = rows.iter().map(|&i| labels[i]).collect();
+    separation_score(&embeddings.select_rows(&rows)?, &sub_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_tensor::Rng64;
+
+    fn two_blobs(rng: &mut Rng64, gap: f32) -> (Tensor, Vec<usize>) {
+        let a = Tensor::randn([40, 6], 0.0, 1.0, rng);
+        let b = Tensor::randn([40, 6], gap, 1.0, rng);
+        let all = Tensor::vstack(&[&a, &b]).unwrap();
+        let labels: Vec<usize> = (0..80).map(|i| usize::from(i >= 40)).collect();
+        (all, labels)
+    }
+
+    #[test]
+    fn pca_recovers_dominant_direction() {
+        let mut rng = Rng64::new(1);
+        // Data varies mostly along a fixed direction.
+        let n = 200;
+        let mut data = Tensor::zeros([n, 4]);
+        for i in 0..n {
+            let t = rng.normal_f32(0.0, 5.0);
+            let noise: Vec<f32> = (0..4).map(|_| rng.normal_f32(0.0, 0.1)).collect();
+            let dir = [0.5f32, 0.5, 0.5, 0.5];
+            for j in 0..4 {
+                data.row_mut(i)[j] = t * dir[j] + noise[j];
+            }
+        }
+        let pca = Pca::fit(&data, 1).unwrap();
+        let comp = pca.components.row(0);
+        // Component aligns (up to sign) with the generating direction.
+        let dot: f32 = comp.iter().map(|&c| c * 0.5).sum();
+        assert!(dot.abs() > 0.95, "dot {dot}");
+        assert!(pca.explained_variance()[0] > 10.0);
+    }
+
+    #[test]
+    fn transform_projects_to_k_dims() {
+        let mut rng = Rng64::new(2);
+        let data = Tensor::randn([50, 8], 0.0, 1.0, &mut rng);
+        let pca = Pca::fit(&data, 2).unwrap();
+        let proj = pca.transform(&data).unwrap();
+        assert_eq!(proj.shape().dims(), &[50, 2]);
+    }
+
+    #[test]
+    fn scatter_groups_by_label() {
+        let mut rng = Rng64::new(3);
+        let (data, labels) = two_blobs(&mut rng, 8.0);
+        let scatter = scatter_2d(&data, &labels).unwrap();
+        assert_eq!(scatter.labels, vec![0, 1]);
+        assert_eq!(scatter.points[0].len(), 40);
+        assert_eq!(scatter.points[1].len(), 40);
+    }
+
+    #[test]
+    fn separation_increases_with_gap() {
+        let mut rng = Rng64::new(4);
+        let (near, labels) = two_blobs(&mut rng, 2.0);
+        let (far, _) = two_blobs(&mut rng, 12.0);
+        let s_near = separation_score(&near, &labels).unwrap();
+        let s_far = separation_score(&far, &labels).unwrap();
+        assert!(s_far > 2.0 * s_near, "near {s_near} far {s_far}");
+    }
+
+    #[test]
+    fn pairwise_separation_subsets() {
+        let mut rng = Rng64::new(5);
+        let a = Tensor::randn([20, 4], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([20, 4], 10.0, 1.0, &mut rng);
+        let c = Tensor::randn([20, 4], 0.5, 1.0, &mut rng); // overlaps a
+        let all = Tensor::vstack(&[&a, &b, &c]).unwrap();
+        let labels: Vec<usize> =
+            (0..60).map(|i| i / 20).collect();
+        let ab = pairwise_separation(&all, &labels, 0, 1).unwrap();
+        let ac = pairwise_separation(&all, &labels, 0, 2).unwrap();
+        assert!(ab > 3.0 * ac, "ab {ab} ac {ac}");
+    }
+
+    #[test]
+    fn separation_requires_two_classes() {
+        let data = Tensor::zeros([5, 3]);
+        assert!(separation_score(&data, &[1, 1, 1, 1, 1]).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Edge-device profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource envelope of an edge device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// RAM available to the learning process, in bytes.
+    pub ram_bytes: u64,
+    /// Persistent storage available for the support set, in bytes.
+    pub storage_bytes: u64,
+    /// Wall-clock slowdown relative to the benchmark host (≥ 1 means the
+    /// device is slower).
+    pub cpu_factor: f64,
+}
+
+impl DeviceProfile {
+    /// A current flagship smartphone (the paper's deployment target class).
+    pub fn flagship_phone() -> Self {
+        DeviceProfile {
+            name: "flagship-phone".into(),
+            ram_bytes: 512 * 1024 * 1024, // budget granted to the app
+            storage_bytes: 2 * 1024 * 1024 * 1024,
+            cpu_factor: 2.0,
+        }
+    }
+
+    /// A low-end smartphone.
+    pub fn budget_phone() -> Self {
+        DeviceProfile {
+            name: "budget-phone".into(),
+            ram_bytes: 128 * 1024 * 1024,
+            storage_bytes: 256 * 1024 * 1024,
+            cpu_factor: 6.0,
+        }
+    }
+
+    /// A microcontroller-class wearable — the "extreme edge".
+    pub fn wearable() -> Self {
+        DeviceProfile {
+            name: "wearable".into(),
+            ram_bytes: 8 * 1024 * 1024,
+            storage_bytes: 32 * 1024 * 1024,
+            cpu_factor: 40.0,
+        }
+    }
+
+    /// Whether a payload of `bytes` fits in the device's storage budget.
+    pub fn fits_storage(&self, bytes: u64) -> bool {
+        bytes <= self.storage_bytes
+    }
+
+    /// Whether a working set of `bytes` fits in the device's RAM budget.
+    pub fn fits_ram(&self, bytes: u64) -> bool {
+        bytes <= self.ram_bytes
+    }
+
+    /// Projects a host-measured duration onto this device.
+    pub fn project_seconds(&self, host_seconds: f64) -> f64 {
+        host_seconds * self.cpu_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_ordered_by_capability() {
+        let f = DeviceProfile::flagship_phone();
+        let b = DeviceProfile::budget_phone();
+        let w = DeviceProfile::wearable();
+        assert!(f.ram_bytes > b.ram_bytes && b.ram_bytes > w.ram_bytes);
+        assert!(f.cpu_factor < b.cpu_factor && b.cpu_factor < w.cpu_factor);
+    }
+
+    #[test]
+    fn fits_checks() {
+        let w = DeviceProfile::wearable();
+        assert!(w.fits_ram(1024));
+        assert!(!w.fits_ram(u64::MAX));
+        assert!(w.fits_storage(w.storage_bytes));
+        assert!(!w.fits_storage(w.storage_bytes + 1));
+    }
+
+    #[test]
+    fn projection_scales_time() {
+        let b = DeviceProfile::budget_phone();
+        assert_eq!(b.project_seconds(0.5), 3.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = DeviceProfile::flagship_phone();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: DeviceProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

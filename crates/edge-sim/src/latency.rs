@@ -1,0 +1,106 @@
+//! Wall-clock measurement projected onto device profiles.
+
+use crate::device::DeviceProfile;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A labelled timing sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingSample {
+    /// What was measured.
+    pub label: String,
+    /// Host wall-clock seconds.
+    pub host_seconds: f64,
+}
+
+/// Collects timing samples and projects them onto device profiles.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyMeter {
+    samples: Vec<TimingSample>,
+}
+
+impl LatencyMeter {
+    /// Empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times a closure, recording the sample under `label`, and returns
+    /// the closure's output.
+    pub fn time<T>(&mut self, label: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(TimingSample {
+            label: label.to_string(),
+            host_seconds: start.elapsed().as_secs_f64(),
+        });
+        out
+    }
+
+    /// Records an externally measured duration.
+    pub fn record(&mut self, label: &str, host_seconds: f64) {
+        self.samples.push(TimingSample { label: label.to_string(), host_seconds });
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[TimingSample] {
+        &self.samples
+    }
+
+    /// Mean host seconds of the samples with `label` (`None` if absent).
+    pub fn mean_seconds(&self, label: &str) -> Option<f64> {
+        let matching: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.label == label)
+            .map(|s| s.host_seconds)
+            .collect();
+        if matching.is_empty() {
+            return None;
+        }
+        Some(matching.iter().sum::<f64>() / matching.len() as f64)
+    }
+
+    /// Mean seconds of `label` projected onto `device`.
+    pub fn projected_seconds(&self, label: &str, device: &DeviceProfile) -> Option<f64> {
+        self.mean_seconds(label).map(|s| device.project_seconds(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_and_returns() {
+        let mut meter = LatencyMeter::new();
+        let out = meter.time("work", || {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(out > 0);
+        assert_eq!(meter.samples().len(), 1);
+        assert!(meter.samples()[0].host_seconds >= 0.0);
+    }
+
+    #[test]
+    fn mean_over_repeated_labels() {
+        let mut meter = LatencyMeter::new();
+        meter.record("epoch", 0.2);
+        meter.record("epoch", 0.4);
+        meter.record("other", 9.0);
+        assert!((meter.mean_seconds("epoch").unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(meter.mean_seconds("missing"), None);
+    }
+
+    #[test]
+    fn projection_uses_cpu_factor() {
+        let mut meter = LatencyMeter::new();
+        meter.record("epoch", 0.1);
+        let device = DeviceProfile::budget_phone();
+        assert!((meter.projected_seconds("epoch", &device).unwrap() - 0.6).abs() < 1e-12);
+    }
+}

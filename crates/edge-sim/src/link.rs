@@ -1,0 +1,112 @@
+//! Cloud ↔ edge transfer model — the cost side of the paper's Fig. 1/2
+//! motivation (cloud-based HAR requires continuous data exchange; the
+//! edge-based design ships the model once).
+
+use serde::{Deserialize, Serialize};
+
+/// A simple bandwidth + round-trip-time link model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Sustained throughput in bytes per second.
+    pub bandwidth_bps: f64,
+    /// Round-trip latency in seconds.
+    pub rtt_seconds: f64,
+}
+
+impl LinkModel {
+    /// Typical 4G uplink (~10 Mbit/s, 50 ms RTT).
+    pub fn cellular_4g() -> Self {
+        LinkModel { bandwidth_bps: 10e6 / 8.0, rtt_seconds: 0.050 }
+    }
+
+    /// Home Wi-Fi (~50 Mbit/s, 10 ms RTT).
+    pub fn wifi() -> Self {
+        LinkModel { bandwidth_bps: 50e6 / 8.0, rtt_seconds: 0.010 }
+    }
+
+    /// Congested / weak signal (~1 Mbit/s, 200 ms RTT).
+    pub fn weak_cellular() -> Self {
+        LinkModel { bandwidth_bps: 1e6 / 8.0, rtt_seconds: 0.200 }
+    }
+
+    /// Seconds to complete one request/response exchange carrying
+    /// `payload_bytes` total.
+    pub fn transfer_seconds(&self, payload_bytes: u64) -> f64 {
+        self.rtt_seconds + payload_bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Seconds of link time for `n` exchanges of `payload_bytes` each —
+    /// the cloud-inference loop of Fig. 2 (left).
+    pub fn repeated_transfer_seconds(&self, payload_bytes: u64, n: u64) -> f64 {
+        self.transfer_seconds(payload_bytes) * n as f64
+    }
+}
+
+/// Cost comparison between the cloud loop and the edge deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CloudVsEdge {
+    /// Total seconds spent on the link by the cloud design.
+    pub cloud_link_seconds: f64,
+    /// Total bytes shipped by the cloud design.
+    pub cloud_bytes: u64,
+    /// Seconds for the one-time model + support-set download of the edge
+    /// design.
+    pub edge_bootstrap_seconds: f64,
+    /// Bytes of the one-time edge download.
+    pub edge_bytes: u64,
+}
+
+/// Computes the A5 comparison: a cloud design ships every window up (and a
+/// prediction back); the edge design downloads the model + support set
+/// once and never talks to the cloud again.
+pub fn cloud_vs_edge(
+    link: &LinkModel,
+    windows: u64,
+    window_bytes: u64,
+    model_bytes: u64,
+    support_bytes: u64,
+) -> CloudVsEdge {
+    // Response payload (a label) is negligible but the RTT is not.
+    let cloud_link_seconds = link.repeated_transfer_seconds(window_bytes, windows);
+    CloudVsEdge {
+        cloud_link_seconds,
+        cloud_bytes: windows * window_bytes,
+        edge_bootstrap_seconds: link.transfer_seconds(model_bytes + support_bytes),
+        edge_bytes: model_bytes + support_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_rtt_and_payload() {
+        let l = LinkModel { bandwidth_bps: 1000.0, rtt_seconds: 0.1 };
+        assert!((l.transfer_seconds(500) - 0.6).abs() < 1e-9);
+        assert!((l.transfer_seconds(0) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_transfers_scale_linearly() {
+        let l = LinkModel::wifi();
+        let one = l.transfer_seconds(1000);
+        assert!((l.repeated_transfer_seconds(1000, 10) - 10.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_presets_are_ordered() {
+        assert!(LinkModel::wifi().bandwidth_bps > LinkModel::cellular_4g().bandwidth_bps);
+        assert!(LinkModel::cellular_4g().bandwidth_bps > LinkModel::weak_cellular().bandwidth_bps);
+    }
+
+    #[test]
+    fn edge_wins_for_long_deployments() {
+        // One day of 1-second windows at ~10 KB each vs a 3 MB one-time
+        // download: the cloud loop must cost (much) more link time.
+        let link = LinkModel::cellular_4g();
+        let cmp = cloud_vs_edge(&link, 86_400, 10_560, 2_800_000, 256_000);
+        assert!(cmp.cloud_link_seconds > 100.0 * cmp.edge_bootstrap_seconds);
+        assert!(cmp.cloud_bytes > 100 * cmp.edge_bytes);
+    }
+}

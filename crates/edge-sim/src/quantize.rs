@@ -1,0 +1,195 @@
+//! Affine exemplar quantisation.
+//!
+//! The paper stores exemplars "in compressed format". We implement
+//! per-column affine quantisation to i8 or u16: each feature column is
+//! mapped to its integer range with a scale/offset pair, costing
+//! `2 × 4` bytes of metadata per column and 1–2 bytes per value.
+
+use pilote_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Quantisation precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quantization {
+    /// 8-bit signed (256 levels).
+    I8,
+    /// 16-bit unsigned (65 536 levels).
+    U16,
+}
+
+impl Quantization {
+    fn levels(self) -> f32 {
+        match self {
+            Quantization::I8 => 255.0,
+            Quantization::U16 => 65_535.0,
+        }
+    }
+
+    /// Bytes per stored value.
+    pub fn bytes_per_value(self) -> usize {
+        match self {
+            Quantization::I8 => 1,
+            Quantization::U16 => 2,
+        }
+    }
+}
+
+/// A quantised `[rows, cols]` matrix with per-column affine codecs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    mode: Quantization,
+    /// Per-column minimum (offset).
+    offsets: Vec<f32>,
+    /// Per-column step ( (max−min)/levels ).
+    scales: Vec<f32>,
+    /// Row-major codes; stored widened to u16 for both modes, serialised
+    /// at the true width by [`QuantizedMatrix::storage_bytes`] accounting.
+    codes: Vec<u16>,
+}
+
+impl QuantizedMatrix {
+    /// Quantises a rank-2 tensor.
+    pub fn encode(data: &Tensor, mode: Quantization) -> Result<Self, TensorError> {
+        if data.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: data.rank(), expected: 2, op: "QuantizedMatrix::encode" });
+        }
+        let (rows, cols) = (data.rows(), data.cols());
+        let mut offsets = vec![0.0f32; cols];
+        let mut scales = vec![0.0f32; cols];
+        for c in 0..cols {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for r in 0..rows {
+                let v = data.at(r, c);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if rows == 0 {
+                lo = 0.0;
+                hi = 0.0;
+            }
+            offsets[c] = lo;
+            scales[c] = if hi > lo { (hi - lo) / mode.levels() } else { 0.0 };
+        }
+        let mut codes = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = data.at(r, c);
+                let code = if scales[c] > 0.0 {
+                    ((v - offsets[c]) / scales[c]).round().clamp(0.0, mode.levels())
+                } else {
+                    0.0
+                };
+                codes.push(code as u16);
+            }
+        }
+        Ok(QuantizedMatrix { rows, cols, mode, offsets, scales, codes })
+    }
+
+    /// Reconstructs the (lossy) tensor.
+    pub fn decode(&self) -> Tensor {
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for (i, &code) in self.codes.iter().enumerate() {
+            let c = i % self.cols;
+            data.push(self.offsets[c] + self.scales[c] * code as f32);
+        }
+        Tensor::from_vec(data, [self.rows, self.cols]).expect("length by construction")
+    }
+
+    /// Bytes this matrix occupies on the device: codes at the true width
+    /// plus the per-column codec metadata.
+    pub fn storage_bytes(&self) -> u64 {
+        let codes = (self.rows * self.cols * self.mode.bytes_per_value()) as u64;
+        let metadata = (self.cols * 2 * std::mem::size_of::<f32>()) as u64;
+        codes + metadata
+    }
+
+    /// Maximum reconstruction error relative to `original`.
+    pub fn max_error(&self, original: &Tensor) -> Result<f32, TensorError> {
+        self.decode().max_abs_diff(original)
+    }
+
+    /// The half-step error bound guaranteed per column: `scale/2`.
+    pub fn error_bound(&self) -> f32 {
+        self.scales.iter().copied().fold(0.0f32, f32::max) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_tensor::Rng64;
+
+    #[test]
+    fn round_trip_error_within_bound() {
+        let mut rng = Rng64::new(1);
+        let data = Tensor::randn([50, 8], 0.0, 3.0, &mut rng);
+        for mode in [Quantization::I8, Quantization::U16] {
+            let q = QuantizedMatrix::encode(&data, mode).unwrap();
+            let err = q.max_error(&data).unwrap();
+            // Allow a 1-ulp slack beyond the theoretical half step for f32
+            // rounding in the codec arithmetic.
+            assert!(
+                err <= q.error_bound() * 1.01 + 1e-6,
+                "{mode:?}: err {err} bound {}",
+                q.error_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn u16_is_far_more_precise_than_i8() {
+        let mut rng = Rng64::new(2);
+        let data = Tensor::randn([100, 4], 0.0, 1.0, &mut rng);
+        let e8 = QuantizedMatrix::encode(&data, Quantization::I8).unwrap().max_error(&data).unwrap();
+        let e16 =
+            QuantizedMatrix::encode(&data, Quantization::U16).unwrap().max_error(&data).unwrap();
+        assert!(e16 < e8 / 50.0, "i8 {e8} u16 {e16}");
+    }
+
+    #[test]
+    fn constant_column_is_exact() {
+        let data = Tensor::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0]]).unwrap();
+        let q = QuantizedMatrix::encode(&data, Quantization::I8).unwrap();
+        let d = q.decode();
+        assert_eq!(d.at(0, 0), 5.0);
+        assert_eq!(d.at(1, 0), 5.0);
+    }
+
+    #[test]
+    fn extremes_are_exactly_representable() {
+        let data = Tensor::from_rows(&[vec![-2.0], vec![7.0]]).unwrap();
+        let q = QuantizedMatrix::encode(&data, Quantization::I8).unwrap();
+        let d = q.decode();
+        assert!((d.at(0, 0) - -2.0).abs() < 1e-5);
+        assert!((d.at(1, 0) - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let data = Tensor::zeros([100, 80]);
+        let q8 = QuantizedMatrix::encode(&data, Quantization::I8).unwrap();
+        let q16 = QuantizedMatrix::encode(&data, Quantization::U16).unwrap();
+        assert_eq!(q8.storage_bytes(), 100 * 80 + 80 * 8);
+        assert_eq!(q16.storage_bytes(), 100 * 80 * 2 + 80 * 8);
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let data = Tensor::zeros([0, 5]);
+        let q = QuantizedMatrix::encode(&data, Quantization::I8).unwrap();
+        assert_eq!(q.decode().shape(), data.shape());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = Rng64::new(3);
+        let data = Tensor::randn([4, 3], 0.0, 1.0, &mut rng);
+        let q = QuantizedMatrix::encode(&data, Quantization::U16).unwrap();
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QuantizedMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+    }
+}

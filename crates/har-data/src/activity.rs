@@ -1,0 +1,213 @@
+//! The five activity classes and their signal-model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The five human physical activities of the paper's campaign (§6.1.1).
+///
+/// The canonical label of an activity is its discriminant
+/// ([`Activity::label`]); the incremental-learning experiments pick one
+/// activity as the "new class" and pre-train on the remaining four.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Riding in / driving a car.
+    Drive,
+    /// Riding a stand-up electric scooter.
+    EScooter,
+    /// Running.
+    Run,
+    /// Stationary (sitting/standing, phone at rest).
+    Still,
+    /// Walking.
+    Walk,
+}
+
+impl Activity {
+    /// All five activities in canonical (alphabetical, paper Table 2) order.
+    pub const ALL: [Activity; 5] =
+        [Activity::Drive, Activity::EScooter, Activity::Run, Activity::Still, Activity::Walk];
+
+    /// Canonical integer label (index into [`Activity::ALL`]).
+    pub fn label(self) -> usize {
+        match self {
+            Activity::Drive => 0,
+            Activity::EScooter => 1,
+            Activity::Run => 2,
+            Activity::Still => 3,
+            Activity::Walk => 4,
+        }
+    }
+
+    /// Inverse of [`Activity::label`].
+    pub fn from_label(label: usize) -> Option<Activity> {
+        Activity::ALL.get(label).copied()
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activity::Drive => "Drive",
+            Activity::EScooter => "E-scooter",
+            Activity::Run => "Run",
+            Activity::Still => "Still",
+            Activity::Walk => "Walk",
+        }
+    }
+}
+
+impl std::fmt::Display for Activity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Population-level signal-model parameters for one activity.
+///
+/// Each simulated window samples a "user" whose concrete parameters are
+/// drawn from the uniform ranges below; the ranges for Walk and Run
+/// intentionally overlap (cadence 2.0–2.3 Hz, amplitude 18–28 m/s²·10⁻¹)
+/// so that slow runners and brisk walkers are genuinely confusable — the
+/// property the paper's Fig. 4 hinges on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityModel {
+    /// Gait / dominant oscillation frequency range in Hz (0 for none).
+    pub gait_hz: (f32, f32),
+    /// Vertical body-motion amplitude range (m/s²).
+    pub gait_amp: (f32, f32),
+    /// Relative strength of the second harmonic of the gait.
+    pub harmonic2: f32,
+    /// Machine-vibration frequency range in Hz (0 for none).
+    pub vibration_hz: (f32, f32),
+    /// Machine-vibration amplitude range (m/s²).
+    pub vibration_amp: (f32, f32),
+    /// Forward travel speed range (m/s).
+    pub speed: (f32, f32),
+    /// Angular sway amplitude range (rad/s) on the gyroscope.
+    pub sway: (f32, f32),
+    /// Rate of random road/terrain impulse events per second.
+    pub bump_rate: f32,
+    /// Impulse magnitude (m/s²).
+    pub bump_amp: f32,
+    /// Baseline accelerometer noise σ (m/s²).
+    pub noise: f32,
+}
+
+impl Activity {
+    /// The population model for this activity.
+    pub fn model(self) -> ActivityModel {
+        match self {
+            Activity::Drive => ActivityModel {
+                gait_hz: (0.0, 0.0),
+                gait_amp: (0.0, 0.0),
+                harmonic2: 0.0,
+                vibration_hz: (15.0, 35.0),
+                vibration_amp: (0.2, 1.0),
+                speed: (2.5, 25.0),
+                sway: (0.02, 0.12),
+                bump_rate: 1.8,
+                bump_amp: 1.4,
+                noise: 0.15,
+            },
+            Activity::EScooter => ActivityModel {
+                gait_hz: (0.0, 0.0),
+                gait_amp: (0.0, 0.0),
+                harmonic2: 0.0,
+                vibration_hz: (22.0, 45.0),
+                vibration_amp: (0.3, 1.2),
+                speed: (2.5, 10.0),
+                sway: (0.06, 0.3),
+                bump_rate: 2.4,
+                bump_amp: 1.2,
+                noise: 0.17,
+            },
+            Activity::Run => ActivityModel {
+                gait_hz: (1.8, 3.2),
+                gait_amp: (1.5, 5.0),
+                harmonic2: 0.42,
+                vibration_hz: (0.0, 0.0),
+                vibration_amp: (0.0, 0.0),
+                speed: (1.6, 4.5),
+                sway: (0.4, 1.4),
+                bump_rate: 0.0,
+                bump_amp: 0.0,
+                noise: 0.2,
+            },
+            Activity::Still => ActivityModel {
+                gait_hz: (0.0, 0.0),
+                gait_amp: (0.0, 0.0),
+                harmonic2: 0.0,
+                vibration_hz: (0.0, 0.0),
+                vibration_amp: (0.0, 0.0),
+                speed: (0.0, 0.05),
+                sway: (0.0, 0.01),
+                bump_rate: 0.0,
+                bump_amp: 0.0,
+                noise: 0.03,
+            },
+            Activity::Walk => ActivityModel {
+                gait_hz: (1.4, 2.6),
+                gait_amp: (0.9, 3.5),
+                harmonic2: 0.35,
+                vibration_hz: (0.0, 0.0),
+                vibration_amp: (0.0, 0.0),
+                speed: (0.8, 2.8),
+                sway: (0.2, 0.9),
+                bump_rate: 0.0,
+                bump_amp: 0.0,
+                noise: 0.15,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for (i, &a) in Activity::ALL.iter().enumerate() {
+            assert_eq!(a.label(), i);
+            assert_eq!(Activity::from_label(i), Some(a));
+        }
+        assert_eq!(Activity::from_label(5), None);
+    }
+
+    #[test]
+    fn names_match_paper_table() {
+        let names: Vec<&str> = Activity::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["Drive", "E-scooter", "Run", "Still", "Walk"]);
+    }
+
+    #[test]
+    fn walk_run_cadence_ranges_overlap() {
+        // The deliberate confusability region.
+        let walk = Activity::Walk.model();
+        let run = Activity::Run.model();
+        assert!(walk.gait_hz.1 > run.gait_hz.0, "walk {:?} vs run {:?}", walk.gait_hz, run.gait_hz);
+        assert!(walk.gait_amp.1 > run.gait_amp.0);
+    }
+
+    #[test]
+    fn still_is_the_quietest() {
+        let still = Activity::Still.model();
+        for a in Activity::ALL {
+            if a != Activity::Still {
+                assert!(a.model().noise > still.noise);
+            }
+        }
+    }
+
+    #[test]
+    fn drive_and_escooter_are_vibration_activities() {
+        for a in [Activity::Drive, Activity::EScooter] {
+            let m = a.model();
+            assert!(m.vibration_hz.0 > 0.0);
+            assert!(m.gait_hz.1 == 0.0);
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Activity::EScooter.to_string(), "E-scooter");
+    }
+}

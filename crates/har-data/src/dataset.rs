@@ -1,0 +1,261 @@
+//! Feature datasets and the splitting utilities the incremental-learning
+//! experiments need.
+
+use crate::activity::Activity;
+use crate::features::{extract_batch, FEATURE_DIM};
+use crate::preprocess::Normalizer;
+use crate::simulate::{RawDataset, Simulator};
+use pilote_tensor::{Rng64, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A labelled feature dataset: an `[n, 80]` feature matrix and one
+/// canonical activity label per row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature matrix, one row per record.
+    pub features: Tensor,
+    /// Canonical activity label of each row (see [`Activity::label`]).
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating that rows and labels agree.
+    pub fn new(features: Tensor, labels: Vec<usize>) -> Result<Self, TensorError> {
+        if features.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: features.rank(), expected: 2, op: "Dataset::new" });
+        }
+        if features.rows() != labels.len() {
+            return Err(TensorError::LengthMismatch { len: labels.len(), expected: features.rows() });
+        }
+        Ok(Dataset { features, labels })
+    }
+
+    /// Empty dataset with the standard feature width.
+    pub fn empty() -> Self {
+        Dataset { features: Tensor::zeros([0, FEATURE_DIM]), labels: Vec::new() }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no records.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Distinct labels present, sorted ascending.
+    pub fn classes(&self) -> Vec<usize> {
+        let mut c = self.labels.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// Row indices belonging to `label`.
+    pub fn class_indices(&self, label: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == label).then_some(i))
+            .collect()
+    }
+
+    /// Per-class record counts as `(label, count)` pairs, sorted by label.
+    pub fn class_counts(&self) -> Vec<(usize, usize)> {
+        self.classes()
+            .into_iter()
+            .map(|c| (c, self.class_indices(c).len()))
+            .collect()
+    }
+
+    /// Sub-dataset with the rows at `indices` (order preserved).
+    pub fn select(&self, indices: &[usize]) -> Result<Dataset, TensorError> {
+        let features = self.features.select_rows(indices)?;
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Ok(Dataset { features, labels })
+    }
+
+    /// Sub-dataset containing only the given classes.
+    pub fn filter_classes(&self, keep: &[usize]) -> Result<Dataset, TensorError> {
+        let indices: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| keep.contains(l).then_some(i))
+            .collect();
+        self.select(&indices)
+    }
+
+    /// Concatenates two datasets (feature widths must agree).
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, TensorError> {
+        let features = Tensor::vstack(&[&self.features, &other.features])?;
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Ok(Dataset { features, labels })
+    }
+
+    /// Stratified split into `(rest, held_out)` where `held_out` receives
+    /// `fraction` of each class's rows (rounded to nearest, at least one
+    /// row stays on each side for classes with ≥ 2 rows).
+    pub fn stratified_split(
+        &self,
+        fraction: f32,
+        rng: &mut Rng64,
+    ) -> Result<(Dataset, Dataset), TensorError> {
+        assert!((0.0..1.0).contains(&fraction), "fraction must be in [0,1)");
+        let mut rest_idx = Vec::new();
+        let mut held_idx = Vec::new();
+        for class in self.classes() {
+            let mut idx = self.class_indices(class);
+            rng.shuffle(&mut idx);
+            let n = idx.len();
+            let mut k = ((n as f32) * fraction).round() as usize;
+            if n >= 2 {
+                k = k.clamp(1, n - 1);
+            } else {
+                k = 0;
+            }
+            held_idx.extend_from_slice(&idx[..k]);
+            rest_idx.extend_from_slice(&idx[k..]);
+        }
+        Ok((self.select(&rest_idx)?, self.select(&held_idx)?))
+    }
+
+    /// Uniform random subsample of `k` rows of class `label` (all of them
+    /// if the class has fewer than `k`).
+    pub fn sample_class(&self, label: usize, k: usize, rng: &mut Rng64) -> Result<Dataset, TensorError> {
+        let idx = self.class_indices(label);
+        let k = k.min(idx.len());
+        let chosen: Vec<usize> = rng.sample_indices(idx.len(), k).into_iter().map(|i| idx[i]).collect();
+        self.select(&chosen)
+    }
+}
+
+/// End-to-end generation: simulate raw windows, extract features, and
+/// z-normalise with statistics fitted on the generated data.
+///
+/// Returns the normalised dataset together with the fitted [`Normalizer`]
+/// (which edge-streamed data must reuse).
+pub fn generate_features(
+    sim: &mut Simulator,
+    counts: &[(Activity, usize)],
+) -> Result<(Dataset, Normalizer), TensorError> {
+    let raw: RawDataset = sim.raw_dataset(counts);
+    let features = extract_batch(&raw)?;
+    let (norm, features) = Normalizer::fit_transform(&features)?;
+    Ok((Dataset::new(features, raw.labels)?, norm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Tensor::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![3.0, 0.0],
+            vec![4.0, 0.0],
+            vec![5.0, 0.0],
+        ])
+        .unwrap();
+        Dataset::new(features, vec![0, 0, 0, 1, 1, 2]).unwrap()
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        assert!(Dataset::new(Tensor::zeros([3, 2]), vec![0, 1]).is_err());
+        assert!(Dataset::new(Tensor::zeros([2]), vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        let ds = toy();
+        assert_eq!(ds.classes(), vec![0, 1, 2]);
+        assert_eq!(ds.class_counts(), vec![(0, 3), (1, 2), (2, 1)]);
+        assert_eq!(ds.class_indices(1), vec![3, 4]);
+    }
+
+    #[test]
+    fn filter_classes_keeps_only_requested() {
+        let ds = toy();
+        let sub = ds.filter_classes(&[0, 2]).unwrap();
+        assert_eq!(sub.len(), 4);
+        assert!(sub.labels.iter().all(|&l| l == 0 || l == 2));
+    }
+
+    #[test]
+    fn concat_appends() {
+        let ds = toy();
+        let both = ds.concat(&ds).unwrap();
+        assert_eq!(both.len(), 12);
+        assert_eq!(both.labels[6..], ds.labels[..]);
+    }
+
+    #[test]
+    fn stratified_split_is_per_class() {
+        let ds = toy();
+        let mut rng = Rng64::new(1);
+        let (rest, held) = ds.stratified_split(0.34, &mut rng).unwrap();
+        assert_eq!(rest.len() + held.len(), ds.len());
+        // class 0 (3 rows): 1 held; class 1 (2 rows): 1 held; class 2 (1 row): 0 held
+        assert_eq!(held.class_indices(0).len(), 1);
+        assert_eq!(held.class_indices(1).len(), 1);
+        assert_eq!(held.class_indices(2).len(), 0);
+    }
+
+    #[test]
+    fn stratified_split_disjoint_and_complete() {
+        let mut rng = Rng64::new(2);
+        let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let ds = Dataset::new(Tensor::from_vec(data, [100, 1]).unwrap(), labels).unwrap();
+        let (rest, held) = ds.stratified_split(0.3, &mut rng).unwrap();
+        let mut all: Vec<i64> = rest
+            .features
+            .as_slice()
+            .iter()
+            .chain(held.features.as_slice())
+            .map(|&v| v as i64)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        assert_eq!(held.len(), 32); // 30% of 25 per class = 7.5 → rounds to 8 each
+    }
+
+    #[test]
+    fn sample_class_respects_k() {
+        let ds = toy();
+        let mut rng = Rng64::new(3);
+        let s = ds.sample_class(0, 2, &mut rng).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.labels.iter().all(|&l| l == 0));
+        // more than available → all available
+        let s = ds.sample_class(1, 10, &mut rng).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn generate_features_end_to_end() {
+        let mut sim = Simulator::with_seed(42);
+        let (ds, norm) =
+            generate_features(&mut sim, &[(Activity::Walk, 10), (Activity::Still, 10)]).unwrap();
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.features.cols(), FEATURE_DIM);
+        assert_eq!(norm.dim(), FEATURE_DIM);
+        assert_eq!(ds.classes(), vec![Activity::Still.label(), Activity::Walk.label()]);
+        assert!(ds.features.all_finite());
+    }
+
+    #[test]
+    fn empty_dataset_behaves() {
+        let e = Dataset::empty();
+        assert!(e.is_empty());
+        assert!(e.classes().is_empty());
+        let (a, b) = e.stratified_split(0.3, &mut Rng64::new(1)).unwrap();
+        assert!(a.is_empty() && b.is_empty());
+    }
+}

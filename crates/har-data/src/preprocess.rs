@@ -1,0 +1,239 @@
+//! Linear-time preprocessing: denoising, segmentation, normalisation.
+//!
+//! The paper (§5): "The preprocessing steps (e.g., denoising, segmentation,
+//! normalization, etc.), with linear time operations, are conducted equally
+//! on the Cloud and Edge devices."
+
+use pilote_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Centred moving-average filter over each channel of a `[time, channels]`
+/// window. `width` must be odd; boundary samples use the available
+/// neighbourhood (shrinking window). O(time · channels).
+pub fn moving_average(window: &Tensor, width: usize) -> Result<Tensor, TensorError> {
+    if window.rank() != 2 {
+        return Err(TensorError::RankMismatch { got: window.rank(), expected: 2, op: "moving_average" });
+    }
+    assert!(width % 2 == 1 && width >= 1, "moving-average width must be odd and ≥ 1");
+    let (n, c) = (window.rows(), window.cols());
+    let half = width / 2;
+    let mut out = Tensor::zeros([n, c]);
+    // Prefix sums per channel for O(1) range means.
+    let mut prefix = vec![0.0f64; (n + 1) * c];
+    for t in 0..n {
+        for ch in 0..c {
+            prefix[(t + 1) * c + ch] = prefix[t * c + ch] + window.at(t, ch) as f64;
+        }
+    }
+    for t in 0..n {
+        let lo = t.saturating_sub(half);
+        let hi = (t + half + 1).min(n);
+        let len = (hi - lo) as f64;
+        let row = out.row_mut(t);
+        for (ch, v) in row.iter_mut().enumerate() {
+            *v = ((prefix[hi * c + ch] - prefix[lo * c + ch]) / len) as f32;
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a long `[time, channels]` session into fixed-length windows with
+/// the given stride. Trailing samples that do not fill a window are
+/// dropped. O(time · channels).
+pub fn segment(session: &Tensor, window_len: usize, stride: usize) -> Result<Vec<Tensor>, TensorError> {
+    if session.rank() != 2 {
+        return Err(TensorError::RankMismatch { got: session.rank(), expected: 2, op: "segment" });
+    }
+    assert!(window_len > 0 && stride > 0, "window_len and stride must be positive");
+    let n = session.rows();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start + window_len <= n {
+        out.push(session.slice_rows(start, start + window_len)?);
+        start += stride;
+    }
+    Ok(out)
+}
+
+/// Per-column z-score normaliser with statistics fitted on training data.
+///
+/// The same fitted transform must be applied to train, validation, test and
+/// edge-streamed data — fitting on test data would leak. Columns with
+/// near-zero spread are passed through centred but unscaled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits per-column mean and standard deviation on `data` (`[n, d]`).
+    pub fn fit(data: &Tensor) -> Result<Self, TensorError> {
+        if data.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: data.rank(), expected: 2, op: "Normalizer::fit" });
+        }
+        let mean = data.mean_axis(pilote_tensor::reduce::Axis::Rows)?;
+        let var = data.var_axis(pilote_tensor::reduce::Axis::Rows)?;
+        Ok(Normalizer {
+            mean: mean.into_vec(),
+            std: var.into_vec().into_iter().map(|v| v.sqrt()).collect(),
+        })
+    }
+
+    /// Number of columns the normaliser was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Applies the fitted transform to `data` (`[n, d]`).
+    pub fn transform(&self, data: &Tensor) -> Result<Tensor, TensorError> {
+        if data.rank() != 2 || data.cols() != self.dim() {
+            return Err(TensorError::ShapeMismatch {
+                left: data.shape().dims().to_vec(),
+                right: vec![self.dim()],
+                op: "Normalizer::transform",
+            });
+        }
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v -= self.mean[j];
+                if self.std[j] > 1e-6 {
+                    *v /= self.std[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fits on `data` and returns both the normaliser and the transformed
+    /// data.
+    pub fn fit_transform(data: &Tensor) -> Result<(Self, Tensor), TensorError> {
+        let norm = Self::fit(data)?;
+        let out = norm.transform(data)?;
+        Ok((norm, out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_tensor::reduce::Axis;
+    use pilote_tensor::Rng64;
+
+    #[test]
+    fn moving_average_smooths_constant_plus_noise() {
+        let mut rng = Rng64::new(1);
+        let noisy = Tensor::randn([200, 2], 5.0, 1.0, &mut rng);
+        let smooth = moving_average(&noisy, 11).unwrap();
+        let v_noisy = noisy.var_axis(Axis::Rows).unwrap().mean();
+        let v_smooth = smooth.var_axis(Axis::Rows).unwrap().mean();
+        assert!(v_smooth < v_noisy / 4.0, "{v_smooth} vs {v_noisy}");
+        // The mean is preserved.
+        assert!((smooth.mean() - noisy.mean()).abs() < 0.1);
+    }
+
+    #[test]
+    fn moving_average_width_one_is_identity() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let out = moving_average(&t, 1).unwrap();
+        assert!(out.max_abs_diff(&t).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn moving_average_boundary_shrinks() {
+        let t = Tensor::from_rows(&[vec![0.0], vec![3.0], vec![6.0]]).unwrap();
+        let out = moving_average(&t, 3).unwrap();
+        // first sample averages rows 0..2, middle averages all, last rows 1..3
+        assert!((out.at(0, 0) - 1.5).abs() < 1e-6);
+        assert!((out.at(1, 0) - 3.0).abs() < 1e-6);
+        assert!((out.at(2, 0) - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn moving_average_rejects_even_width() {
+        let _ = moving_average(&Tensor::zeros([4, 1]), 2);
+    }
+
+    #[test]
+    fn segment_counts_non_overlapping() {
+        let session = Tensor::zeros([350, 3]);
+        let wins = segment(&session, 100, 100).unwrap();
+        assert_eq!(wins.len(), 3);
+        assert_eq!(wins[0].shape().dims(), &[100, 3]);
+    }
+
+    #[test]
+    fn segment_overlapping_stride() {
+        let session = Tensor::zeros([100, 2]);
+        let wins = segment(&session, 50, 25).unwrap();
+        assert_eq!(wins.len(), 3); // starts 0, 25, 50
+    }
+
+    #[test]
+    fn segment_shorter_than_window_is_empty() {
+        let session = Tensor::zeros([10, 2]);
+        assert!(segment(&session, 50, 50).unwrap().is_empty());
+    }
+
+    #[test]
+    fn segment_preserves_values() {
+        let data: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let session = Tensor::from_vec(data, [10, 2]).unwrap();
+        let wins = segment(&session, 4, 3).unwrap();
+        assert_eq!(wins[1].at(0, 0), 6.0); // row 3, channel 0
+    }
+
+    #[test]
+    fn normalizer_standardises_train_data() {
+        let mut rng = Rng64::new(2);
+        let data = Tensor::randn([500, 4], 10.0, 3.0, &mut rng);
+        let (_, out) = Normalizer::fit_transform(&data).unwrap();
+        let mean = out.mean_axis(Axis::Rows).unwrap();
+        let var = out.var_axis(Axis::Rows).unwrap();
+        for &m in mean.as_slice() {
+            assert!(m.abs() < 1e-4);
+        }
+        for &v in var.as_slice() {
+            assert!((v - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn normalizer_applies_train_stats_to_test() {
+        let train = Tensor::from_rows(&[vec![0.0], vec![2.0]]).unwrap();
+        let norm = Normalizer::fit(&train).unwrap();
+        let test = Tensor::from_rows(&[vec![3.0]]).unwrap();
+        let out = norm.transform(&test).unwrap();
+        // (3 − 1)/1 = 2
+        assert!((out.at(0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalizer_constant_column_passthrough() {
+        let train = Tensor::from_rows(&[vec![5.0, 1.0], vec![5.0, 3.0]]).unwrap();
+        let norm = Normalizer::fit(&train).unwrap();
+        let out = norm.transform(&train).unwrap();
+        // constant column centred to 0, not divided
+        assert_eq!(out.at(0, 0), 0.0);
+        assert!(out.all_finite());
+    }
+
+    #[test]
+    fn normalizer_dimension_check() {
+        let train = Tensor::zeros([3, 2]);
+        let norm = Normalizer::fit(&train).unwrap();
+        assert!(norm.transform(&Tensor::zeros([3, 5])).is_err());
+    }
+
+    #[test]
+    fn normalizer_serde_round_trip() {
+        let train = Tensor::from_rows(&[vec![0.0, 1.0], vec![2.0, 5.0]]).unwrap();
+        let norm = Normalizer::fit(&train).unwrap();
+        let json = serde_json::to_string(&norm).unwrap();
+        let back: Normalizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, norm);
+    }
+}

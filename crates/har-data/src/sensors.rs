@@ -1,0 +1,179 @@
+//! The 22-channel sensor layout of the simulated device.
+//!
+//! Matches the paper's description of "roughly 120 sequential measurements
+//! from 22 mobile sensors, e.g., accelerometer, gyroscope, and
+//! magnetometer": five 3-axis sensors (15 channels) plus seven scalar
+//! channels.
+
+/// Number of sensor channels per sample.
+pub const CHANNELS: usize = 22;
+
+/// Number of 3-axis sensor triads.
+pub const TRIADS: usize = 5;
+
+/// Samples per one-second window (the paper's ~120 Hz recording rate).
+pub const WINDOW_LEN: usize = 120;
+
+/// Sampling rate in Hz.
+pub const SAMPLE_RATE_HZ: f32 = 120.0;
+
+/// A 3-axis sensor triad; its channels are `3*index .. 3*index + 3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Triad {
+    /// Raw accelerometer (includes gravity).
+    Accelerometer,
+    /// Gyroscope (angular rate).
+    Gyroscope,
+    /// Magnetometer.
+    Magnetometer,
+    /// Linear acceleration (gravity removed).
+    LinearAcceleration,
+    /// Gravity vector estimate.
+    Gravity,
+}
+
+impl Triad {
+    /// All triads in channel order.
+    pub const ALL: [Triad; TRIADS] = [
+        Triad::Accelerometer,
+        Triad::Gyroscope,
+        Triad::Magnetometer,
+        Triad::LinearAcceleration,
+        Triad::Gravity,
+    ];
+
+    /// First channel index of this triad.
+    pub fn base_channel(self) -> usize {
+        match self {
+            Triad::Accelerometer => 0,
+            Triad::Gyroscope => 3,
+            Triad::Magnetometer => 6,
+            Triad::LinearAcceleration => 9,
+            Triad::Gravity => 12,
+        }
+    }
+
+    /// The `(x, y, z)` channel indices of this triad.
+    pub fn channels(self) -> [usize; 3] {
+        let b = self.base_channel();
+        [b, b + 1, b + 2]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Triad::Accelerometer => "accelerometer",
+            Triad::Gyroscope => "gyroscope",
+            Triad::Magnetometer => "magnetometer",
+            Triad::LinearAcceleration => "linear_acceleration",
+            Triad::Gravity => "gravity",
+        }
+    }
+}
+
+/// Scalar (single-channel) sensors occupying channels 15..22.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    /// Barometric pressure (hPa, mean-removed).
+    Pressure,
+    /// Ambient light (log-lux).
+    Light,
+    /// Proximity (binary-ish, near = 1).
+    Proximity,
+    /// GPS ground speed (m/s).
+    GpsSpeed,
+    /// Microphone RMS level (normalised).
+    AudioLevel,
+    /// Device temperature deviation (°C).
+    Temperature,
+    /// Step-detector event rate (steps/s).
+    StepRate,
+}
+
+impl Scalar {
+    /// All scalar sensors in channel order.
+    pub const ALL: [Scalar; 7] = [
+        Scalar::Pressure,
+        Scalar::Light,
+        Scalar::Proximity,
+        Scalar::GpsSpeed,
+        Scalar::AudioLevel,
+        Scalar::Temperature,
+        Scalar::StepRate,
+    ];
+
+    /// Channel index of this scalar sensor.
+    pub fn channel(self) -> usize {
+        15 + Scalar::ALL.iter().position(|&s| s == self).expect("member of ALL")
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scalar::Pressure => "pressure",
+            Scalar::Light => "light",
+            Scalar::Proximity => "proximity",
+            Scalar::GpsSpeed => "gps_speed",
+            Scalar::AudioLevel => "audio_level",
+            Scalar::Temperature => "temperature",
+            Scalar::StepRate => "step_rate",
+        }
+    }
+}
+
+/// Name of an arbitrary channel index, e.g. `"accelerometer_y"`.
+pub fn channel_name(channel: usize) -> String {
+    assert!(channel < CHANNELS, "channel {channel} out of range");
+    if channel < 15 {
+        let triad = Triad::ALL[channel / 3];
+        let axis = ["x", "y", "z"][channel % 3];
+        format!("{}_{axis}", triad.name())
+    } else {
+        Scalar::ALL[channel - 15].name().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_budget_adds_up() {
+        assert_eq!(TRIADS * 3 + Scalar::ALL.len(), CHANNELS);
+    }
+
+    #[test]
+    fn triad_channels_are_disjoint_and_contiguous() {
+        let mut seen = [false; 15];
+        for t in Triad::ALL {
+            for c in t.channels() {
+                assert!(!seen[c], "channel {c} reused");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn scalar_channels_fill_the_tail() {
+        let chans: Vec<usize> = Scalar::ALL.iter().map(|s| s.channel()).collect();
+        assert_eq!(chans, (15..22).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn channel_names_are_unique() {
+        let names: Vec<String> = (0..CHANNELS).map(channel_name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), CHANNELS, "{names:?}");
+        assert_eq!(channel_name(1), "accelerometer_y");
+        assert_eq!(channel_name(21), "step_rate");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_name_rejects_out_of_range() {
+        let _ = channel_name(22);
+    }
+}

@@ -1,0 +1,288 @@
+//! Streaming window assembly — the edge side of the MAGNETO pipeline.
+//!
+//! On a device, sensor samples arrive one at a time; the paper's
+//! recognition path segments them into one-second windows, denoises,
+//! normalises and extracts features "instantly, as the preprocessing
+//! operation requires linear time". [`WindowAssembler`] implements that
+//! online path with O(window) memory, and [`DriftMonitor`] watches the
+//! incoming distribution for covariate shift against the statistics the
+//! normaliser was fitted on — the trigger a deployment would use to decide
+//! that re-calibration (an incremental update) is needed.
+
+use crate::features::{extract, FEATURE_DIM};
+use crate::preprocess::{moving_average, Normalizer};
+use crate::sensors::CHANNELS;
+use pilote_tensor::{Tensor, TensorError, Welford};
+
+/// Assembles a per-sample stream into fixed-length windows and emits
+/// feature vectors.
+#[derive(Debug, Clone)]
+pub struct WindowAssembler {
+    window_len: usize,
+    stride: usize,
+    denoise_width: usize,
+    normalizer: Option<Normalizer>,
+    buffer: Vec<[f32; CHANNELS]>,
+    emitted: u64,
+}
+
+impl WindowAssembler {
+    /// New assembler with `window_len` samples per window and `stride`
+    /// samples between window starts.
+    ///
+    /// # Panics
+    /// Panics if `window_len == 0`, `stride == 0`, or `denoise_width` is
+    /// even.
+    pub fn new(window_len: usize, stride: usize, denoise_width: usize) -> Self {
+        assert!(window_len > 0 && stride > 0, "window_len and stride must be positive");
+        assert!(denoise_width % 2 == 1, "denoise width must be odd");
+        WindowAssembler {
+            window_len,
+            stride,
+            denoise_width,
+            normalizer: None,
+            buffer: Vec::with_capacity(window_len),
+            emitted: 0,
+        }
+    }
+
+    /// Attaches the normaliser fitted during cloud pre-training; its
+    /// statistics are applied to every emitted feature vector.
+    pub fn with_normalizer(mut self, normalizer: Normalizer) -> Self {
+        assert_eq!(normalizer.dim(), FEATURE_DIM, "normaliser must cover the feature space");
+        self.normalizer = Some(normalizer);
+        self
+    }
+
+    /// Windows emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Samples currently buffered (waiting for a full window).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Feeds one 22-channel sample; returns the extracted (and, if a
+    /// normaliser is attached, normalised) 80-feature vector whenever a
+    /// window completes.
+    pub fn push(&mut self, sample: [f32; CHANNELS]) -> Result<Option<Tensor>, TensorError> {
+        self.buffer.push(sample);
+        if self.buffer.len() < self.window_len {
+            return Ok(None);
+        }
+        // Materialise the window, denoise, extract.
+        let mut flat = Vec::with_capacity(self.window_len * CHANNELS);
+        for row in &self.buffer {
+            flat.extend_from_slice(row);
+        }
+        let window = Tensor::from_vec(flat, [self.window_len, CHANNELS])?;
+        let window = if self.denoise_width > 1 {
+            moving_average(&window, self.denoise_width)?
+        } else {
+            window
+        };
+        let features = extract(&window)?;
+        let features = match &self.normalizer {
+            Some(norm) => {
+                let as_row = features.reshape([1, FEATURE_DIM])?;
+                let normed = norm.transform(&as_row)?;
+                normed.reshape([FEATURE_DIM])?
+            }
+            None => features,
+        };
+        // Slide by `stride`.
+        self.buffer.drain(..self.stride.min(self.buffer.len()));
+        self.emitted += 1;
+        Ok(Some(features))
+    }
+
+    /// Feeds a `[n, 22]` block of samples, collecting every completed
+    /// window's features.
+    pub fn push_block(&mut self, block: &Tensor) -> Result<Vec<Tensor>, TensorError> {
+        if block.rank() != 2 || block.cols() != CHANNELS {
+            return Err(TensorError::ShapeMismatch {
+                left: block.shape().dims().to_vec(),
+                right: vec![CHANNELS],
+                op: "push_block",
+            });
+        }
+        let mut out = Vec::new();
+        for i in 0..block.rows() {
+            let mut sample = [0.0f32; CHANNELS];
+            sample.copy_from_slice(block.row(i));
+            if let Some(f) = self.push(sample)? {
+                out.push(f);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Watches a feature stream for covariate drift relative to reference
+/// statistics, using a per-feature standardised mean shift.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    reference_mean: Vec<f32>,
+    reference_std: Vec<f32>,
+    window: Vec<Welford>,
+    threshold: f32,
+}
+
+impl DriftMonitor {
+    /// New monitor against reference per-feature statistics; `threshold`
+    /// is the |standardised shift| at which [`DriftMonitor::drifted`]
+    /// fires (2–3 is a reasonable range).
+    pub fn new(reference_mean: Vec<f32>, reference_std: Vec<f32>, threshold: f32) -> Self {
+        assert_eq!(reference_mean.len(), reference_std.len());
+        assert!(threshold > 0.0);
+        let d = reference_mean.len();
+        DriftMonitor {
+            reference_mean,
+            reference_std,
+            window: vec![Welford::new(); d],
+            threshold,
+        }
+    }
+
+    /// Builds a monitor from a reference feature matrix.
+    pub fn from_reference(reference: &Tensor, threshold: f32) -> Result<Self, TensorError> {
+        let mean = reference.mean_axis(pilote_tensor::reduce::Axis::Rows)?;
+        let var = reference.var_axis(pilote_tensor::reduce::Axis::Rows)?;
+        Ok(DriftMonitor::new(
+            mean.into_vec(),
+            var.into_vec().into_iter().map(f32::sqrt).collect(),
+            threshold,
+        ))
+    }
+
+    /// Feeds one feature vector.
+    pub fn observe(&mut self, features: &Tensor) {
+        assert_eq!(features.len(), self.window.len(), "feature width mismatch");
+        for (w, &v) in self.window.iter_mut().zip(features.as_slice()) {
+            w.push(v);
+        }
+    }
+
+    /// Observations accumulated.
+    pub fn count(&self) -> u64 {
+        self.window.first().map_or(0, Welford::count)
+    }
+
+    /// Largest per-feature standardised mean shift seen so far.
+    pub fn max_shift(&self) -> f32 {
+        self.window
+            .iter()
+            .zip(self.reference_mean.iter().zip(&self.reference_std))
+            .map(|(w, (&m, &s))| ((w.mean() - m) / s.max(1e-6)).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Whether drift beyond the threshold has been observed (requires at
+    /// least 10 observations to avoid firing on noise).
+    pub fn drifted(&self) -> bool {
+        self.count() >= 10 && self.max_shift() > self.threshold
+    }
+
+    /// Clears the observation window (after a re-calibration).
+    pub fn reset(&mut self) {
+        for w in &mut self.window {
+            *w = Welford::new();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Activity;
+    use crate::simulate::Simulator;
+
+    #[test]
+    fn assembler_emits_at_window_boundaries() {
+        let mut asm = WindowAssembler::new(120, 120, 1);
+        let mut sim = Simulator::with_seed(1);
+        let session = sim.session(Activity::Walk, 3); // 360 samples
+        let feats = asm.push_block(&session).unwrap();
+        assert_eq!(feats.len(), 3);
+        assert_eq!(asm.emitted(), 3);
+        assert_eq!(asm.buffered(), 0);
+        for f in feats {
+            assert_eq!(f.len(), FEATURE_DIM);
+            assert!(f.all_finite());
+        }
+    }
+
+    #[test]
+    fn overlapping_stride_emits_more_windows() {
+        let mut asm = WindowAssembler::new(120, 60, 1);
+        let mut sim = Simulator::with_seed(2);
+        let session = sim.session(Activity::Run, 3);
+        let feats = asm.push_block(&session).unwrap();
+        // starts at 0,60,120,180,240 → 5 windows in 360 samples
+        assert_eq!(feats.len(), 5);
+    }
+
+    #[test]
+    fn streamed_features_match_batch_extraction() {
+        // With stride == window and no denoising/normalisation, streaming
+        // must reproduce offline extraction exactly.
+        let mut sim = Simulator::with_seed(3);
+        let session = sim.session(Activity::Drive, 2);
+        let mut asm = WindowAssembler::new(120, 120, 1);
+        let streamed = asm.push_block(&session).unwrap();
+        for (i, f) in streamed.iter().enumerate() {
+            let window = session.slice_rows(i * 120, (i + 1) * 120).unwrap();
+            let offline = extract(&window).unwrap();
+            assert!(f.max_abs_diff(&offline).unwrap() < 1e-6, "window {i}");
+        }
+    }
+
+    #[test]
+    fn normalizer_is_applied_to_stream() {
+        let mut sim = Simulator::with_seed(4);
+        let raw = sim.raw_dataset(&[(Activity::Walk, 30)]);
+        let features = crate::features::extract_batch(&raw).unwrap();
+        let (norm, normed) = Normalizer::fit_transform(&features).unwrap();
+
+        let mut asm = WindowAssembler::new(120, 120, 1).with_normalizer(norm);
+        let first_window = &raw.windows[0];
+        let out = asm.push_block(first_window).unwrap();
+        assert_eq!(out.len(), 1);
+        let expected = Tensor::vector(normed.row(0));
+        assert!(out[0].max_abs_diff(&expected).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn drift_monitor_fires_on_distribution_shift() {
+        let mut sim = Simulator::with_seed(5);
+        let walk = sim.raw_dataset(&[(Activity::Walk, 40)]);
+        let walk_features = crate::features::extract_batch(&walk).unwrap();
+        let mut monitor = DriftMonitor::from_reference(&walk_features, 3.0).unwrap();
+
+        // Same distribution: no drift.
+        let more_walk = sim.raw_dataset(&[(Activity::Walk, 20)]);
+        for w in &more_walk.windows {
+            monitor.observe(&extract(w).unwrap());
+        }
+        assert!(!monitor.drifted(), "false positive, shift {}", monitor.max_shift());
+
+        // A different activity: strong drift.
+        monitor.reset();
+        let run = sim.raw_dataset(&[(Activity::Run, 20)]);
+        for w in &run.windows {
+            monitor.observe(&extract(w).unwrap());
+        }
+        assert!(monitor.drifted(), "missed drift, shift {}", monitor.max_shift());
+    }
+
+    #[test]
+    fn drift_monitor_needs_minimum_observations() {
+        let reference = Tensor::zeros([5, 3]);
+        let mut m = DriftMonitor::new(vec![0.0; 3], vec![1.0; 3], 1.0);
+        let _ = reference;
+        m.observe(&Tensor::vector(&[100.0, 100.0, 100.0]));
+        assert!(!m.drifted(), "fired with a single observation");
+    }
+}

@@ -1,0 +1,117 @@
+//! The cloud side of MAGNETO: pre-training and the one-time deployment
+//! package.
+
+use pilote_core::pilote::TrainReport;
+use pilote_core::{Pilote, PiloteConfig, SelectionStrategy, SupportSet};
+use pilote_har_data::preprocess::Normalizer;
+use pilote_har_data::Dataset;
+use pilote_nn::Checkpoint;
+use pilote_tensor::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// Everything an edge device needs, shipped once (Fig. 2, right side,
+/// step i): model parameters, exemplar support set, and the feature
+/// normaliser fitted on the cloud corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Embedding-network parameters.
+    pub checkpoint: Checkpoint,
+    /// Per-class exemplar support set.
+    pub support: SupportSet,
+    /// Feature normaliser (train-fitted statistics).
+    pub normalizer: Normalizer,
+    /// Hyper-parameters the edge should keep using.
+    pub config: PiloteConfig,
+}
+
+impl Deployment {
+    /// Wire size of the deployment payload in bytes (JSON encoding — the
+    /// repo's cloud→edge format; a production system would use a binary
+    /// codec, making this an upper bound).
+    pub fn wire_bytes(&self) -> u64 {
+        serde_json::to_string(self).expect("serialisable").len() as u64
+    }
+}
+
+/// The cloud training service.
+pub struct CloudServer {
+    corpus: Dataset,
+    normalizer: Normalizer,
+    config: PiloteConfig,
+}
+
+impl CloudServer {
+    /// New server over a labelled corpus with its fitted normaliser.
+    pub fn new(corpus: Dataset, normalizer: Normalizer, config: PiloteConfig) -> Self {
+        CloudServer { corpus, normalizer, config }
+    }
+
+    /// Labelled records available on the cloud.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Pre-trains a model on the given classes and packages the
+    /// deployment (Fig. 2 right, step i).
+    pub fn pretrain_and_package(
+        &self,
+        classes: &[usize],
+        exemplars_per_class: usize,
+    ) -> Result<(Deployment, TrainReport), TensorError> {
+        let train = self.corpus.filter_classes(classes)?;
+        let (mut model, report) = Pilote::pretrain(
+            self.config.clone(),
+            &train,
+            exemplars_per_class,
+            SelectionStrategy::Herding,
+        )?;
+        let deployment = Deployment {
+            checkpoint: Checkpoint::capture(model.net_mut().layers_mut()),
+            support: model.support().clone(),
+            normalizer: self.normalizer.clone(),
+            config: self.config.clone(),
+        };
+        Ok((deployment, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_har_data::dataset::generate_features;
+    use pilote_har_data::{Activity, Simulator};
+
+    fn corpus() -> (Dataset, Normalizer) {
+        let mut sim = Simulator::with_seed(9);
+        generate_features(
+            &mut sim,
+            &[(Activity::Still, 40), (Activity::Walk, 40), (Activity::Run, 40)],
+        )
+        .expect("simulate")
+    }
+
+    #[test]
+    fn pretrain_and_package_produces_complete_deployment() {
+        let (data, norm) = corpus();
+        let server = CloudServer::new(data, norm, PiloteConfig::fast_test(1));
+        let classes = [Activity::Still.label(), Activity::Walk.label()];
+        let (deployment, report) = server.pretrain_and_package(&classes, 10).unwrap();
+        assert!(!report.epochs.is_empty());
+        assert_eq!(deployment.support.labels().len(), 2);
+        assert_eq!(deployment.support.len(), 20);
+        assert!(deployment.checkpoint.param_count() > 0);
+        assert!(deployment.wire_bytes() > 1000);
+    }
+
+    #[test]
+    fn deployment_serde_round_trip() {
+        let (data, norm) = corpus();
+        let server = CloudServer::new(data, norm, PiloteConfig::fast_test(2));
+        let (deployment, _) =
+            server.pretrain_and_package(&[Activity::Still.label(), Activity::Run.label()], 5).unwrap();
+        let json = serde_json::to_string(&deployment).unwrap();
+        let back: Deployment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.support, deployment.support);
+        assert_eq!(back.checkpoint, deployment.checkpoint);
+    }
+}

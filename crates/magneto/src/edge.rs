@@ -1,0 +1,276 @@
+//! The edge side of MAGNETO: install a deployment once, then stream,
+//! classify and incrementally learn — all on-device.
+
+use crate::cloud::Deployment;
+use crate::events::{EventKind, EventLog};
+use pilote_core::{EmbeddingNet, Pilote};
+use pilote_edge_sim::{DeviceProfile, LinkModel};
+use pilote_har_data::dataset::Dataset;
+use pilote_har_data::stream::{DriftMonitor, WindowAssembler};
+use pilote_har_data::sensors::WINDOW_LEN;
+use pilote_har_data::FEATURE_DIM;
+use pilote_tensor::{Rng64, Tensor, TensorError};
+use std::time::Instant;
+
+/// Result of classifying one streamed window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceOutcome {
+    /// Predicted activity label.
+    pub predicted: usize,
+    /// Squared embedding-space distance to the winning prototype — a
+    /// confidence proxy (smaller = more confident).
+    pub distance: f32,
+}
+
+/// An edge device running the MAGNETO recognition loop.
+pub struct EdgeDevice {
+    profile: DeviceProfile,
+    model: Pilote,
+    assembler: WindowAssembler,
+    drift: Option<DriftMonitor>,
+    log: EventLog,
+    /// Buffered labelled samples awaiting the next incremental update.
+    pending: Vec<(usize, Tensor)>,
+}
+
+impl EdgeDevice {
+    /// Installs a cloud deployment onto a device, recording the download
+    /// on the given link (Fig. 2 right, step i).
+    pub fn install(
+        profile: DeviceProfile,
+        deployment: &Deployment,
+        link: &LinkModel,
+    ) -> Result<EdgeDevice, TensorError> {
+        let payload = deployment.wire_bytes();
+        let mut rng = Rng64::new(deployment.config.seed ^ 0xed6e);
+        let mut net = EmbeddingNet::new(deployment.config.net.clone(), &mut rng);
+        deployment
+            .checkpoint
+            .restore(net.layers_mut())
+            .map_err(|e| TensorError::Empty { op: Box::leak(e.to_string().into_boxed_str()) })?;
+        let model = Pilote::from_parts(
+            deployment.config.clone(),
+            net,
+            deployment.support.clone(),
+            rng,
+        )?;
+        let assembler = WindowAssembler::new(WINDOW_LEN, WINDOW_LEN, 1)
+            .with_normalizer(deployment.normalizer.clone());
+        let mut log = EventLog::new();
+        log.record(EventKind::Deployed { payload_bytes: payload });
+        log.advance(link.transfer_seconds(payload));
+        Ok(EdgeDevice { profile, model, assembler, drift: None, log, pending: Vec::new() })
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Known activity labels.
+    pub fn known_classes(&self) -> Vec<usize> {
+        self.model.classifier().labels().to_vec()
+    }
+
+    /// Arms the drift monitor with a reference feature matrix.
+    pub fn arm_drift_monitor(&mut self, reference: &Tensor, threshold: f32) -> Result<(), TensorError> {
+        self.drift = Some(DriftMonitor::from_reference(reference, threshold)?);
+        Ok(())
+    }
+
+    /// Feeds a block of raw sensor samples (`[n, 22]`), classifying every
+    /// completed window. Virtual time advances by the block's duration.
+    pub fn stream(&mut self, samples: &Tensor) -> Result<Vec<InferenceOutcome>, TensorError> {
+        let features = self.assembler.push_block(samples)?;
+        let mut out = Vec::with_capacity(features.len());
+        for f in features {
+            let row = f.reshape([1, FEATURE_DIM])?;
+            let start = Instant::now();
+            let emb = self.model.embed(&row);
+            let dists = self.model.classifier().distances(&emb)?;
+            let predicted = self.model.classifier().labels()[dists.argmin_rows()?[0]];
+            let host = start.elapsed().as_secs_f64();
+            self.log.advance(self.profile.project_seconds(host));
+            self.log.record(EventKind::Inference { predicted });
+            if let Some(monitor) = &mut self.drift {
+                monitor.observe(&f);
+                if monitor.drifted() {
+                    self.log.record(EventKind::DriftDetected { max_shift: monitor.max_shift() });
+                    monitor.reset();
+                }
+            }
+            out.push(InferenceOutcome { predicted, distance: dists.min()? });
+        }
+        // Real-time stream: n samples at 120 Hz.
+        self.log.advance(samples.rows() as f64 / 120.0);
+        Ok(out)
+    }
+
+    /// Buffers one user-labelled feature vector (e.g. the user tagged a
+    /// session with a new activity name).
+    pub fn label_sample(&mut self, label: usize, features: Tensor) {
+        assert_eq!(features.len(), FEATURE_DIM, "feature width mismatch");
+        self.pending.push((label, features));
+    }
+
+    /// Labelled samples waiting for the next update.
+    pub fn pending_samples(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Runs the PILOTE incremental update on the buffered samples
+    /// (Fig. 2 right, step iii — entirely on-device).
+    pub fn update(&mut self, exemplar_budget: usize) -> Result<(), TensorError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let labels: Vec<usize> = self.pending.iter().map(|(l, _)| *l).collect();
+        let rows: Vec<Tensor> = self
+            .pending
+            .iter()
+            .map(|(_, f)| f.reshape([1, FEATURE_DIM]))
+            .collect::<Result<_, _>>()?;
+        let refs: Vec<&Tensor> = rows.iter().collect();
+        let features = Tensor::vstack(&refs)?;
+        let new_data = Dataset::new(features, labels.clone())?;
+        let new_label = labels[0];
+
+        self.log.record(EventKind::UpdateStarted { new_label, samples: new_data.len() });
+        let start = Instant::now();
+        let report = self.model.learn_new_class(&new_data, exemplar_budget)?;
+        let host = start.elapsed().as_secs_f64();
+        self.log.advance(self.profile.project_seconds(host));
+        self.log.record(EventKind::UpdateFinished {
+            new_label,
+            epochs: report.epochs.len(),
+            seconds: self.profile.project_seconds(host),
+        });
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Classifies a pre-extracted feature batch (test harness path).
+    pub fn classify_features(&mut self, features: &Tensor) -> Result<Vec<usize>, TensorError> {
+        self.model.predict(features)
+    }
+
+    /// Accuracy on a labelled feature dataset.
+    pub fn accuracy(&mut self, data: &Dataset) -> Result<f32, TensorError> {
+        self.model.accuracy(data)
+    }
+
+    /// Direct access to the model (federated rounds exchange parameters).
+    pub fn model_mut(&mut self) -> &mut Pilote {
+        &mut self.model
+    }
+
+    /// Records a federated round in the log.
+    pub fn note_federated_round(&mut self, participants: usize) {
+        self.log.record(EventKind::FederatedRound { participants });
+    }
+}
+
+impl std::fmt::Debug for EdgeDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeDevice")
+            .field("profile", &self.profile.name)
+            .field("classes", &self.known_classes())
+            .field("events", &self.log.events().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudServer;
+    use pilote_core::PiloteConfig;
+    use pilote_har_data::dataset::generate_features;
+    use pilote_har_data::{Activity, Simulator};
+    use pilote_har_data::features::extract_batch;
+    use pilote_har_data::preprocess::Normalizer;
+
+    fn deployed_device() -> (EdgeDevice, Simulator, Normalizer) {
+        let mut sim = Simulator::with_seed(31);
+        let (data, norm) = generate_features(
+            &mut sim,
+            &[(Activity::Still, 50), (Activity::Walk, 50), (Activity::Run, 50)],
+        )
+        .expect("simulate");
+        let server = CloudServer::new(data, norm.clone(), PiloteConfig::fast_test(5));
+        let (deployment, _) = server
+            .pretrain_and_package(&[Activity::Still.label(), Activity::Walk.label()], 15)
+            .expect("package");
+        let device = EdgeDevice::install(
+            DeviceProfile::flagship_phone(),
+            &deployment,
+            &LinkModel::wifi(),
+        )
+        .expect("install");
+        (device, sim, norm)
+    }
+
+    #[test]
+    fn install_records_deployment_event() {
+        let (device, _, _) = deployed_device();
+        assert_eq!(device.log().events().len(), 1);
+        assert!(matches!(device.log().events()[0].kind, EventKind::Deployed { payload_bytes } if payload_bytes > 0));
+        assert_eq!(device.known_classes().len(), 2);
+    }
+
+    #[test]
+    fn streaming_classifies_known_activity() {
+        let (mut device, mut sim, _) = deployed_device();
+        let session = sim.session(Activity::Still, 10);
+        let outcomes = device.stream(&session).expect("stream");
+        assert_eq!(outcomes.len(), 10);
+        assert_eq!(device.log().inference_count(), 10);
+        let correct = outcomes
+            .iter()
+            .filter(|o| o.predicted == Activity::Still.label())
+            .count();
+        assert!(correct >= 7, "only {correct}/10 Still windows recognised");
+        // virtual clock advanced by ≥ the stream duration
+        assert!(device.log().now() >= 10.0);
+    }
+
+    #[test]
+    fn incremental_update_adds_class_on_device() {
+        let (mut device, mut sim, norm) = deployed_device();
+        // User labels some Run windows.
+        let raw = sim.raw_dataset(&[(Activity::Run, 25)]);
+        let features = norm.transform(&extract_batch(&raw).expect("features")).expect("norm");
+        for i in 0..features.rows() {
+            device.label_sample(Activity::Run.label(), Tensor::vector(features.row(i)));
+        }
+        assert_eq!(device.pending_samples(), 25);
+        device.update(20).expect("update");
+        assert_eq!(device.pending_samples(), 0);
+        assert_eq!(device.known_classes().len(), 3);
+        assert_eq!(device.log().update_count(), 1);
+    }
+
+    #[test]
+    fn drift_monitor_fires_for_unseen_activity() {
+        let (mut device, mut sim, norm) = deployed_device();
+        let known = sim.raw_dataset(&[(Activity::Still, 30)]);
+        let known_features =
+            norm.transform(&extract_batch(&known).expect("features")).expect("norm");
+        device.arm_drift_monitor(&known_features, 3.0).expect("arm");
+        // Stream an unseen, very different activity.
+        let session = sim.session(Activity::Run, 15);
+        device.stream(&session).expect("stream");
+        let drift_events = device
+            .log()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::DriftDetected { .. }))
+            .count();
+        assert!(drift_events >= 1, "drift monitor never fired");
+    }
+}

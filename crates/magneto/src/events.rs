@@ -1,0 +1,146 @@
+//! Typed, virtually-clocked event log for edge deployments.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened on the device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Model + support set installed from the cloud.
+    Deployed {
+        /// Bytes transferred for the one-time download.
+        payload_bytes: u64,
+    },
+    /// One window classified.
+    Inference {
+        /// Predicted activity label.
+        predicted: usize,
+    },
+    /// The drift monitor crossed its threshold.
+    DriftDetected {
+        /// Largest standardised feature shift observed.
+        max_shift: f32,
+    },
+    /// An incremental update began.
+    UpdateStarted {
+        /// Label of the incoming class.
+        new_label: usize,
+        /// Samples available for it.
+        samples: usize,
+    },
+    /// An incremental update finished.
+    UpdateFinished {
+        /// Label of the learned class.
+        new_label: usize,
+        /// Training epochs consumed.
+        epochs: usize,
+        /// Wall-clock seconds on the host.
+        seconds: f64,
+    },
+    /// A federated round was applied.
+    FederatedRound {
+        /// Number of participating devices.
+        participants: usize,
+    },
+}
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual device time in seconds since deployment.
+    pub at_seconds: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// An append-only event log with a virtual clock.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    clock_seconds: f64,
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Empty log at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the virtual clock.
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "time flows forward");
+        self.clock_seconds += seconds;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.clock_seconds
+    }
+
+    /// Appends an event at the current virtual time.
+    pub fn record(&mut self, kind: EventKind) {
+        self.events.push(Event { at_seconds: self.clock_seconds, kind });
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of inference events.
+    pub fn inference_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Inference { .. }))
+            .count()
+    }
+
+    /// Number of completed updates.
+    pub fn update_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::UpdateFinished { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_stamped() {
+        let mut log = EventLog::new();
+        log.record(EventKind::Deployed { payload_bytes: 10 });
+        log.advance(5.0);
+        log.record(EventKind::Inference { predicted: 2 });
+        assert_eq!(log.events()[0].at_seconds, 0.0);
+        assert_eq!(log.events()[1].at_seconds, 5.0);
+        assert_eq!(log.now(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn clock_rejects_negative_steps() {
+        EventLog::new().advance(-1.0);
+    }
+
+    #[test]
+    fn counters_filter_by_kind() {
+        let mut log = EventLog::new();
+        log.record(EventKind::Inference { predicted: 0 });
+        log.record(EventKind::Inference { predicted: 1 });
+        log.record(EventKind::UpdateStarted { new_label: 2, samples: 30 });
+        log.record(EventKind::UpdateFinished { new_label: 2, epochs: 8, seconds: 1.5 });
+        assert_eq!(log.inference_count(), 2);
+        assert_eq!(log.update_count(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut log = EventLog::new();
+        log.record(EventKind::DriftDetected { max_shift: 4.2 });
+        let json = serde_json::to_string(&log).unwrap();
+        let back: EventLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+    }
+}

@@ -1,0 +1,155 @@
+//! Federated collaboration — the paper's §7 future-work direction:
+//! "one can consider the model's scaling up or collaborative learning with
+//! strong privacy-preserving guarantees, e.g., Federated Learning."
+//!
+//! Devices exchange **model parameters only** (FedAvg, McMahan et al.
+//! 2017), never sensor data — consistent with MAGNETO's privacy stance.
+//! Prototype sharing works the same way: class means in embedding space
+//! are aggregated, not raw exemplars.
+
+use crate::edge::EdgeDevice;
+use pilote_nn::Checkpoint;
+use pilote_tensor::{Tensor, TensorError};
+
+/// Weighted FedAvg over parameter snapshots.
+///
+/// `contributions` pairs each client's checkpoint with its local sample
+/// count; the result is the sample-weighted mean of every parameter.
+///
+/// # Errors
+/// Fails when checkpoints disagree structurally or the list is empty.
+pub fn federated_average(
+    contributions: &[(Checkpoint, usize)],
+) -> Result<Checkpoint, TensorError> {
+    let Some(((first, _), rest)) = contributions.split_first() else {
+        return Err(TensorError::Empty { op: "federated_average" });
+    };
+    let total_weight: f64 = contributions.iter().map(|(_, w)| *w as f64).sum();
+    if total_weight <= 0.0 {
+        return Err(TensorError::Empty { op: "federated_average (zero total weight)" });
+    }
+    for (ckpt, _) in rest {
+        if ckpt.shapes != first.shapes {
+            return Err(TensorError::ShapeMismatch {
+                left: first.shapes.first().cloned().unwrap_or_default(),
+                right: ckpt.shapes.first().cloned().unwrap_or_default(),
+                op: "federated_average",
+            });
+        }
+    }
+    let mut averaged: Vec<Tensor> =
+        first.params.iter().map(|p| Tensor::zeros(p.shape().clone())).collect();
+    for (ckpt, weight) in contributions {
+        let w = *weight as f64 / total_weight;
+        for (acc, p) in averaged.iter_mut().zip(&ckpt.params) {
+            acc.axpy(w as f32, p)?;
+        }
+    }
+    Ok(Checkpoint { version: first.version, shapes: first.shapes.clone(), params: averaged })
+}
+
+/// Orchestrates FedAvg rounds across edge devices.
+#[derive(Debug, Default)]
+pub struct FederatedCoordinator {
+    rounds_completed: usize,
+}
+
+impl FederatedCoordinator {
+    /// New coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rounds applied so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds_completed
+    }
+
+    /// Runs one FedAvg round: collects every device's parameters (weighted
+    /// by its support-set size), averages, and installs the average back
+    /// on every device, refreshing prototypes under the new weights.
+    ///
+    /// No sensor data, exemplar, or feature leaves any device.
+    pub fn run_round(&mut self, devices: &mut [&mut EdgeDevice]) -> Result<(), TensorError> {
+        if devices.is_empty() {
+            return Err(TensorError::Empty { op: "run_round" });
+        }
+        let mut contributions = Vec::with_capacity(devices.len());
+        for device in devices.iter_mut() {
+            let weight = device.model_mut().support().len().max(1);
+            let ckpt = Checkpoint::capture(device.model_mut().net_mut().layers_mut());
+            contributions.push((ckpt, weight));
+        }
+        let averaged = federated_average(&contributions)?;
+        let participants = devices.len();
+        for device in devices.iter_mut() {
+            averaged
+                .restore(device.model_mut().net_mut().layers_mut())
+                .map_err(|e| TensorError::Empty { op: Box::leak(e.to_string().into_boxed_str()) })?;
+            device.model_mut().refresh_prototypes()?;
+            device.note_federated_round(participants);
+        }
+        self.rounds_completed += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_nn::{Dense, Layer, Sequential};
+    use pilote_tensor::Rng64;
+
+    fn checkpoint_with(value: f32) -> Checkpoint {
+        let mut rng = Rng64::new(1);
+        let mut net = Sequential::new().push(Dense::new(2, 2, &mut rng));
+        for (p, _) in net.params_and_grads() {
+            p.as_mut_slice().fill(value);
+        }
+        Checkpoint::capture(&mut net)
+    }
+
+    #[test]
+    fn unweighted_average_of_two() {
+        let avg =
+            federated_average(&[(checkpoint_with(0.0), 1), (checkpoint_with(2.0), 1)]).unwrap();
+        for p in &avg.params {
+            for &v in p.as_slice() {
+                assert!((v - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_shift_the_average() {
+        let avg =
+            federated_average(&[(checkpoint_with(0.0), 3), (checkpoint_with(4.0), 1)]).unwrap();
+        for p in &avg.params {
+            for &v in p.as_slice() {
+                assert!((v - 1.0).abs() < 1e-6); // (0·3 + 4·1)/4
+            }
+        }
+    }
+
+    #[test]
+    fn average_of_identical_models_is_identity() {
+        let c = checkpoint_with(0.7);
+        let avg = federated_average(&[(c.clone(), 5), (c.clone(), 9)]).unwrap();
+        for (a, b) in avg.params.iter().zip(&c.params) {
+            assert!(a.max_abs_diff(b).unwrap() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn structural_mismatch_rejected() {
+        let mut rng = Rng64::new(2);
+        let mut other = Sequential::new().push(Dense::new(3, 2, &mut rng));
+        let wrong = Checkpoint::capture(&mut other);
+        assert!(federated_average(&[(checkpoint_with(1.0), 1), (wrong, 1)]).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(federated_average(&[]).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! # pilote-magneto
+//!
+//! The MAGNETO platform of the PILOTE paper (§3): *sMArt sensinG for humaN
+//! activity rEcogniTiOn*. MAGNETO's edge-based architecture is:
+//!
+//! 1. an initial HAR model is **pre-trained on the cloud** as a warm
+//!    starting point ([`cloud::CloudServer`]);
+//! 2. the model and its exemplar support set are **downloaded once** to
+//!    the device ([`cloud::Deployment`]);
+//! 3. the device performs **streaming inference** and **local incremental
+//!    updates** with no further data exchange ([`edge::EdgeDevice`]) —
+//!    sensor data never leaves the device;
+//! 4. every step is recorded in a typed, virtually-clocked event log
+//!    ([`events::EventLog`]) so deployments are auditable and testable.
+//!
+//! The [`federated`] module implements the paper's §7 future-work
+//! direction: FedAvg-style collaboration where devices share *model
+//! parameters*, never data — consistent with MAGNETO's privacy stance.
+
+pub mod cloud;
+pub mod edge;
+pub mod events;
+pub mod federated;
+
+pub use cloud::{CloudServer, Deployment};
+pub use edge::{EdgeDevice, InferenceOutcome};
+pub use events::{Event, EventKind, EventLog};
+pub use federated::{federated_average, FederatedCoordinator};

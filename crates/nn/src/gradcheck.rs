@@ -1,0 +1,166 @@
+//! Finite-difference gradient verification.
+//!
+//! Analytic backprop implementations are only trustworthy when pinned
+//! against numeric differentiation. [`check_layer`] perturbs every
+//! parameter and every input element of a layer by ±ε and compares the
+//! central-difference loss slope with the analytic gradient, using the
+//! scalar pseudo-loss `L = Σᵢ cᵢ·yᵢ` with fixed per-element coefficients
+//! (an arbitrary linear functional catches arbitrary backward errors).
+
+use crate::layer::{Layer, Mode};
+use pilote_tensor::Tensor;
+
+/// Outcome of one gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute deviation over all parameter gradients.
+    pub max_param_err: f32,
+    /// Largest absolute deviation over the input gradient.
+    pub max_input_err: f32,
+}
+
+impl GradCheckReport {
+    /// Whether all deviations are within `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_param_err <= tol && self.max_input_err <= tol
+    }
+}
+
+/// Deterministic coefficient for pseudo-loss element `i`.
+fn coeff(i: usize) -> f32 {
+    // Irrational stride keeps coefficients distinct and O(1).
+    ((i as f32) * 0.618_034 + 0.5).sin()
+}
+
+fn pseudo_loss(y: &Tensor) -> f32 {
+    y.as_slice()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (coeff(i) * v) as f64)
+        .sum::<f64>() as f32
+}
+
+fn pseudo_loss_grad(y: &Tensor) -> Tensor {
+    let data = (0..y.len()).map(coeff).collect();
+    Tensor::from_vec(data, y.shape().clone()).expect("same length")
+}
+
+/// Checks a layer's analytic gradients against central finite differences
+/// at the given input, in the given mode.
+///
+/// `eps` around `1e-3` works well in f32; tolerances of `1e-2` are
+/// appropriate given float32 rounding on the double forward evaluation.
+pub fn check_layer(layer: &mut dyn Layer, input: &Tensor, mode: Mode, eps: f32) -> GradCheckReport {
+    // Analytic pass.
+    layer.zero_grad();
+    let y = layer.forward(input, mode);
+    let dy = pseudo_loss_grad(&y);
+    let dx = layer.backward(&dy);
+    let analytic_param_grads: Vec<Tensor> =
+        layer.params_and_grads().iter().map(|(_, g)| (*g).clone()).collect();
+
+    // Numeric parameter gradients.
+    let mut max_param_err = 0.0f32;
+    let n_params = layer.params_and_grads().len();
+    #[allow(clippy::needless_range_loop)] // `pi` indexes two parallel structures
+    for pi in 0..n_params {
+        let n_elems = layer.params_and_grads()[pi].0.len();
+        for ei in 0..n_elems {
+            let orig = layer.params_and_grads()[pi].0.as_slice()[ei];
+            layer.params_and_grads()[pi].0.as_mut_slice()[ei] = orig + eps;
+            let lp = pseudo_loss(&layer.forward(input, mode));
+            layer.params_and_grads()[pi].0.as_mut_slice()[ei] = orig - eps;
+            let lm = pseudo_loss(&layer.forward(input, mode));
+            layer.params_and_grads()[pi].0.as_mut_slice()[ei] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let err = (numeric - analytic_param_grads[pi].as_slice()[ei]).abs();
+            max_param_err = max_param_err.max(err);
+        }
+    }
+
+    // Numeric input gradient.
+    let mut max_input_err = 0.0f32;
+    for ei in 0..input.len() {
+        let mut xp = input.clone();
+        xp.as_mut_slice()[ei] += eps;
+        let lp = pseudo_loss(&layer.forward(&xp, mode));
+        let mut xm = input.clone();
+        xm.as_mut_slice()[ei] -= eps;
+        let lm = pseudo_loss(&layer.forward(&xm, mode));
+        let numeric = (lp - lm) / (2.0 * eps);
+        let err = (numeric - dx.as_slice()[ei]).abs();
+        max_input_err = max_input_err.max(err);
+    }
+
+    GradCheckReport { max_param_err, max_input_err }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{BatchNorm1d, Dense, ReLU, Sequential};
+    use pilote_tensor::Rng64;
+
+    const TOL: f32 = 2e-2;
+
+    #[test]
+    fn dense_gradients_check_out() {
+        let mut rng = Rng64::new(1);
+        let mut layer = Dense::new(4, 3, &mut rng);
+        let x = Tensor::randn([6, 4], 0.0, 1.0, &mut rng);
+        let report = check_layer(&mut layer, &x, Mode::Train, 1e-3);
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn batchnorm_train_gradients_check_out() {
+        let mut rng = Rng64::new(2);
+        let mut layer = BatchNorm1d::new(3);
+        // Non-trivial γ/β so their gradients are exercised.
+        for (p, _) in layer.params_and_grads() {
+            p.map_inplace(|v| v + 0.3);
+        }
+        let x = Tensor::randn([8, 3], 1.0, 2.0, &mut rng);
+        let report = check_layer(&mut layer, &x, Mode::Train, 1e-3);
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn batchnorm_eval_gradients_check_out() {
+        let mut rng = Rng64::new(3);
+        let mut layer = BatchNorm1d::new(3);
+        // Populate running stats first.
+        for _ in 0..20 {
+            let x = Tensor::randn([16, 3], 0.5, 1.5, &mut rng);
+            let _ = layer.forward(&x, Mode::Train);
+        }
+        let x = Tensor::randn([5, 3], 0.0, 1.0, &mut rng);
+        let report = check_layer(&mut layer, &x, Mode::Eval, 1e-3);
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn relu_input_gradient_checks_out() {
+        let mut rng = Rng64::new(4);
+        let mut layer = ReLU::new();
+        // Keep activations away from the kink at 0 where the numeric
+        // derivative is ill-defined.
+        let x = Tensor::randn([5, 4], 0.0, 1.0, &mut rng)
+            .map(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
+        let report = check_layer(&mut layer, &x, Mode::Train, 1e-3);
+        assert!(report.passes(TOL), "{report:?}");
+    }
+
+    #[test]
+    fn full_stack_gradients_check_out() {
+        let mut rng = Rng64::new(5);
+        let mut net = Sequential::new()
+            .push(Dense::new(3, 6, &mut rng))
+            .push(BatchNorm1d::new(6))
+            .push(ReLU::new())
+            .push(Dense::new(6, 2, &mut rng));
+        let x = Tensor::randn([7, 3], 0.0, 1.0, &mut rng);
+        let report = check_layer(&mut net, &x, Mode::Train, 1e-3);
+        assert!(report.passes(5e-2), "{report:?}");
+    }
+}

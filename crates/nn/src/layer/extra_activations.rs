@@ -1,0 +1,185 @@
+//! Additional activations beyond the paper's ReLU: Tanh, Sigmoid and
+//! LeakyReLU — used by the architecture ablations and useful to downstream
+//! users swapping backbones.
+
+use super::{Layer, Mode};
+use pilote_tensor::Tensor;
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// New Tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("Tanh::backward called before forward");
+        // d tanh(x)/dx = 1 − tanh²(x)
+        let dydx = y.map(|v| 1.0 - v * v);
+        grad_output.try_mul(&dydx).expect("tanh shape")
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Logistic sigmoid activation.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// New Sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("Sigmoid::backward called before forward");
+        let dydx = y.map(|v| v * (1.0 - v));
+        grad_output.try_mul(&dydx).expect("sigmoid shape")
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Leaky ReLU: `max(x, slope·x)` with `slope ∈ (0, 1)`.
+#[derive(Debug, Clone)]
+pub struct LeakyReLU {
+    slope: f32,
+    mask: Option<Tensor>,
+}
+
+impl LeakyReLU {
+    /// New LeakyReLU with the given negative-side slope.
+    ///
+    /// # Panics
+    /// Panics unless `0 < slope < 1`.
+    pub fn new(slope: f32) -> Self {
+        assert!((0.0..1.0).contains(&slope) && slope > 0.0, "slope must be in (0,1), got {slope}");
+        LeakyReLU { slope, mask: None }
+    }
+}
+
+impl Layer for LeakyReLU {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let slope = self.slope;
+        self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { slope }));
+        input.map(|x| if x > 0.0 { x } else { slope * x })
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("LeakyReLU::backward called before forward");
+        grad_output.try_mul(mask).expect("leaky relu shape")
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "LeakyReLU"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use pilote_tensor::Rng64;
+
+    #[test]
+    fn tanh_known_values() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_rows(&[vec![0.0, 1000.0, -1000.0]]).unwrap();
+        let y = t.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice()[0], 0.0);
+        assert!((y.as_slice()[1] - 1.0).abs() < 1e-6);
+        assert!((y.as_slice()[2] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_known_values() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_rows(&[vec![0.0, 100.0, -100.0]]).unwrap();
+        let y = s.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice()[0], 0.5);
+        assert!((y.as_slice()[1] - 1.0).abs() < 1e-6);
+        assert!(y.as_slice()[2] < 1e-6);
+    }
+
+    #[test]
+    fn leaky_relu_negative_side() {
+        let mut l = LeakyReLU::new(0.1);
+        let x = Tensor::from_rows(&[vec![-2.0, 3.0]]).unwrap();
+        let y = l.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[-0.2, 3.0]);
+        let dx = l.backward(&Tensor::from_rows(&[vec![1.0, 1.0]]).unwrap());
+        assert!((dx.as_slice()[0] - 0.1).abs() < 1e-7);
+        assert_eq!(dx.as_slice()[1], 1.0);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = Rng64::new(1);
+        let x = Tensor::randn([6, 5], 0.0, 1.0, &mut rng)
+            .map(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
+        let mut tanh = Tanh::new();
+        assert!(check_layer(&mut tanh, &x, Mode::Train, 1e-3).passes(2e-2));
+        let mut sig = Sigmoid::new();
+        assert!(check_layer(&mut sig, &x, Mode::Train, 1e-3).passes(2e-2));
+        let mut leaky = LeakyReLU::new(0.2);
+        assert!(check_layer(&mut leaky, &x, Mode::Train, 1e-3).passes(2e-2));
+    }
+
+    #[test]
+    #[should_panic(expected = "slope")]
+    fn leaky_relu_rejects_bad_slope() {
+        let _ = LeakyReLU::new(1.5);
+    }
+}

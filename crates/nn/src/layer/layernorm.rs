@@ -1,0 +1,168 @@
+//! Layer normalisation — a batch-size-independent alternative to
+//! BatchNorm, attractive on the edge where incremental updates can arrive
+//! in very small batches (the paper's extreme-edge setting of Q3).
+
+use super::{Layer, Mode};
+use pilote_tensor::Tensor;
+
+/// Per-sample (row-wise) normalisation with learned affine parameters.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    eps: f32,
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct LnCache {
+    x_hat: Tensor,
+    /// Per-row 1/σ.
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// New layer norm over `dim` features (`eps = 1e-5`).
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::ones([dim]),
+            beta: Tensor::zeros([dim]),
+            grad_gamma: Tensor::zeros([dim]),
+            grad_beta: Tensor::zeros([dim]),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        debug_assert_eq!(input.cols(), self.dim(), "LayerNorm: width mismatch");
+        let (n, d) = (input.rows(), input.cols());
+        let mut x_hat = input.clone();
+        let mut inv_std = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = x_hat.row_mut(i);
+            let mean = row.iter().map(|&v| v as f64).sum::<f64>() / d as f64;
+            let var = row.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / d as f64;
+            let is = 1.0 / ((var as f32) + self.eps).sqrt();
+            for v in row.iter_mut() {
+                *v = (*v - mean as f32) * is;
+            }
+            inv_std.push(is);
+        }
+        let out = x_hat.try_mul(&self.gamma).expect("ln gamma").try_add(&self.beta).expect("ln beta");
+        self.cache = Some(LnCache { x_hat, inv_std });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("LayerNorm::backward called before forward");
+        let x_hat = &cache.x_hat;
+        let (n, d) = (grad_output.rows(), grad_output.cols());
+
+        let dbeta = grad_output.sum_axis(pilote_tensor::reduce::Axis::Rows).expect("dbeta");
+        let dgamma = grad_output
+            .try_mul(x_hat)
+            .expect("dY*xhat")
+            .sum_axis(pilote_tensor::reduce::Axis::Rows)
+            .expect("dgamma");
+        self.grad_beta.axpy(1.0, &dbeta).expect("dbeta acc");
+        self.grad_gamma.axpy(1.0, &dgamma).expect("dgamma acc");
+
+        let dx_hat = grad_output.try_mul(&self.gamma).expect("dxhat");
+        // Per-row: dX = inv_std/D · (D·dx̂ − Σdx̂ − x̂·Σ(dx̂⊙x̂))
+        let mut out = Tensor::zeros([n, d]);
+        for i in 0..n {
+            let dxh = dx_hat.row(i);
+            let xh = x_hat.row(i);
+            let sum_dxh: f32 = dxh.iter().sum();
+            let sum_dxh_xh: f32 = dxh.iter().zip(xh).map(|(&a, &b)| a * b).sum();
+            let is = cache.inv_std[i];
+            let row = out.row_mut(i);
+            for j in 0..d {
+                row[j] = is / d as f32 * (d as f32 * dxh[j] - sum_dxh - xh[j] * sum_dxh_xh);
+            }
+        }
+        out
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.gamma, &mut self.grad_gamma),
+            (&mut self.beta, &mut self.grad_beta),
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "LayerNorm"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use pilote_tensor::reduce::Axis;
+    use pilote_tensor::Rng64;
+
+    #[test]
+    fn rows_are_standardised() {
+        let mut rng = Rng64::new(1);
+        let mut ln = LayerNorm::new(16);
+        let x = Tensor::randn([8, 16], 3.0, 2.0, &mut rng);
+        let y = ln.forward(&x, Mode::Train);
+        let means = y.mean_axis(Axis::Cols).unwrap();
+        let vars = y.var_axis(Axis::Cols).unwrap();
+        for &m in means.as_slice() {
+            assert!(m.abs() < 1e-4, "row mean {m}");
+        }
+        for &v in vars.as_slice() {
+            assert!((v - 1.0).abs() < 1e-2, "row var {v}");
+        }
+    }
+
+    #[test]
+    fn batch_size_one_works() {
+        // The LayerNorm selling point: no batch statistics needed.
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]).unwrap();
+        let y = ln.forward(&x, Mode::Train);
+        assert!(y.all_finite());
+        let dx = ln.backward(&Tensor::ones([1, 4]));
+        assert!(dx.all_finite());
+    }
+
+    #[test]
+    fn identical_in_train_and_eval() {
+        let mut rng = Rng64::new(2);
+        let mut ln = LayerNorm::new(6);
+        let x = Tensor::randn([5, 6], 0.0, 1.0, &mut rng);
+        let train = ln.forward(&x, Mode::Train);
+        let eval = ln.forward(&x, Mode::Eval);
+        assert!(train.max_abs_diff(&eval).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = Rng64::new(3);
+        let mut ln = LayerNorm::new(5);
+        for (p, _) in ln.params_and_grads() {
+            p.map_inplace(|v| v + 0.25);
+        }
+        let x = Tensor::randn([7, 5], 1.0, 2.0, &mut rng);
+        let report = check_layer(&mut ln, &x, Mode::Train, 1e-3);
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+}

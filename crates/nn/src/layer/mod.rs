@@ -1,0 +1,123 @@
+//! Neural-network layers with cached-activation analytic backprop.
+//!
+//! The [`Layer`] trait is deliberately imperative: `forward` caches whatever
+//! the matching `backward` needs, and `backward` *accumulates* parameter
+//! gradients (so gradient contributions from several loss terms — e.g.
+//! PILOTE's distillation + contrastive joint objective — can be summed by
+//! simply calling `backward` more than once before the optimizer step).
+
+mod activation;
+mod batchnorm;
+mod dense;
+mod dropout;
+mod extra_activations;
+mod layernorm;
+mod sequential;
+
+pub use activation::ReLU;
+pub use batchnorm::BatchNorm1d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use extra_activations::{LeakyReLU, Sigmoid, Tanh};
+pub use layernorm::LayerNorm;
+pub use sequential::Sequential;
+
+use pilote_tensor::Tensor;
+
+/// Forward-pass mode: training (batch statistics, active dropout) or
+/// evaluation (running statistics, identity dropout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training mode.
+    Train,
+    /// Inference mode.
+    Eval,
+}
+
+/// A differentiable module.
+///
+/// Contract:
+/// * `forward` must be called before `backward`; `backward` consumes the
+///   cached activations of the most recent `forward`.
+/// * `backward` **adds** into the parameter gradients; call [`Layer::zero_grad`]
+///   before accumulating a fresh optimizer step.
+/// * `params_and_grads` yields `(parameter, gradient)` pairs in a stable
+///   order; optimizers key their per-parameter state on that order.
+pub trait Layer: Send {
+    /// Computes the layer output, caching intermediates for `backward`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_output` (∂loss/∂output) back, returning
+    /// ∂loss/∂input and accumulating parameter gradients.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Mutable `(parameter, gradient)` pairs in stable order.
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)>;
+
+    /// Clears all accumulated parameter gradients.
+    fn zero_grad(&mut self) {
+        for (_, g) in self.params_and_grads() {
+            g.as_mut_slice().fill(0.0);
+        }
+    }
+
+    /// Number of trainable scalar parameters.
+    fn param_count(&mut self) -> usize {
+        self.params_and_grads().iter().map(|(p, _)| p.len()).sum()
+    }
+
+    /// Human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+
+    /// Clones the layer into a boxed trait object (used to freeze a teacher
+    /// copy of the network for distillation).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_tensor::Rng64;
+
+    #[test]
+    fn boxed_layer_clone_is_deep() {
+        let mut rng = Rng64::new(1);
+        let layer: Box<dyn Layer> = Box::new(Dense::new(3, 2, &mut rng));
+        let mut copy = layer.clone();
+        // Mutating the copy's parameters must not affect the original.
+        for (p, _) in copy.params_and_grads() {
+            p.as_mut_slice().fill(9.0);
+        }
+        let mut original = layer;
+        let untouched = original
+            .params_and_grads()
+            .iter()
+            .all(|(p, _)| p.as_slice().iter().all(|&v| v != 9.0));
+        assert!(untouched);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut rng = Rng64::new(2);
+        let mut layer = Dense::new(4, 3, &mut rng);
+        let x = Tensor::randn([5, 4], 0.0, 1.0, &mut rng);
+        let y = layer.forward(&x, Mode::Train);
+        layer.backward(&Tensor::ones(y.shape().clone()));
+        assert!(layer.params_and_grads().iter().any(|(_, g)| g.sq_norm() > 0.0));
+        layer.zero_grad();
+        assert!(layer.params_and_grads().iter().all(|(_, g)| g.sq_norm() == 0.0));
+    }
+
+    #[test]
+    fn param_count_dense() {
+        let mut rng = Rng64::new(3);
+        let mut layer = Dense::new(10, 7, &mut rng);
+        assert_eq!(layer.param_count(), 10 * 7 + 7);
+    }
+}

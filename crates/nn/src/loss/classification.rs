@@ -1,0 +1,231 @@
+//! Classification losses used by the continual-learning comparison
+//! strategies (LwF, GDumb, naive fine-tuning): softmax cross-entropy, its
+//! temperature-scaled knowledge-distillation variant, and plain MSE.
+
+use pilote_tensor::{Tensor, TensorError};
+
+/// Row-wise softmax with the max-subtraction trick for numerical stability.
+pub fn softmax(logits: &Tensor) -> Result<Tensor, TensorError> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch { got: logits.rank(), expected: 2, op: "softmax" });
+    }
+    let mut out = logits.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Mean softmax cross-entropy against integer class labels.
+///
+/// Returns `(loss, grad_logits)`; the gradient is the familiar
+/// `(softmax − onehot)/n`.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), TensorError> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch { got: logits.rank(), expected: 2, op: "softmax_cross_entropy" });
+    }
+    if labels.len() != logits.rows() {
+        return Err(TensorError::LengthMismatch { len: labels.len(), expected: logits.rows() });
+    }
+    let n = logits.rows();
+    if n == 0 {
+        return Ok((0.0, logits.clone()));
+    }
+    let classes = logits.cols();
+    for &y in labels {
+        if y >= classes {
+            return Err(TensorError::OutOfBounds { index: y, bound: classes, op: "softmax_cross_entropy" });
+        }
+    }
+    let probs = softmax(logits)?;
+    let inv_n = 1.0 / n as f32;
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    for (i, &y) in labels.iter().enumerate() {
+        let p = probs.at(i, y).max(1e-12);
+        loss -= (p as f64).ln();
+        let row = grad.row_mut(i);
+        row[y] -= 1.0;
+        for v in row {
+            *v *= inv_n;
+        }
+    }
+    Ok(((loss * inv_n as f64) as f32, grad))
+}
+
+/// Temperature-scaled soft-target cross-entropy (Hinton et al. 2015) used
+/// by the LwF baseline: the student matches the teacher's softened
+/// distribution.
+///
+/// `teacher_logits` are constants. Returns `(loss, grad_student_logits)`.
+/// Loss and gradient carry the conventional `T²` factor so the gradient
+/// magnitude is comparable with the hard-label term.
+pub fn kd_soft_cross_entropy(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    temperature: f32,
+) -> Result<(f32, Tensor), TensorError> {
+    if student_logits.shape() != teacher_logits.shape() || student_logits.rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            left: student_logits.shape().dims().to_vec(),
+            right: teacher_logits.shape().dims().to_vec(),
+            op: "kd_soft_cross_entropy",
+        });
+    }
+    assert!(temperature > 0.0, "temperature must be positive");
+    let n = student_logits.rows();
+    if n == 0 {
+        return Ok((0.0, student_logits.clone()));
+    }
+    let t = temperature;
+    let p_teacher = softmax(&teacher_logits.scale(1.0 / t))?;
+    let p_student = softmax(&student_logits.scale(1.0 / t))?;
+    let inv_n = 1.0 / n as f32;
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        for (q, p) in p_teacher.row(i).iter().zip(p_student.row(i)) {
+            loss -= (*q as f64) * (p.max(1e-12) as f64).ln();
+        }
+    }
+    // ∂L/∂z_student = T²·(1/T)·(p_student − p_teacher)/n = T·(ps − pt)/n
+    let grad = p_student.try_sub(&p_teacher)?.scale(t * inv_n);
+    Ok(((loss * inv_n as f64) as f32 * t * t, grad))
+}
+
+/// Mean squared error. Returns `(loss, grad_pred)`.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), TensorError> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: pred.shape().dims().to_vec(),
+            right: target.shape().dims().to_vec(),
+            op: "mse_loss",
+        });
+    }
+    let n = pred.len();
+    if n == 0 {
+        return Ok((0.0, pred.clone()));
+    }
+    let diff = pred.try_sub(target)?;
+    let loss = diff.sq_norm() / n as f32;
+    let grad = diff.scale(2.0 / n as f32);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_tensor::Rng64;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng64::new(1);
+        let logits = Tensor::randn([5, 7], 0.0, 3.0, &mut rng);
+        let p = softmax(&logits).unwrap();
+        for i in 0..5 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let logits = Tensor::from_rows(&[vec![1000.0, 1001.0]]).unwrap();
+        let p = softmax(&logits).unwrap();
+        assert!(p.all_finite());
+        assert!(p.at(0, 1) > p.at(0, 0));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let logits = Tensor::from_rows(&[vec![100.0, 0.0], vec![0.0, 100.0]]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros([3, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_finite_diff() {
+        let mut rng = Rng64::new(2);
+        let logits = Tensor::randn([4, 3], 0.0, 1.0, &mut rng);
+        let labels = [2, 0, 1, 1];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..12 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let (vp, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+            let (vm, _) = softmax_cross_entropy(&lm, &labels).unwrap();
+            let numeric = (vp - vm) / (2.0 * eps);
+            assert!((numeric - grad.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_labels() {
+        let logits = Tensor::zeros([2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn kd_zero_when_student_equals_teacher() {
+        let mut rng = Rng64::new(3);
+        let logits = Tensor::randn([4, 5], 0.0, 1.0, &mut rng);
+        let (_, grad) = kd_soft_cross_entropy(&logits, &logits, 2.0).unwrap();
+        assert!(grad.sq_norm() < 1e-10);
+    }
+
+    #[test]
+    fn kd_gradient_finite_diff() {
+        let mut rng = Rng64::new(4);
+        let student = Tensor::randn([3, 4], 0.0, 1.0, &mut rng);
+        let teacher = Tensor::randn([3, 4], 0.0, 1.0, &mut rng);
+        let temp = 2.0;
+        let (_, grad) = kd_soft_cross_entropy(&student, &teacher, temp).unwrap();
+        let eps = 1e-3;
+        for idx in 0..12 {
+            let mut sp = student.clone();
+            sp.as_mut_slice()[idx] += eps;
+            let mut sm = student.clone();
+            sm.as_mut_slice()[idx] -= eps;
+            let (vp, _) = kd_soft_cross_entropy(&sp, &teacher, temp).unwrap();
+            let (vm, _) = kd_soft_cross_entropy(&sm, &teacher, temp).unwrap();
+            let numeric = (vp - vm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}: {numeric} vs {}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let p = Tensor::vector(&[1.0, 2.0]);
+        let t = Tensor::vector(&[0.0, 0.0]);
+        let (loss, grad) = mse_loss(&p, &t).unwrap();
+        assert_eq!(loss, 2.5);
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+    }
+}

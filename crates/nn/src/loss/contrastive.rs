@@ -1,0 +1,223 @@
+//! The margin contrastive loss of the PILOTE paper (Eq. 2).
+//!
+//! For a pair of embeddings `(a, b)` with similarity indicator `Y`:
+//!
+//! ```text
+//! L = Y · ‖a − b‖²  +  (1 − Y) · max(0, m² − ‖a − b‖²)        (paper form)
+//! L = Y · ‖a − b‖²  +  (1 − Y) · max(0, m − ‖a − b‖)²         (Hadsell form)
+//! ```
+//!
+//! The paper writes the squared-margin form; the classic Hadsell–Chopra–LeCun
+//! formulation is provided as well for the A2 margin ablation.
+
+use pilote_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Which dissimilar-pair penalty to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ContrastiveForm {
+    /// `max(0, m² − d²)` — the form printed in the paper (Eq. 2).
+    #[default]
+    SquaredMargin,
+    /// `max(0, m − d)²` — Hadsell et al. 2006.
+    Hadsell,
+}
+
+/// Mean contrastive loss over a batch of embedding pairs.
+///
+/// * `a`, `b`: `[n, d]` embeddings (row `i` of each forms pair `i`);
+/// * `similar[i]`: `true` when the pair shares a label (`Y = 1`);
+/// * `margin`: the `m` of Eq. 2 (must be positive).
+///
+/// Returns `(loss, grad_a, grad_b)` where the gradients are with respect to
+/// the *mean* loss (already divided by `n`).
+pub fn contrastive_pair_loss(
+    a: &Tensor,
+    b: &Tensor,
+    similar: &[bool],
+    margin: f32,
+    form: ContrastiveForm,
+) -> Result<(f32, Tensor, Tensor), TensorError> {
+    if a.rank() != 2 || b.rank() != 2 || a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().dims().to_vec(),
+            right: b.shape().dims().to_vec(),
+            op: "contrastive_pair_loss",
+        });
+    }
+    if similar.len() != a.rows() {
+        return Err(TensorError::LengthMismatch { len: similar.len(), expected: a.rows() });
+    }
+    assert!(margin > 0.0, "contrastive margin must be positive, got {margin}");
+    let n = a.rows();
+    if n == 0 {
+        return Ok((0.0, a.clone(), b.clone()));
+    }
+    let d = a.cols();
+    let inv_n = 1.0 / n as f32;
+    let mut loss = 0.0f64;
+    let mut grad_a = Tensor::zeros([n, d]);
+    let mut grad_b = Tensor::zeros([n, d]);
+
+    #[allow(clippy::needless_range_loop)] // `i` indexes four parallel structures
+    for i in 0..n {
+        let ra = a.row(i);
+        let rb = b.row(i);
+        let sq_dist: f32 = ra.iter().zip(rb).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        if similar[i] {
+            // L = d² ; ∂L/∂a = 2(a − b)
+            loss += sq_dist as f64;
+            let ga = grad_a.row_mut(i);
+            for j in 0..d {
+                ga[j] = 2.0 * (ra[j] - rb[j]) * inv_n;
+            }
+            let gb = grad_b.row_mut(i);
+            for j in 0..d {
+                gb[j] = -2.0 * (ra[j] - rb[j]) * inv_n;
+            }
+        } else {
+            match form {
+                ContrastiveForm::SquaredMargin => {
+                    let violation = margin * margin - sq_dist;
+                    if violation > 0.0 {
+                        // L = m² − d² ; ∂L/∂a = −2(a − b)
+                        loss += violation as f64;
+                        let ga = grad_a.row_mut(i);
+                        for j in 0..d {
+                            ga[j] = -2.0 * (ra[j] - rb[j]) * inv_n;
+                        }
+                        let gb = grad_b.row_mut(i);
+                        for j in 0..d {
+                            gb[j] = 2.0 * (ra[j] - rb[j]) * inv_n;
+                        }
+                    }
+                }
+                ContrastiveForm::Hadsell => {
+                    let dist = sq_dist.sqrt();
+                    let gap = margin - dist;
+                    if gap > 0.0 {
+                        // L = (m − d)² ; ∂L/∂a = −2(m − d)/d · (a − b)
+                        loss += (gap * gap) as f64;
+                        let coef = if dist > 1e-12 { -2.0 * gap / dist } else { 0.0 };
+                        let ga = grad_a.row_mut(i);
+                        for j in 0..d {
+                            ga[j] = coef * (ra[j] - rb[j]) * inv_n;
+                        }
+                        let gb = grad_b.row_mut(i);
+                        for j in 0..d {
+                            gb[j] = -coef * (ra[j] - rb[j]) * inv_n;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(((loss * inv_n as f64) as f32, grad_a, grad_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similar_pair_loss_is_squared_distance() {
+        let a = Tensor::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        let (loss, ga, gb) =
+            contrastive_pair_loss(&a, &b, &[true], 1.0, ContrastiveForm::SquaredMargin).unwrap();
+        assert_eq!(loss, 25.0);
+        assert_eq!(ga.as_slice(), &[-6.0, -8.0]);
+        assert_eq!(gb.as_slice(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn dissimilar_within_margin_pushes_apart() {
+        let a = Tensor::from_rows(&[vec![0.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![1.0]]).unwrap();
+        let (loss, ga, _) =
+            contrastive_pair_loss(&a, &b, &[false], 2.0, ContrastiveForm::SquaredMargin).unwrap();
+        // m² − d² = 4 − 1 = 3 ; gradient pushes a away from b (negative dir)
+        assert_eq!(loss, 3.0);
+        assert_eq!(ga.as_slice(), &[2.0]); // −2(a−b) = −2(−1) = 2
+    }
+
+    #[test]
+    fn dissimilar_beyond_margin_is_free() {
+        let a = Tensor::from_rows(&[vec![0.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![5.0]]).unwrap();
+        for form in [ContrastiveForm::SquaredMargin, ContrastiveForm::Hadsell] {
+            let (loss, ga, gb) = contrastive_pair_loss(&a, &b, &[false], 2.0, form).unwrap();
+            assert_eq!(loss, 0.0);
+            assert_eq!(ga.sq_norm(), 0.0);
+            assert_eq!(gb.sq_norm(), 0.0);
+        }
+    }
+
+    #[test]
+    fn hadsell_form_known_value() {
+        let a = Tensor::from_rows(&[vec![0.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![1.0]]).unwrap();
+        let (loss, _, _) =
+            contrastive_pair_loss(&a, &b, &[false], 3.0, ContrastiveForm::Hadsell).unwrap();
+        assert_eq!(loss, 4.0); // (3 − 1)²
+    }
+
+    #[test]
+    fn mean_over_pairs() {
+        let a = Tensor::from_rows(&[vec![0.0], vec![0.0]]).unwrap();
+        let b = Tensor::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let (loss, _, _) =
+            contrastive_pair_loss(&a, &b, &[true, true], 1.0, ContrastiveForm::SquaredMargin)
+                .unwrap();
+        assert_eq!(loss, (1.0 + 4.0) / 2.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        use pilote_tensor::Rng64;
+        let mut rng = Rng64::new(7);
+        let n = 6;
+        let d = 4;
+        let a = Tensor::randn([n, d], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([n, d], 0.0, 1.0, &mut rng);
+        let similar = [true, false, true, false, false, true];
+        for form in [ContrastiveForm::SquaredMargin, ContrastiveForm::Hadsell] {
+            let (_, ga, _) = contrastive_pair_loss(&a, &b, &similar, 1.5, form).unwrap();
+            let eps = 1e-3;
+            for idx in 0..(n * d) {
+                let mut ap = a.clone();
+                ap.as_mut_slice()[idx] += eps;
+                let mut am = a.clone();
+                am.as_mut_slice()[idx] -= eps;
+                let (lp, _, _) = contrastive_pair_loss(&ap, &b, &similar, 1.5, form).unwrap();
+                let (lm, _, _) = contrastive_pair_loss(&am, &b, &similar, 1.5, form).unwrap();
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = ga.as_slice()[idx];
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{form:?} idx {idx}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_zero_loss() {
+        let a = Tensor::zeros([0, 3]);
+        let b = Tensor::zeros([0, 3]);
+        let (loss, _, _) =
+            contrastive_pair_loss(&a, &b, &[], 1.0, ContrastiveForm::SquaredMargin).unwrap();
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 4]);
+        assert!(contrastive_pair_loss(&a, &b, &[true, true], 1.0, ContrastiveForm::SquaredMargin)
+            .is_err());
+        let b2 = Tensor::zeros([2, 3]);
+        assert!(contrastive_pair_loss(&a, &b2, &[true], 1.0, ContrastiveForm::SquaredMargin)
+            .is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! The embedding-space distillation loss of Algorithm 1, line 11:
+//! `L_disti = Σ_{x ∈ D₀} ‖φ_Θn(x) − φ_Θo(x)‖²`.
+
+use pilote_tensor::{Tensor, TensorError};
+
+/// Mean embedding distillation loss.
+///
+/// * `student`: embeddings of the old-class exemplars under the model being
+///   trained (`φ_Θn`), `[n, d]`;
+/// * `teacher`: embeddings of the same exemplars under the frozen
+///   pre-trained model (`φ_Θo`), `[n, d]` — treated as constants.
+///
+/// Returns `(loss, grad_student)` where the gradient is for the mean loss
+/// (divided by `n`); the teacher receives no gradient.
+pub fn distillation_loss(student: &Tensor, teacher: &Tensor) -> Result<(f32, Tensor), TensorError> {
+    if student.shape() != teacher.shape() || student.rank() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            left: student.shape().dims().to_vec(),
+            right: teacher.shape().dims().to_vec(),
+            op: "distillation_loss",
+        });
+    }
+    let n = student.rows();
+    if n == 0 {
+        return Ok((0.0, student.clone()));
+    }
+    let inv_n = 1.0 / n as f32;
+    let diff = student.try_sub(teacher)?;
+    let loss = diff.sq_norm() * inv_n;
+    let grad = diff.scale(2.0 * inv_n);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_tensor::Rng64;
+
+    #[test]
+    fn identical_embeddings_cost_nothing() {
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let (loss, grad) = distillation_loss(&t, &t).unwrap();
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        let s = Tensor::from_rows(&[vec![1.0, 0.0]]).unwrap();
+        let t = Tensor::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let (loss, grad) = distillation_loss(&s, &t).unwrap();
+        assert_eq!(loss, 1.0);
+        assert_eq!(grad.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_normalisation() {
+        let s = Tensor::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let t = Tensor::zeros([2, 1]);
+        let (loss, grad) = distillation_loss(&s, &t).unwrap();
+        assert_eq!(loss, 1.0); // (1 + 1)/2
+        assert_eq!(grad.as_slice(), &[1.0, 1.0]); // 2·diff/2
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = Rng64::new(5);
+        let s = Tensor::randn([4, 3], 0.0, 1.0, &mut rng);
+        let t = Tensor::randn([4, 3], 0.0, 1.0, &mut rng);
+        let (_, grad) = distillation_loss(&s, &t).unwrap();
+        let eps = 1e-3;
+        for idx in 0..12 {
+            let mut sp = s.clone();
+            sp.as_mut_slice()[idx] += eps;
+            let mut sm = s.clone();
+            sm.as_mut_slice()[idx] -= eps;
+            let (lp, _) = distillation_loss(&sp, &t).unwrap();
+            let (lm, _) = distillation_loss(&sm, &t).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let e = Tensor::zeros([0, 5]);
+        let (loss, _) = distillation_loss(&e, &e).unwrap();
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(distillation_loss(&Tensor::zeros([2, 3]), &Tensor::zeros([2, 4])).is_err());
+    }
+}

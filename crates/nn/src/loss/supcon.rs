@@ -1,0 +1,185 @@
+//! The batch softmax supervised-contrastive loss of Khosla et al. 2020 —
+//! reference [16] of the PILOTE paper. PILOTE uses the pairwise margin
+//! form (Eq. 2); this canonical multi-positive form is provided for the
+//! backbone-loss ablations.
+//!
+//! For a labelled batch of embeddings `z₁…z_n`:
+//!
+//! ```text
+//! L = Σ_i  −1/|P(i)| Σ_{p∈P(i)} log  exp(z_i·z_p/τ) / Σ_{a≠i} exp(z_i·z_a/τ)
+//! ```
+//!
+//! where `P(i)` are the other samples sharing `i`'s label. Anchors with no
+//! positive are skipped. The caller is expected to L2-normalise the
+//! embeddings (as in the original paper); this function treats `z` as-is.
+
+use pilote_tensor::{Tensor, TensorError};
+
+/// Mean supervised-contrastive loss over the anchors with at least one
+/// positive. Returns `(loss, grad_embeddings)`.
+pub fn supervised_contrastive_loss(
+    embeddings: &Tensor,
+    labels: &[usize],
+    temperature: f32,
+) -> Result<(f32, Tensor), TensorError> {
+    if embeddings.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            got: embeddings.rank(),
+            expected: 2,
+            op: "supervised_contrastive_loss",
+        });
+    }
+    if labels.len() != embeddings.rows() {
+        return Err(TensorError::LengthMismatch { len: labels.len(), expected: embeddings.rows() });
+    }
+    assert!(temperature > 0.0, "temperature must be positive");
+    let n = embeddings.rows();
+    let d = embeddings.cols();
+    let tau = temperature;
+    let mut grad = Tensor::zeros([n, d]);
+    if n < 2 {
+        return Ok((0.0, grad));
+    }
+
+    // Similarity matrix z_i·z_j / τ.
+    let sims = embeddings.matmul_t(embeddings)?.scale(1.0 / tau);
+
+    let mut total_loss = 0.0f64;
+    let mut anchors_used = 0usize;
+
+    for i in 0..n {
+        let positives: Vec<usize> = (0..n)
+            .filter(|&j| j != i && labels[j] == labels[i])
+            .collect();
+        if positives.is_empty() {
+            continue;
+        }
+        anchors_used += 1;
+        // Softmax over a ≠ i with the max trick.
+        let row = sims.row(i);
+        let max = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| row[j])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let mut z_sum = 0.0f64;
+        for (j, &s_ij) in row.iter().enumerate() {
+            if j != i {
+                z_sum += ((s_ij - max) as f64).exp();
+            }
+        }
+        let inv_p = 1.0 / positives.len() as f32;
+
+        // Loss: −1/|P| Σ_p (s_ip − max − log Σ) .
+        for &p in &positives {
+            total_loss -= (row[p] - max) as f64 * inv_p as f64;
+        }
+        total_loss += z_sum.ln();
+
+        // Gradients. s_ij = softmax over a≠i.
+        // ∂L_i/∂z_j (j≠i) = z_i/τ · (s_ij − [j ∈ P]/|P|)
+        // ∂L_i/∂z_i       = 1/τ · (Σ_a s_ia z_a − mean_p z_p)
+        let zi = embeddings.row(i);
+        let mut coeff_sum_z = vec![0.0f32; d]; // Σ_a s_ia z_a
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let s_ij = (((row[j] - max) as f64).exp() / z_sum) as f32;
+            let indicator = if labels[j] == labels[i] { inv_p } else { 0.0 };
+            let c = (s_ij - indicator) / tau;
+            let gj = grad.row_mut(j);
+            for (g, &z) in gj.iter_mut().zip(zi) {
+                *g += c * z;
+            }
+            let zj = embeddings.row(j);
+            for (acc, &z) in coeff_sum_z.iter_mut().zip(zj) {
+                *acc += s_ij * z;
+            }
+        }
+        let mut mean_pos = vec![0.0f32; d];
+        for &p in &positives {
+            for (m, &z) in mean_pos.iter_mut().zip(embeddings.row(p)) {
+                *m += z * inv_p;
+            }
+        }
+        let gi = grad.row_mut(i);
+        for j in 0..d {
+            gi[j] += (coeff_sum_z[j] - mean_pos[j]) / tau;
+        }
+    }
+
+    if anchors_used == 0 {
+        return Ok((0.0, Tensor::zeros([n, d])));
+    }
+    let inv_a = 1.0 / anchors_used as f32;
+    Ok(((total_loss * inv_a as f64) as f32, grad.scale(inv_a)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilote_tensor::Rng64;
+
+    #[test]
+    fn loss_decreases_when_clusters_tighten() {
+        let mut rng = Rng64::new(1);
+        let tight_a = Tensor::randn([8, 4], 0.0, 0.1, &mut rng);
+        let tight_b = Tensor::randn([8, 4], 5.0, 0.1, &mut rng);
+        let tight = Tensor::vstack(&[&tight_a, &tight_b]).unwrap();
+        let loose = Tensor::randn([16, 4], 0.0, 3.0, &mut rng);
+        let labels: Vec<usize> = (0..16).map(|i| usize::from(i >= 8)).collect();
+        let (l_tight, _) = supervised_contrastive_loss(&tight, &labels, 1.0).unwrap();
+        let (l_loose, _) = supervised_contrastive_loss(&loose, &labels, 1.0).unwrap();
+        assert!(l_tight < l_loose, "tight {l_tight} loose {l_loose}");
+    }
+
+    #[test]
+    fn anchors_without_positives_are_skipped() {
+        let mut rng = Rng64::new(2);
+        let z = Tensor::randn([3, 2], 0.0, 1.0, &mut rng);
+        // Every label unique → no anchor has a positive → loss 0, grad 0.
+        let (loss, grad) = supervised_contrastive_loss(&z, &[0, 1, 2], 1.0).unwrap();
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = Rng64::new(3);
+        let z = Tensor::randn([6, 3], 0.0, 1.0, &mut rng);
+        let labels = [0usize, 0, 1, 1, 2, 2];
+        let (_, grad) = supervised_contrastive_loss(&z, &labels, 0.7).unwrap();
+        let eps = 1e-3;
+        for idx in 0..18 {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[idx] += eps;
+            let mut zm = z.clone();
+            zm.as_mut_slice()[idx] -= eps;
+            let (lp, _) = supervised_contrastive_loss(&zp, &labels, 0.7).unwrap();
+            let (lm, _) = supervised_contrastive_loss(&zm, &labels, 0.7).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_batches_are_safe() {
+        let z = Tensor::zeros([1, 4]);
+        let (loss, grad) = supervised_contrastive_loss(&z, &[0], 1.0).unwrap();
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.shape().dims(), &[1, 4]);
+        let e = Tensor::zeros([0, 4]);
+        assert!(supervised_contrastive_loss(&e, &[], 1.0).is_ok());
+    }
+
+    #[test]
+    fn input_validation() {
+        let z = Tensor::zeros([2, 3]);
+        assert!(supervised_contrastive_loss(&z, &[0], 1.0).is_err());
+        assert!(supervised_contrastive_loss(&Tensor::zeros([4]), &[0], 1.0).is_err());
+    }
+}

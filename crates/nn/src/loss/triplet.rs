@@ -1,0 +1,196 @@
+//! Triplet margin loss — a standard alternative to the pairwise
+//! contrastive loss for metric learning, provided for the backbone-loss
+//! ablations.
+
+use pilote_tensor::{Rng64, Tensor, TensorError};
+
+/// Mean triplet loss `max(0, ‖a−p‖² − ‖a−n‖² + margin)` over a batch of
+/// `(anchor, positive, negative)` embedding triplets (`[n, d]` each).
+///
+/// Returns `(loss, grad_anchor, grad_positive, grad_negative)`.
+pub fn triplet_loss(
+    anchor: &Tensor,
+    positive: &Tensor,
+    negative: &Tensor,
+    margin: f32,
+) -> Result<(f32, Tensor, Tensor, Tensor), TensorError> {
+    if anchor.rank() != 2 || anchor.shape() != positive.shape() || anchor.shape() != negative.shape()
+    {
+        return Err(TensorError::ShapeMismatch {
+            left: anchor.shape().dims().to_vec(),
+            right: positive.shape().dims().to_vec(),
+            op: "triplet_loss",
+        });
+    }
+    assert!(margin > 0.0, "triplet margin must be positive");
+    let (n, d) = (anchor.rows(), anchor.cols());
+    if n == 0 {
+        return Ok((0.0, anchor.clone(), positive.clone(), negative.clone()));
+    }
+    let inv_n = 1.0 / n as f32;
+    let mut loss = 0.0f64;
+    let mut ga = Tensor::zeros([n, d]);
+    let mut gp = Tensor::zeros([n, d]);
+    let mut gn = Tensor::zeros([n, d]);
+    for i in 0..n {
+        let a = anchor.row(i);
+        let p = positive.row(i);
+        let nn = negative.row(i);
+        let dp: f32 = a.iter().zip(p).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        let dn: f32 = a.iter().zip(nn).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        let violation = dp - dn + margin;
+        if violation > 0.0 {
+            loss += violation as f64;
+            // ∂/∂a = 2(a−p) − 2(a−n) = 2(n−p) ; ∂/∂p = −2(a−p) ; ∂/∂n = 2(a−n)
+            let (ra, rp, rn) = (a, p, nn);
+            let ga_r = ga.row_mut(i);
+            for j in 0..d {
+                ga_r[j] = 2.0 * (rn[j] - rp[j]) * inv_n;
+            }
+            let gp_r = gp.row_mut(i);
+            for j in 0..d {
+                gp_r[j] = -2.0 * (ra[j] - rp[j]) * inv_n;
+            }
+            let gn_r = gn.row_mut(i);
+            for j in 0..d {
+                gn_r[j] = 2.0 * (ra[j] - rn[j]) * inv_n;
+            }
+        }
+    }
+    Ok(((loss * inv_n as f64) as f32, ga, gp, gn))
+}
+
+/// A sampled batch of triplet indices.
+#[derive(Debug, Clone, Default)]
+pub struct TripletSet {
+    /// Anchor row indices.
+    pub anchors: Vec<usize>,
+    /// Positive (same-class) row indices.
+    pub positives: Vec<usize>,
+    /// Negative (different-class) row indices.
+    pub negatives: Vec<usize>,
+}
+
+impl TripletSet {
+    /// Number of triplets.
+    pub fn len(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.anchors.is_empty()
+    }
+}
+
+/// Samples up to `per_anchor` random triplets per anchor from a labelled
+/// batch; anchors whose class has no second member, or with no
+/// different-class row available, are skipped.
+pub fn sample_triplets(labels: &[usize], per_anchor: usize, rng: &mut Rng64) -> TripletSet {
+    let n = labels.len();
+    let mut out = TripletSet::default();
+    for (anchor, &ya) in labels.iter().enumerate() {
+        let has_pos = labels.iter().enumerate().any(|(i, &l)| i != anchor && l == ya);
+        let has_neg = labels.iter().any(|&l| l != ya);
+        if !has_pos || !has_neg {
+            continue;
+        }
+        for _ in 0..per_anchor {
+            let positive = loop {
+                let c = rng.below(n);
+                if c != anchor && labels[c] == ya {
+                    break c;
+                }
+            };
+            let negative = loop {
+                let c = rng.below(n);
+                if labels[c] != ya {
+                    break c;
+                }
+            };
+            out.anchors.push(anchor);
+            out.positives.push(positive);
+            out.negatives.push(negative);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satisfied_triplet_is_free() {
+        let a = Tensor::from_rows(&[vec![0.0]]).unwrap();
+        let p = Tensor::from_rows(&[vec![0.1]]).unwrap();
+        let n = Tensor::from_rows(&[vec![10.0]]).unwrap();
+        let (loss, ga, _, _) = triplet_loss(&a, &p, &n, 1.0).unwrap();
+        assert_eq!(loss, 0.0);
+        assert_eq!(ga.sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn violated_triplet_known_value() {
+        let a = Tensor::from_rows(&[vec![0.0]]).unwrap();
+        let p = Tensor::from_rows(&[vec![2.0]]).unwrap(); // dp = 4
+        let n = Tensor::from_rows(&[vec![1.0]]).unwrap(); // dn = 1
+        let (loss, _, _, _) = triplet_loss(&a, &p, &n, 0.5).unwrap();
+        assert!((loss - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        use pilote_tensor::Rng64;
+        let mut rng = Rng64::new(1);
+        let a = Tensor::randn([5, 3], 0.0, 1.0, &mut rng);
+        let p = Tensor::randn([5, 3], 0.0, 1.0, &mut rng);
+        let n = Tensor::randn([5, 3], 0.0, 1.0, &mut rng);
+        let (_, ga, gp, gn) = triplet_loss(&a, &p, &n, 1.0).unwrap();
+        let eps = 1e-3;
+        for idx in 0..15 {
+            for (which, grad) in [(0, &ga), (1, &gp), (2, &gn)] {
+                let perturb = |delta: f32| {
+                    let mut aa = a.clone();
+                    let mut pp = p.clone();
+                    let mut nn = n.clone();
+                    match which {
+                        0 => aa.as_mut_slice()[idx] += delta,
+                        1 => pp.as_mut_slice()[idx] += delta,
+                        _ => nn.as_mut_slice()[idx] += delta,
+                    }
+                    triplet_loss(&aa, &pp, &nn, 1.0).unwrap().0
+                };
+                let numeric = (perturb(eps) - perturb(-eps)) / (2.0 * eps);
+                assert!(
+                    (numeric - grad.as_slice()[idx]).abs() < 1e-2,
+                    "input {which} idx {idx}: {numeric} vs {}",
+                    grad.as_slice()[idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_produces_valid_triplets() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let mut rng = Rng64::new(2);
+        let t = sample_triplets(&labels, 3, &mut rng);
+        assert_eq!(t.len(), 18);
+        for i in 0..t.len() {
+            assert_eq!(labels[t.anchors[i]], labels[t.positives[i]]);
+            assert_ne!(t.anchors[i], t.positives[i]);
+            assert_ne!(labels[t.anchors[i]], labels[t.negatives[i]]);
+        }
+    }
+
+    #[test]
+    fn sampler_skips_impossible_anchors() {
+        // Class 9 has a single member → no positive; all-same-class → no negative.
+        let mut rng = Rng64::new(3);
+        let t = sample_triplets(&[9, 0, 0], 2, &mut rng);
+        assert!(t.anchors.iter().all(|&a| a != 0));
+        let t2 = sample_triplets(&[1, 1, 1], 2, &mut rng);
+        assert!(t2.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Training-loop utilities: mini-batch index iteration, the paper's
+//! early-stopping rule, and per-epoch bookkeeping.
+
+use pilote_tensor::Rng64;
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f32,
+    /// Validation loss, if a validation split was evaluated.
+    pub val_loss: Option<f32>,
+    /// Learning rate in force.
+    pub lr: f32,
+    /// Wall-clock duration of the epoch in seconds.
+    pub seconds: f64,
+}
+
+/// The paper's stopping condition (§6.1.2): stop when the change in
+/// validation loss between consecutive epochs stays below a small
+/// threshold (`1e-4`) for five consecutive steps.
+#[derive(Debug, Clone)]
+pub struct EarlyStopper {
+    threshold: f32,
+    patience: usize,
+    streak: usize,
+    last: Option<f32>,
+}
+
+impl EarlyStopper {
+    /// The paper's configuration: threshold `1e-4`, patience 5.
+    pub fn paper() -> Self {
+        Self::new(1e-4, 5)
+    }
+
+    /// Custom threshold/patience.
+    pub fn new(threshold: f32, patience: usize) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        EarlyStopper { threshold, patience, streak: 0, last: None }
+    }
+
+    /// Feeds the epoch's validation loss; returns `true` when training
+    /// should stop.
+    pub fn observe(&mut self, val_loss: f32) -> bool {
+        let stop = match self.last {
+            Some(prev) if (prev - val_loss).abs() < self.threshold => {
+                self.streak += 1;
+                self.streak >= self.patience
+            }
+            _ => {
+                self.streak = 0;
+                false
+            }
+        };
+        self.last = Some(val_loss);
+        stop
+    }
+
+    /// Resets the stopper for a new training run.
+    pub fn reset(&mut self) {
+        self.streak = 0;
+        self.last = None;
+    }
+}
+
+/// Yields shuffled mini-batches of row indices `0..n`.
+///
+/// The final batch may be smaller than `batch_size`; empty batches are
+/// never produced.
+pub fn shuffled_batches(n: usize, batch_size: usize, rng: &mut Rng64) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    idx.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+/// Splits `0..n` into disjoint shuffled train/validation index sets, with
+/// `val_fraction` of the rows (rounded down, at least one row in each side
+/// when `n ≥ 2`) going to validation.
+pub fn train_val_split(n: usize, val_fraction: f32, rng: &mut Rng64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&val_fraction), "val_fraction must be in [0,1)");
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    let mut n_val = (n as f32 * val_fraction) as usize;
+    if n >= 2 {
+        n_val = n_val.clamp(1, n - 1);
+    } else {
+        n_val = 0;
+    }
+    let val = idx.split_off(n - n_val);
+    (idx, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopper_fires_after_patience_flat_epochs() {
+        let mut s = EarlyStopper::paper();
+        assert!(!s.observe(1.0));
+        // five consecutive sub-threshold deltas
+        for i in 0..4 {
+            assert!(!s.observe(1.0 + 1e-6), "step {i}");
+        }
+        assert!(s.observe(1.0));
+    }
+
+    #[test]
+    fn stopper_resets_streak_on_movement() {
+        let mut s = EarlyStopper::paper();
+        s.observe(1.0);
+        for _ in 0..3 {
+            s.observe(1.0);
+        }
+        // big move breaks the streak
+        assert!(!s.observe(0.5));
+        for _ in 0..4 {
+            assert!(!s.observe(0.5));
+        }
+        assert!(s.observe(0.5));
+    }
+
+    #[test]
+    fn stopper_reset_forgets_history() {
+        let mut s = EarlyStopper::new(1e-4, 2);
+        s.observe(1.0);
+        s.observe(1.0);
+        s.reset();
+        assert!(!s.observe(1.0));
+        assert!(!s.observe(1.0)); // first sub-threshold step after reset
+    }
+
+    #[test]
+    fn batches_cover_all_indices_once() {
+        let mut rng = Rng64::new(1);
+        let batches = shuffled_batches(103, 10, &mut rng);
+        assert_eq!(batches.len(), 11);
+        assert_eq!(batches.last().unwrap().len(), 3);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_empty_input() {
+        let mut rng = Rng64::new(2);
+        assert!(shuffled_batches(0, 8, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let mut rng = Rng64::new(3);
+        let (train, val) = train_val_split(100, 0.2, &mut rng);
+        assert_eq!(train.len(), 80);
+        assert_eq!(val.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(&val).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_tiny_inputs() {
+        let mut rng = Rng64::new(4);
+        let (train, val) = train_val_split(2, 0.2, &mut rng);
+        assert_eq!(train.len() + val.len(), 2);
+        assert_eq!(val.len(), 1);
+        let (train, val) = train_val_split(1, 0.5, &mut rng);
+        assert_eq!(train.len(), 1);
+        assert!(val.is_empty());
+        let (train, val) = train_val_split(0, 0.5, &mut rng);
+        assert!(train.is_empty() && val.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type shared by every fallible tensor operation.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor algebra.
+///
+/// The type is deliberately small (two words) so that `Result<Tensor>` stays
+/// cheap to return from hot paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the product of the
+    /// requested shape.
+    LengthMismatch {
+        /// Number of elements supplied.
+        len: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The operation requires a different rank (e.g. matmul on a 1-D tensor).
+    RankMismatch {
+        /// Rank of the offending tensor.
+        got: usize,
+        /// Rank the operation requires.
+        expected: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An index or axis was out of bounds.
+    OutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The operation is undefined on an empty tensor (e.g. argmax).
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, expected } => {
+                write!(f, "length mismatch: got {len} elements, shape requires {expected}")
+            }
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "{op}: incompatible shapes {left:?} and {right:?}")
+            }
+            TensorError::RankMismatch { got, expected, op } => {
+                write!(f, "{op}: expected rank {expected}, got rank {got}")
+            }
+            TensorError::OutOfBounds { index, bound, op } => {
+                write!(f, "{op}: index {index} out of bounds (< {bound})")
+            }
+            TensorError::Empty { op } => write!(f, "{op}: undefined on an empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![4], op: "add" };
+        let msg = e.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4]"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(TensorError::Empty { op: "argmax" });
+        assert!(e.to_string().contains("argmax"));
+    }
+
+    #[test]
+    fn length_mismatch_reports_both_sides() {
+        let e = TensorError::LengthMismatch { len: 5, expected: 6 };
+        let msg = e.to_string();
+        assert!(msg.contains('5') && msg.contains('6'));
+    }
+}

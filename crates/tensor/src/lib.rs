@@ -1,0 +1,51 @@
+//! # pilote-tensor
+//!
+//! Dense `f32` tensor substrate for the PILOTE reproduction.
+//!
+//! The PILOTE paper (EDBT 2023) implements its embedding network in PyTorch;
+//! no comparable deep-learning substrate exists in the offline Rust crate
+//! set, so this crate provides the numerical foundation from scratch:
+//!
+//! * [`Tensor`] — a contiguous, row-major, heap-allocated `f32` tensor with
+//!   rank 1/2 fast paths (the workloads here are batches of feature vectors
+//!   and weight matrices).
+//! * Element-wise and broadcast arithmetic ([`ops`]), blocked matrix
+//!   multiplication ([`matmul`]), reductions ([`reduce`]) and small
+//!   linear-algebra routines ([`linalg`]) such as pairwise squared
+//!   Euclidean distances (the workhorse of both the contrastive loss and the
+//!   nearest-class-mean classifier).
+//! * A small deterministic RNG ([`rng`]) (SplitMix64-seeded xoshiro256++
+//!   with a Box–Muller normal sampler) so that every experiment in the
+//!   benchmark harness is reproducible from a single `u64` seed.
+//! * Weight initialisation schemes ([`init`]).
+//!
+//! Design notes
+//! ------------
+//! * All shapes are validated eagerly; shape errors are returned as
+//!   [`TensorError`] from fallible entry points, while the infallible
+//!   operator overloads (`+`, `-`, `*`) panic with a descriptive message —
+//!   mirroring the convention of mainstream numeric libraries.
+//! * Storage is always contiguous; transposition is materialised. For the
+//!   matrix sizes used by PILOTE (≤ a few thousand rows, ≤ 1024 columns)
+//!   this is both simpler and faster than stride gymnastics.
+
+pub mod error;
+pub mod init;
+pub mod linalg;
+pub mod matmul;
+pub mod ops;
+pub mod reduce;
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use stats::Welford;
+
+pub use error::TensorError;
+pub use rng::Rng64;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

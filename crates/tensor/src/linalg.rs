@@ -1,0 +1,278 @@
+//! Small linear-algebra routines: pairwise distances, row normalisation,
+//! covariance, and a power-iteration eigen-solver.
+//!
+//! Pairwise squared Euclidean distance is *the* kernel of PILOTE: both the
+//! margin contrastive loss (Eq. 2) and the NCM classifier (Eq. 1) are
+//! defined on it, and the herding selector evaluates it thousands of times.
+
+use crate::error::TensorError;
+use crate::reduce::Axis;
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl Tensor {
+    /// Pairwise squared Euclidean distances between the rows of `self`
+    /// (`[m, d]`) and the rows of `other` (`[n, d]`), producing `[m, n]`.
+    ///
+    /// Uses the expansion `‖x−y‖² = ‖x‖² + ‖y‖² − 2·x·y` so the bulk of the
+    /// work is a single `matmul_t`. Tiny negative values from cancellation
+    /// are clamped to zero.
+    pub fn pairwise_sq_dists(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 || self.cols() != other.cols() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+                op: "pairwise_sq_dists",
+            });
+        }
+        let cross = self.matmul_t(other)?; // [m, n]
+        let x_sq: Vec<f32> = (0..self.rows())
+            .map(|i| self.row(i).iter().map(|&v| v * v).sum())
+            .collect();
+        let y_sq: Vec<f32> = (0..other.rows())
+            .map(|j| other.row(j).iter().map(|&v| v * v).sum())
+            .collect();
+        let (m, n) = (self.rows(), other.rows());
+        let mut out = cross.into_vec();
+        for i in 0..m {
+            let xs = x_sq[i];
+            let row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in row.iter_mut().enumerate() {
+                *o = (xs + y_sq[j] - 2.0 * *o).max(0.0);
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Squared Euclidean distance between two rank-1 tensors.
+    pub fn sq_dist(&self, other: &Tensor) -> Result<f32> {
+        if self.rank() != 1 || other.rank() != 1 || self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+                op: "sq_dist",
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum::<f64>() as f32)
+    }
+
+    /// L2-normalises each row of a rank-2 tensor; rows with norm below
+    /// `eps` are left unchanged.
+    pub fn normalize_rows(&self, eps: f32) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "normalize_rows" });
+        }
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let norm = row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt() as f32;
+            if norm > eps {
+                for v in row {
+                    *v /= norm;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Column-mean-centred copy of a rank-2 tensor, plus the removed mean.
+    pub fn center_columns(&self) -> Result<(Tensor, Tensor)> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "center_columns" });
+        }
+        let mean = self.mean_axis(Axis::Rows)?;
+        let centered = self.try_sub(&mean)?;
+        Ok((centered, mean))
+    }
+
+    /// Sample covariance matrix (`[d, d]`) of the rows of a rank-2 tensor.
+    pub fn covariance(&self) -> Result<Tensor> {
+        let (centered, _) = self.center_columns()?;
+        let n = self.rows().max(2) as f32;
+        Ok(centered.t_matmul(&centered)?.scale(1.0 / (n - 1.0)))
+    }
+}
+
+/// Leading eigenpairs of a symmetric matrix by power iteration with
+/// deflation.
+///
+/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors` is `[k, d]`
+/// (one unit-norm eigenvector per row), ordered by decreasing eigenvalue
+/// magnitude. Convergence tolerance `1e-7`, at most `max_iter` sweeps per
+/// component. Adequate for the 2–3 leading components PCA projection needs.
+pub fn symmetric_eigen_top_k(
+    matrix: &Tensor,
+    k: usize,
+    max_iter: usize,
+) -> Result<(Vec<f32>, Tensor)> {
+    if matrix.rank() != 2 || matrix.rows() != matrix.cols() {
+        return Err(TensorError::ShapeMismatch {
+            left: matrix.shape().dims().to_vec(),
+            right: matrix.shape().dims().to_vec(),
+            op: "symmetric_eigen_top_k",
+        });
+    }
+    let d = matrix.rows();
+    let k = k.min(d);
+    let mut deflated = matrix.clone();
+    let mut values = Vec::with_capacity(k);
+    let mut vectors = Tensor::zeros([k, d]);
+
+    for comp in 0..k {
+        // Deterministic, component-dependent start vector to avoid being
+        // orthogonal to the target eigenvector.
+        let mut v: Vec<f32> = (0..d)
+            .map(|i| ((i + 1) as f32 * 0.7548776 + comp as f32 * 0.327).sin())
+            .collect();
+        let mut lambda = 0.0f32;
+        for _ in 0..max_iter {
+            let vt = Tensor::vector(&v);
+            let mut w = deflated.matvec(&vt)?.into_vec();
+            let norm = w.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt() as f32;
+            if norm < 1e-12 {
+                // Matrix is (numerically) zero in the remaining subspace.
+                break;
+            }
+            for x in &mut w {
+                *x /= norm;
+            }
+            let new_lambda = {
+                let wt = Tensor::vector(&w);
+                deflated.matvec(&wt)?.dot(&wt)?
+            };
+            let delta = (new_lambda - lambda).abs();
+            v = w;
+            lambda = new_lambda;
+            if delta < 1e-7 * (1.0 + lambda.abs()) {
+                break;
+            }
+        }
+        values.push(lambda);
+        vectors.row_mut(comp).copy_from_slice(&v);
+        // Deflate: A ← A − λ v vᵀ
+        for i in 0..d {
+            for j in 0..d {
+                let upd = lambda * v[i] * v[j];
+                let cur = deflated.at(i, j);
+                deflated.set(&[i, j], cur - upd)?;
+            }
+        }
+    }
+    Ok((values, vectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn pairwise_matches_direct() {
+        let mut rng = Rng64::new(1);
+        let x = Tensor::from_vec((0..5 * 4).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [5, 4]).unwrap();
+        let y = Tensor::from_vec((0..3 * 4).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [3, 4]).unwrap();
+        let d = x.pairwise_sq_dists(&y).unwrap();
+        for i in 0..5 {
+            for j in 0..3 {
+                let direct: f32 = x
+                    .row(i)
+                    .iter()
+                    .zip(y.row(j))
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                assert!((d.at(i, j) - direct).abs() < 1e-4, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_self_diagonal_zero() {
+        let mut rng = Rng64::new(2);
+        let x = Tensor::from_vec((0..6 * 8).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [6, 8]).unwrap();
+        let d = x.pairwise_sq_dists(&x).unwrap();
+        for i in 0..6 {
+            assert!(d.at(i, i) < 1e-4);
+            assert!(d.at(i, i) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sq_dist_simple() {
+        let a = Tensor::vector(&[0.0, 0.0]);
+        let b = Tensor::vector(&[3.0, 4.0]);
+        assert_eq!(a.sq_dist(&b).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let t = Tensor::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]).unwrap();
+        let n = t.normalize_rows(1e-9).unwrap();
+        assert!((n.row(0).iter().map(|v| v * v).sum::<f32>() - 1.0).abs() < 1e-6);
+        // zero row untouched
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn center_columns_zero_mean() {
+        let t = Tensor::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0]]).unwrap();
+        let (c, mean) = t.center_columns().unwrap();
+        assert_eq!(mean.as_slice(), &[2.0, 20.0]);
+        assert_eq!(c.mean_axis(Axis::Rows).unwrap().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn covariance_of_known_data() {
+        // Two perfectly correlated columns.
+        let t = Tensor::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let cov = t.covariance().unwrap();
+        assert!((cov.at(0, 0) - 1.0).abs() < 1e-5);
+        assert!((cov.at(0, 1) - 2.0).abs() < 1e-5);
+        assert!((cov.at(1, 1) - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn power_iteration_recovers_diagonal_spectrum() {
+        let m = Tensor::from_rows(&[
+            vec![5.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0],
+            vec![0.0, 0.0, 0.5],
+        ])
+        .unwrap();
+        let (vals, vecs) = symmetric_eigen_top_k(&m, 2, 500).unwrap();
+        assert!((vals[0] - 5.0).abs() < 1e-3);
+        assert!((vals[1] - 2.0).abs() < 1e-3);
+        assert!(vecs.row(0)[0].abs() > 0.999);
+        assert!(vecs.row(1)[1].abs() > 0.999);
+    }
+
+    #[test]
+    fn power_iteration_vectors_orthonormal() {
+        let mut rng = Rng64::new(7);
+        // Random symmetric PSD matrix A = BᵀB.
+        let b = Tensor::from_vec((0..6 * 6).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [6, 6]).unwrap();
+        let a = b.t_matmul(&b).unwrap();
+        let (vals, vecs) = symmetric_eigen_top_k(&a, 3, 1000).unwrap();
+        assert!(vals[0] >= vals[1] - 1e-3 && vals[1] >= vals[2] - 1e-3);
+        for i in 0..3 {
+            let vi = Tensor::vector(vecs.row(i));
+            assert!((vi.dot(&vi).unwrap() - 1.0).abs() < 1e-3);
+            for j in i + 1..3 {
+                let vj = Tensor::vector(vecs.row(j));
+                assert!(vi.dot(&vj).unwrap().abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_rejects_nonsquare() {
+        assert!(symmetric_eigen_top_k(&Tensor::zeros([2, 3]), 1, 10).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Element-wise and broadcast arithmetic.
+//!
+//! Supported broadcast forms (all that the NN stack needs):
+//!
+//! * identical shapes — plain element-wise;
+//! * matrix `[n, d]` (+|-|*|/) row vector `[d]` — the bias/affine pattern;
+//! * column broadcast via [`Tensor::mul_col`] for per-row scaling.
+//!
+//! Fallible named methods (`try_add`, …) return [`TensorError`]; the
+//! operator overloads panic on shape mismatch with the same message.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+#[inline]
+fn zip_apply(a: &Tensor, b: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    if a.shape() == b.shape() {
+        let data = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        return Tensor::from_vec(data, a.shape().clone());
+    }
+    // matrix [n, d] op row-vector [d]
+    if a.rank() == 2 && b.rank() == 1 && a.cols() == b.len() {
+        let d = a.cols();
+        let bv = b.as_slice();
+        let data = a
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| f(x, bv[i % d]))
+            .collect();
+        return Tensor::from_vec(data, a.shape().clone());
+    }
+    Err(TensorError::ShapeMismatch {
+        left: a.shape().dims().to_vec(),
+        right: b.shape().dims().to_vec(),
+        op,
+    })
+}
+
+impl Tensor {
+    /// Element-wise / broadcast addition.
+    pub fn try_add(&self, other: &Tensor) -> Result<Tensor> {
+        zip_apply(self, other, "add", |x, y| x + y)
+    }
+
+    /// Element-wise / broadcast subtraction.
+    pub fn try_sub(&self, other: &Tensor) -> Result<Tensor> {
+        zip_apply(self, other, "sub", |x, y| x - y)
+    }
+
+    /// Element-wise / broadcast (Hadamard) multiplication.
+    pub fn try_mul(&self, other: &Tensor) -> Result<Tensor> {
+        zip_apply(self, other, "mul", |x, y| x * y)
+    }
+
+    /// Element-wise / broadcast division.
+    pub fn try_div(&self, other: &Tensor) -> Result<Tensor> {
+        zip_apply(self, other, "div", |x, y| x / y)
+    }
+
+    /// In-place `self += alpha * other` (identical shapes only) — the axpy
+    /// primitive used by all optimizer updates; avoids a temporary.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+                op: "axpy",
+            });
+        }
+        for (x, &y) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *x += alpha * y;
+        }
+        Ok(())
+    }
+
+    /// Multiplies each row `i` of a rank-2 tensor by `col[i]`.
+    pub fn mul_col(&self, col: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || col.rank() != 1 || col.len() != self.rows() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: col.shape().dims().to_vec(),
+                op: "mul_col",
+            });
+        }
+        let d = self.cols();
+        let cv = col.as_slice();
+        let data = self
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * cv[i / d])
+            .collect();
+        Tensor::from_vec(data, self.shape().clone())
+    }
+
+    /// Dot product of two rank-1 tensors of equal length.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.rank() != 1 || other.rank() != 1 || self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+                op: "dot",
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&x, &y)| x * y)
+            .sum())
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $try:ident) => {
+        impl std::ops::$trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.$try(rhs).unwrap_or_else(|e| panic!("{e}"))
+            }
+        }
+        impl std::ops::$trait<Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: Tensor) -> Tensor {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, try_add);
+impl_binop!(Sub, sub, try_sub);
+impl_binop!(Mul, mul, try_mul);
+impl_binop!(Div, div, try_div);
+
+impl std::ops::Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<f32>]) -> Tensor {
+        Tensor::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn elementwise_same_shape() {
+        let a = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let b = Tensor::vector(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.try_add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.try_sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.try_mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.try_div(&a).unwrap().as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn row_broadcast() {
+        let a = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let bias = Tensor::vector(&[10.0, 20.0]);
+        let out = a.try_add(&bias).unwrap();
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn broadcast_rejects_bad_dims() {
+        let a = m(&[vec![1.0, 2.0]]);
+        let b = Tensor::vector(&[1.0, 2.0, 3.0]);
+        assert!(a.try_add(&b).is_err());
+    }
+
+    #[test]
+    fn operators_match_try_variants() {
+        let a = Tensor::vector(&[1.0, 2.0]);
+        let b = Tensor::vector(&[3.0, 4.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 6.0]);
+        assert_eq!((&a - &b).as_slice(), &[-2.0, -2.0]);
+        assert_eq!((&a * &b).as_slice(), &[3.0, 8.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "add")]
+    fn operator_panics_on_mismatch() {
+        let a = Tensor::vector(&[1.0]);
+        let b = Tensor::vector(&[1.0, 2.0]);
+        let _ = &a + &b;
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::vector(&[1.0, 2.0]);
+        let g = Tensor::vector(&[10.0, 10.0]);
+        a.axpy(-0.1, &g).unwrap();
+        assert_eq!(a.as_slice(), &[0.0, 1.0]);
+        assert!(a.axpy(1.0, &Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn mul_col_scales_rows() {
+        let a = m(&[vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let c = Tensor::vector(&[3.0, 0.5]);
+        let out = a.mul_col(&c).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let b = Tensor::vector(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert!(a.dot(&Tensor::zeros([2])).is_err());
+    }
+}

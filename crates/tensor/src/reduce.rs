@@ -1,0 +1,274 @@
+//! Reductions: sums, means, variances, extrema, argmax — whole-tensor and
+//! per-axis (rank-2) variants.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Axis selector for rank-2 reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Reduce over rows: output has one entry per column.
+    Rows,
+    /// Reduce over columns: output has one entry per row.
+    Cols,
+}
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        // f64 accumulator: the training loop sums thousands of squared
+        // distances; f32 accumulation loses precision noticeably there.
+        self.as_slice().iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.sum() / self.len() as f32
+    }
+
+    /// Population variance of all elements (0 for an empty tensor).
+    pub fn variance(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean() as f64;
+        let ss: f64 = self.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum();
+        (ss / self.len() as f64) as f32
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |a| a.max(x))))
+            .ok_or(TensorError::Empty { op: "max" })
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |a| a.min(x))))
+            .ok_or(TensorError::Empty { op: "min" })
+    }
+
+    /// Index of the maximum element of a rank-1 tensor (first on ties).
+    pub fn argmax(&self) -> Result<usize> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "argmax" });
+        }
+        let mut best = 0usize;
+        let mut best_v = self.as_slice()[0];
+        for (i, &v) in self.as_slice().iter().enumerate().skip(1) {
+            if v > best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Index of the minimum element of a rank-1 tensor (first on ties).
+    pub fn argmin(&self) -> Result<usize> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "argmin" });
+        }
+        let mut best = 0usize;
+        let mut best_v = self.as_slice()[0];
+        for (i, &v) in self.as_slice().iter().enumerate().skip(1) {
+            if v < best_v {
+                best = i;
+                best_v = v;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-axis sum of a rank-2 tensor.
+    pub fn sum_axis(&self, axis: Axis) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "sum_axis" });
+        }
+        let (r, c) = (self.rows(), self.cols());
+        match axis {
+            Axis::Rows => {
+                let mut out = vec![0.0f64; c];
+                for i in 0..r {
+                    for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                        *o += v as f64;
+                    }
+                }
+                Tensor::from_vec(out.into_iter().map(|x| x as f32).collect(), [c])
+            }
+            Axis::Cols => {
+                let mut out = Vec::with_capacity(r);
+                for i in 0..r {
+                    out.push(self.row(i).iter().map(|&v| v as f64).sum::<f64>() as f32);
+                }
+                Tensor::from_vec(out, [r])
+            }
+        }
+    }
+
+    /// Per-axis mean of a rank-2 tensor.
+    pub fn mean_axis(&self, axis: Axis) -> Result<Tensor> {
+        let (r, c) = (self.rows(), self.cols());
+        let n = match axis {
+            Axis::Rows => r,
+            Axis::Cols => c,
+        };
+        let s = self.sum_axis(axis)?;
+        Ok(if n == 0 { s } else { s.scale(1.0 / n as f32) })
+    }
+
+    /// Per-axis population variance of a rank-2 tensor.
+    pub fn var_axis(&self, axis: Axis) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "var_axis" });
+        }
+        let (r, c) = (self.rows(), self.cols());
+        let mean = self.mean_axis(axis)?;
+        match axis {
+            Axis::Rows => {
+                let mut out = vec![0.0f64; c];
+                for i in 0..r {
+                    for (j, &v) in self.row(i).iter().enumerate() {
+                        let d = v as f64 - mean.as_slice()[j] as f64;
+                        out[j] += d * d;
+                    }
+                }
+                let denom = r.max(1) as f64;
+                Tensor::from_vec(out.into_iter().map(|x| (x / denom) as f32).collect(), [c])
+            }
+            Axis::Cols => {
+                let mut out = Vec::with_capacity(r);
+                for i in 0..r {
+                    let m = mean.as_slice()[i] as f64;
+                    let ss: f64 = self.row(i).iter().map(|&v| (v as f64 - m).powi(2)).sum();
+                    out.push((ss / c.max(1) as f64) as f32);
+                }
+                Tensor::from_vec(out, [r])
+            }
+        }
+    }
+
+    /// Per-row argmin of a rank-2 tensor (first on ties).
+    ///
+    /// The NCM classifier's decision rule: each row holds the distances of
+    /// one sample to every class prototype.
+    pub fn argmin_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "argmin_rows" });
+        }
+        if self.cols() == 0 {
+            return Err(TensorError::Empty { op: "argmin_rows" });
+        }
+        let mut out = Vec::with_capacity(self.rows());
+        for i in 0..self.rows() {
+            let row = self.row(i);
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate().skip(1) {
+                if v < row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() as f32
+    }
+
+    /// L2 norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.sq_norm().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tensor {
+        Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn whole_tensor_reductions() {
+        let x = t();
+        assert_eq!(x.sum(), 21.0);
+        assert_eq!(x.mean(), 3.5);
+        assert!((x.variance() - 35.0 / 12.0).abs() < 1e-5);
+        assert_eq!(x.max().unwrap(), 6.0);
+        assert_eq!(x.min().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_reductions() {
+        let e = Tensor::zeros([0]);
+        assert_eq!(e.sum(), 0.0);
+        assert_eq!(e.mean(), 0.0);
+        assert!(e.max().is_err());
+        assert!(e.argmax().is_err());
+    }
+
+    #[test]
+    fn axis_sums() {
+        let x = t();
+        assert_eq!(x.sum_axis(Axis::Rows).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(x.sum_axis(Axis::Cols).unwrap().as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn axis_means_and_vars() {
+        let x = t();
+        assert_eq!(x.mean_axis(Axis::Rows).unwrap().as_slice(), &[2.5, 3.5, 4.5]);
+        assert_eq!(x.mean_axis(Axis::Cols).unwrap().as_slice(), &[2.0, 5.0]);
+        let vr = x.var_axis(Axis::Rows).unwrap();
+        assert_eq!(vr.as_slice(), &[2.25, 2.25, 2.25]);
+        let vc = x.var_axis(Axis::Cols).unwrap();
+        for &v in vc.as_slice() {
+            assert!((v - 2.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn arg_extrema() {
+        let v = Tensor::vector(&[3.0, 1.0, 4.0, 1.0, 5.0]);
+        assert_eq!(v.argmax().unwrap(), 4);
+        assert_eq!(v.argmin().unwrap(), 1);
+        // ties resolve to the first index
+        let tie = Tensor::vector(&[2.0, 2.0]);
+        assert_eq!(tie.argmax().unwrap(), 0);
+    }
+
+    #[test]
+    fn argmin_rows_per_sample() {
+        let d = Tensor::from_rows(&[vec![3.0, 1.0, 2.0], vec![0.5, 9.0, 9.0]]).unwrap();
+        assert_eq!(d.argmin_rows().unwrap(), vec![1, 0]);
+        assert!(Tensor::zeros([2, 0]).argmin_rows().is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let v = Tensor::vector(&[3.0, 4.0]);
+        assert_eq!(v.sq_norm(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+    }
+
+    #[test]
+    fn f64_accumulation_stability() {
+        // 1M small values: naive f32 accumulation drifts visibly.
+        let x = Tensor::full([1_000_000], 1e-4);
+        assert!((x.sum() - 100.0).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Descriptive statistics beyond simple reductions: quantiles, histograms
+//! and streaming (Welford) moments — used by the experiment reports and by
+//! the drift monitor of the streaming pipeline.
+
+use crate::tensor::Tensor;
+use crate::TensorError;
+
+impl Tensor {
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) of all elements, by linear
+    /// interpolation between order statistics.
+    pub fn quantile(&self, q: f32) -> Result<f32, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "quantile" });
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        let mut sorted: Vec<f32> = self.as_slice().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let pos = q as f64 * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = (pos - lo as f64) as f32;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Median of all elements.
+    pub fn median(&self) -> Result<f32, TensorError> {
+        self.quantile(0.5)
+    }
+
+    /// Fixed-width histogram of all elements over `[lo, hi]` with `bins`
+    /// buckets; out-of-range values clamp into the edge buckets.
+    pub fn histogram(&self, lo: f32, hi: f32, bins: usize) -> Result<Vec<u64>, TensorError> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "histogram" });
+        }
+        assert!(bins > 0 && hi > lo, "need bins > 0 and hi > lo");
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f32;
+        for &v in self.as_slice() {
+            let idx = (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        Ok(counts)
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm) — constant
+/// memory, numerically stable, suitable for on-device statistics over an
+/// unbounded sensor stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f32) {
+        self.count += 1;
+        let delta = x as f64 - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x as f64 - self.mean);
+    }
+
+    /// Feeds a slice of observations.
+    pub fn extend(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 before any observation).
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Running population variance (0 before two observations).
+    pub fn variance(&self) -> f32 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        (self.m2 / self.count as f64) as f32
+    }
+
+    /// Running population standard deviation.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator (parallel Welford combine).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn quantiles_of_known_sequence() {
+        let t = Tensor::vector(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(t.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(t.quantile(1.0).unwrap(), 5.0);
+        assert_eq!(t.median().unwrap(), 3.0);
+        assert_eq!(t.quantile(0.25).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let t = Tensor::vector(&[0.0, 10.0]);
+        assert_eq!(t.quantile(0.3).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn quantile_errors_and_panics() {
+        assert!(Tensor::zeros([0]).quantile(0.5).is_err());
+        let t = Tensor::vector(&[1.0]);
+        assert!(std::panic::catch_unwind(|| t.quantile(1.5)).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let t = Tensor::vector(&[-10.0, 0.1, 0.2, 0.6, 99.0]);
+        let h = t.histogram(0.0, 1.0, 2).unwrap();
+        // -10 clamps into bin 0; 99 clamps into bin 1.
+        assert_eq!(h, vec![3, 2]);
+        assert_eq!(h.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn welford_matches_batch_moments() {
+        let mut rng = Rng64::new(1);
+        let data: Vec<f32> = (0..10_000).map(|_| rng.normal_f32(3.0, 2.0)).collect();
+        let mut w = Welford::new();
+        w.extend(&data);
+        let t = Tensor::vector(&data);
+        assert!((w.mean() - t.mean()).abs() < 1e-3);
+        assert!((w.variance() - t.variance()).abs() < 1e-2);
+        assert_eq!(w.count(), 10_000);
+    }
+
+    #[test]
+    fn welford_merge_equals_single_stream() {
+        let mut rng = Rng64::new(2);
+        let a: Vec<f32> = (0..500).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+        let b: Vec<f32> = (0..300).map(|_| rng.normal_f32(5.0, 2.0)).collect();
+        let mut w1 = Welford::new();
+        w1.extend(&a);
+        let mut w2 = Welford::new();
+        w2.extend(&b);
+        w1.merge(&w2);
+        let mut all = Welford::new();
+        all.extend(&a);
+        all.extend(&b);
+        assert!((w1.mean() - all.mean()).abs() < 1e-4);
+        assert!((w1.variance() - all.variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn welford_empty_edge_cases() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let other = Welford::new();
+        w.merge(&other); // both empty: no panic
+        w.push(1.0);
+        assert_eq!(w.variance(), 0.0); // single observation
+    }
+}

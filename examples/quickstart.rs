@@ -1,0 +1,78 @@
+//! Quickstart: the full PILOTE lifecycle in ~60 lines.
+//!
+//! 1. Simulate a small sensor campaign (cloud side).
+//! 2. Pre-train the embedding on four activities.
+//! 3. A new activity ('Run') appears on the edge — learn it incrementally
+//!    without forgetting the old ones.
+//! 4. Classify and inspect the confusion matrix.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pilote::prelude::*;
+
+fn main() {
+    // ---- 1. simulated campaign -----------------------------------------
+    let mut sim = Simulator::with_seed(42);
+    let (data, _normalizer) = generate_features(
+        &mut sim,
+        &[
+            (Activity::Still, 150),
+            (Activity::Walk, 150),
+            (Activity::Drive, 150),
+            (Activity::EScooter, 150),
+            (Activity::Run, 150),
+        ],
+    )
+    .expect("simulation");
+    let mut rng = Rng64::new(7);
+    let (train, test) = data.stratified_split(0.3, &mut rng).expect("split");
+    println!("simulated {} train / {} test windows of {} features", train.len(), test.len(), FEATURE_DIM);
+
+    // ---- 2. cloud pre-training on four activities -----------------------
+    let old_classes: Vec<usize> = [Activity::Still, Activity::Walk, Activity::Drive, Activity::EScooter]
+        .iter()
+        .map(|a| a.label())
+        .collect();
+    let old_train = train.filter_classes(&old_classes).expect("old classes");
+
+    let mut cfg = PiloteConfig::paper(42);
+    cfg.max_epochs = 10;
+    let (mut model, report) =
+        Pilote::pretrain(cfg, &old_train, 100, SelectionStrategy::Herding).expect("pretrain");
+    println!(
+        "pre-trained in {} epochs ({:.1}s): old-class test accuracy {:.3}",
+        report.epochs.len(),
+        report.total_seconds(),
+        model
+            .accuracy(&test.filter_classes(&old_classes).expect("old test"))
+            .expect("eval")
+    );
+
+    // ---- 3. the edge sees a new activity --------------------------------
+    let run_samples = train
+        .filter_classes(&[Activity::Run.label()])
+        .expect("run data")
+        .sample_class(Activity::Run.label(), 100, &mut rng)
+        .expect("sample");
+    println!("edge update with {} 'Run' samples …", run_samples.len());
+    let update = model.learn_new_class(&run_samples, 100).expect("edge update");
+    println!(
+        "updated in {} epochs ({:.1}s, {:.2}s/epoch)",
+        update.epochs.len(),
+        update.total_seconds(),
+        update.total_seconds() / update.epochs.len().max(1) as f64
+    );
+
+    // ---- 4. evaluate -----------------------------------------------------
+    let accuracy = model.accuracy(&test).expect("eval");
+    println!("five-class test accuracy: {accuracy:.3}");
+
+    let labels: Vec<usize> = Activity::ALL.iter().map(|a| a.label()).collect();
+    let names: Vec<String> = Activity::ALL.iter().map(|a| a.name().to_string()).collect();
+    let predictions = model.predict(&test.features).expect("predict");
+    let confusion = ConfusionMatrix::from_predictions(&labels, &names, &predictions, &test.labels);
+    println!("\n{confusion}");
+    println!("macro-F1: {:.3}", confusion.macro_f1());
+}

@@ -1,0 +1,94 @@
+//! Cross-crate integration of the edge-resource substrate with the
+//! learner: cache budgets, quantised support sets, latency metering.
+
+use pilote::edge_sim::memory::ValueWidth;
+use pilote::edge_sim::quantize::{Quantization, QuantizedMatrix};
+use pilote::prelude::*;
+
+fn small_model(seed: u64) -> (Pilote, Dataset) {
+    let mut sim = Simulator::with_seed(seed);
+    let (data, _) = generate_features(
+        &mut sim,
+        &[(Activity::Still, 60), (Activity::Walk, 60), (Activity::Drive, 60)],
+    )
+    .expect("simulate");
+    let mut rng = Rng64::new(seed);
+    let (train, test) = data.stratified_split(0.3, &mut rng).expect("split");
+    let cfg = PiloteConfig::fast_test(seed);
+    let (model, _) = Pilote::pretrain(cfg, &train, 20, SelectionStrategy::Herding).expect("pretrain");
+    (model, test)
+}
+
+#[test]
+fn support_set_bytes_match_memory_budget() {
+    let (model, _) = small_model(1);
+    let support = model.support().to_dataset().expect("support");
+    let budget = MemoryBudget::new(support.len(), FEATURE_DIM, ValueWidth::F32);
+    // 3 classes × 20 exemplars × 80 features × 4 bytes
+    assert_eq!(budget.total_bytes(), 3 * 20 * 80 * 4);
+    assert_eq!(support.features.len() * 4, budget.total_bytes() as usize);
+}
+
+#[test]
+fn cache_shrink_respects_algorithm_1_budget() {
+    // Algorithm 1 line 1: m = K / (s − 1). A new class arriving under a
+    // fixed cache K means shrinking every class's exemplar list.
+    let (mut model, test) = small_model(2);
+    let k_total = 30; // cache size in exemplars
+    let classes = model.support().labels().len();
+    let budget = MemoryBudget::new(k_total, FEATURE_DIM, ValueWidth::F32);
+    let m = budget.per_class(classes);
+    model.support_mut().shrink_per_class(m);
+    model.refresh_prototypes().expect("prototypes");
+    assert_eq!(model.support().len(), m * classes);
+    assert!(model.support().len() <= k_total);
+    // Model still functions after the shrink.
+    let acc = model.accuracy(&test).expect("eval");
+    assert!(acc > 0.4, "accuracy collapsed after cache shrink: {acc}");
+}
+
+#[test]
+fn quantised_support_set_preserves_accuracy() {
+    let (mut model, test) = small_model(3);
+    let baseline = model.accuracy(&test).expect("eval");
+
+    // Quantise every class's exemplars to i8 and reload them.
+    for label in model.support().labels() {
+        let feats = model.support().class(label).unwrap().clone();
+        let q = QuantizedMatrix::encode(&feats, Quantization::I8).expect("encode");
+        model.support_mut().put_class(label, q.decode());
+    }
+    model.refresh_prototypes().expect("prototypes");
+    let quantised = model.accuracy(&test).expect("eval");
+    assert!(
+        quantised > baseline - 0.1,
+        "i8 quantisation destroyed accuracy: {baseline} → {quantised}"
+    );
+}
+
+#[test]
+fn latency_meter_times_real_updates() {
+    let (model, _) = small_model(4);
+    let mut meter = LatencyMeter::new();
+    let mut sim = Simulator::with_seed(40);
+    let (new_data, _) = generate_features(&mut sim, &[(Activity::Run, 25)]).expect("simulate");
+    let mut m = model.clone_model();
+    meter.time("edge_update", || m.learn_new_class(&new_data, 20).expect("update"));
+    let host = meter.mean_seconds("edge_update").expect("sample");
+    assert!(host > 0.0);
+    let wearable = DeviceProfile::wearable();
+    let projected = meter.projected_seconds("edge_update", &wearable).expect("projection");
+    assert!((projected / host - wearable.cpu_factor).abs() < 1e-9);
+}
+
+#[test]
+fn model_fits_flagship_but_support_scales_to_wearable() {
+    let mut rng = Rng64::new(5);
+    let mut net = EmbeddingNet::new(NetConfig::paper(), &mut rng);
+    let params = net.param_count();
+    let model_bytes = pilote::edge_sim::memory::model_bytes(params);
+    assert!(DeviceProfile::flagship_phone().fits_ram(model_bytes));
+    // The wearable cannot hold the paper backbone, but holds a support set.
+    let support = MemoryBudget::new(200, FEATURE_DIM, ValueWidth::I8);
+    assert!(DeviceProfile::wearable().fits_storage(support.total_bytes()));
+}

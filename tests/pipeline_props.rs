@@ -1,0 +1,145 @@
+//! Property-based tests over the cross-crate pipeline: simulator →
+//! features → normaliser → quantiser → NCM.
+
+use pilote::core::exemplar::class_prototype;
+use pilote::edge_sim::quantize::{Quantization, QuantizedMatrix};
+use pilote::har_data::features::extract;
+use pilote::har_data::preprocess::{moving_average, segment, Normalizer};
+use pilote::har_data::sensors::CHANNELS;
+use pilote::prelude::*;
+use proptest::prelude::*;
+// Explicit import wins over both globs: `Strategy` here is proptest's
+// trait, not the continual-learning enum from the pilote prelude.
+use proptest::strategy::Strategy;
+
+fn arb_activity() -> impl Strategy<Value = Activity> {
+    prop::sample::select(Activity::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn features_are_finite_for_any_simulated_window(seed in 0u64..10_000, activity in arb_activity()) {
+        let mut sim = Simulator::with_seed(seed);
+        let window = sim.window(activity);
+        let features = extract(&window).unwrap();
+        prop_assert_eq!(features.len(), FEATURE_DIM);
+        prop_assert!(features.all_finite());
+    }
+
+    #[test]
+    fn window_generation_is_deterministic(seed in 0u64..10_000, activity in arb_activity()) {
+        let a = Simulator::with_seed(seed).window(activity);
+        let b = Simulator::with_seed(seed).window(activity);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantise_round_trip_respects_error_bound(
+        seed in 0u64..10_000,
+        rows in 1usize..40,
+        cols in 1usize..20,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let data = Tensor::randn([rows, cols], 0.0, 5.0, &mut rng);
+        for mode in [Quantization::I8, Quantization::U16] {
+            let q = QuantizedMatrix::encode(&data, mode).unwrap();
+            prop_assert!(q.max_error(&data).unwrap() <= q.error_bound() * 1.01 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn normaliser_transform_is_affine_invariant_to_shift(
+        seed in 0u64..10_000,
+        shift in -100.0f32..100.0,
+    ) {
+        // Shifting all inputs by a constant must not change the z-scores.
+        let mut rng = Rng64::new(seed);
+        let data = Tensor::randn([30, 5], 0.0, 2.0, &mut rng);
+        let shifted = data.add_scalar(shift);
+        let (_, a) = Normalizer::fit_transform(&data).unwrap();
+        let (_, b) = Normalizer::fit_transform(&shifted).unwrap();
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn moving_average_never_exceeds_input_range(
+        seed in 0u64..10_000,
+        width in 0usize..5,
+    ) {
+        let width = 2 * width + 1; // odd
+        let mut rng = Rng64::new(seed);
+        let data = Tensor::randn([60, 3], 0.0, 3.0, &mut rng);
+        let smooth = moving_average(&data, width).unwrap();
+        prop_assert!(smooth.max().unwrap() <= data.max().unwrap() + 1e-5);
+        prop_assert!(smooth.min().unwrap() >= data.min().unwrap() - 1e-5);
+    }
+
+    #[test]
+    fn segmentation_windows_tile_the_session(
+        len in 1usize..400,
+        window in 1usize..50,
+    ) {
+        let data: Vec<f32> = (0..len * 2).map(|i| i as f32).collect();
+        let session = Tensor::from_vec(data, [len, 2]).unwrap();
+        let wins = segment(&session, window, window).unwrap();
+        prop_assert_eq!(wins.len(), len / window);
+        for w in &wins {
+            prop_assert_eq!(w.rows(), window);
+        }
+    }
+
+    #[test]
+    fn ncm_always_picks_an_existing_label(
+        seed in 0u64..10_000,
+        classes in 2usize..6,
+        d in 2usize..10,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let mut clf = NcmClassifier::new(d);
+        let labels: Vec<usize> = (0..classes).map(|c| c * 7 + 1).collect();
+        for &l in &labels {
+            clf.set_prototype(l, &Tensor::randn([d], 0.0, 1.0, &mut rng)).unwrap();
+        }
+        let x = Tensor::randn([20, d], 0.0, 3.0, &mut rng);
+        for p in clf.classify(&x).unwrap() {
+            prop_assert!(labels.contains(&p));
+        }
+    }
+
+    #[test]
+    fn prototype_is_permutation_invariant(seed in 0u64..10_000, n in 2usize..30) {
+        let mut rng = Rng64::new(seed);
+        let emb = Tensor::randn([n, 4], 0.0, 1.0, &mut rng);
+        let mu = class_prototype(&emb).unwrap();
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let mu2 = class_prototype(&emb.select_rows(&order).unwrap()).unwrap();
+        prop_assert!(mu.max_abs_diff(&mu2).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn herding_selection_is_subset_without_duplicates(
+        seed in 0u64..10_000,
+        n in 1usize..50,
+        m in 0usize..60,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let emb = Tensor::randn([n, 3], 0.0, 1.0, &mut rng);
+        let sel = select_exemplars(&emb, m, SelectionStrategy::Herding, &mut rng).unwrap();
+        prop_assert_eq!(sel.len(), m.min(n));
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sel.len());
+        prop_assert!(sel.iter().all(|&i| i < n));
+    }
+}
+
+#[test]
+fn feature_extraction_matches_channel_contract() {
+    // CHANNELS and FEATURE_DIM are linked by the documented layout:
+    // 2·CHANNELS + 6·TRIADS + 6 globals = 80.
+    assert_eq!(2 * CHANNELS + 6 * 5 + 6, FEATURE_DIM);
+}
