@@ -9,6 +9,7 @@ use pilote_core::{select_exemplars, EmbeddingNet, NcmClassifier, NetConfig, Sele
 use pilote_edge_sim::quantize::{Quantization, QuantizedMatrix};
 use pilote_har_data::features::{extract, extract_batch};
 use pilote_har_data::{Activity, Simulator};
+use pilote_tensor::parallel::{self, ThreadConfig};
 use pilote_tensor::{Rng64, Tensor};
 use std::hint::black_box;
 
@@ -87,6 +88,45 @@ fn bench_ncm_classify(c: &mut Criterion) {
     group.finish();
 }
 
+/// Thread-scaling sweep over the two anchor kernels of the parallel layer
+/// (`docs/THREADING.md`): the 256×1024×512 training GEMM and NCM scoring of
+/// 10 000 embeddings against 5 prototypes. Results are bitwise-identical at
+/// every thread count; on a single-core host expect ratios ≤ 1.
+fn bench_kernel_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    let mut rng = Rng64::new(8);
+    let a = Tensor::randn([256, 1024], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn([1024, 512], 0.0, 1.0, &mut rng);
+    let mut clf = NcmClassifier::new(128);
+    for label in 0..5 {
+        clf.set_prototype(label, &Tensor::randn([128], 0.0, 1.0, &mut rng)).unwrap();
+    }
+    let queries = Tensor::randn([10_000, 128], 0.0, 1.0, &mut rng);
+
+    let saved = parallel::current();
+    for threads in [1usize, 2, 4] {
+        parallel::configure(ThreadConfig { num_threads: threads, ..saved });
+        group.throughput(Throughput::Elements((2 * 256 * 1024 * 512) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("gemm_256x1024x512", threads),
+            &(&a, &b),
+            |bench, (a, b)| {
+                bench.iter(|| black_box(a.matmul(b).unwrap()));
+            },
+        );
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(
+            BenchmarkId::new("ncm_5x10000", threads),
+            &queries,
+            |bench, q| {
+                bench.iter(|| black_box(clf.classify(q).unwrap()));
+            },
+        );
+    }
+    parallel::configure(saved);
+    group.finish();
+}
+
 fn bench_quantize(c: &mut Criterion) {
     let mut group = c.benchmark_group("quantize");
     let mut rng = Rng64::new(7);
@@ -104,6 +144,6 @@ fn bench_quantize(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_feature_extraction, bench_embedding_forward, bench_herding, bench_ncm_classify, bench_quantize
+    targets = bench_matmul, bench_feature_extraction, bench_embedding_forward, bench_herding, bench_ncm_classify, bench_kernel_threads, bench_quantize
 }
 criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! **Kernels** — thread-scaling measurements of the parallel kernel layer
+//! (`docs/THREADING.md`), plus an in-band verification that every measured
+//! configuration produces bitwise-identical results.
+//!
+//! Two workloads anchor the contract:
+//!
+//! * the `256 × 1024 × 512` GEMM of the embedding forward pass (the
+//!   largest matmul the training loop issues), and
+//! * NCM scoring of 10 000 embeddings against 5 class prototypes (the
+//!   steady-state inference batch of §6.3).
+//!
+//! Each runs at 1, 2 and 4 threads; the 1-thread row is the exact serial
+//! path, so `speedup_vs_serial` reads directly as the parallel-layer gain.
+//! Results land in `BENCH_kernels.json` (schema in `EXPERIMENTS.md`).
+
+use crate::report::{write_json, Table};
+use pilote_core::NcmClassifier;
+use pilote_tensor::parallel::{self, ThreadConfig};
+use pilote_tensor::{Rng64, Tensor};
+use serde_json::json;
+use std::path::Path;
+use std::time::Instant;
+
+/// Thread counts measured by [`run`].
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One measured kernel × thread-count cell.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Kernel name (`gemm_256x1024x512` or `ncm_5x10000`).
+    pub kernel: String,
+    /// Worker threads configured for the measurement.
+    pub threads: usize,
+    /// Median seconds per invocation.
+    pub median_s: f64,
+    /// Fastest observed invocation.
+    pub min_s: f64,
+    /// `median(1 thread) / median(this)`.
+    pub speedup_vs_serial: f64,
+}
+
+fn time_reps(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    f(); // warm-up (page in buffers, stabilise frequency)
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (times[times.len() / 2], times[0])
+}
+
+/// Sums the output bits so bitwise equality across configurations can be
+/// checked without holding every result alive.
+fn bits_checksum(t: &Tensor) -> u64 {
+    t.as_slice().iter().fold(0u64, |acc, v| {
+        acc.wrapping_mul(0x100000001b3).wrapping_add(v.to_bits() as u64)
+    })
+}
+
+/// Measures the two anchor kernels at each thread count and writes
+/// `BENCH_kernels.json`. Returns the measurement grid.
+pub fn run(out: &Path) -> Vec<KernelTiming> {
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "[kernels] thread-scaling sweep (host has {host_threads} hardware thread(s); \
+         speedups above 1 require a multi-core host)"
+    );
+    let saved = parallel::current();
+
+    let mut rng = Rng64::new(20230328);
+    let a = Tensor::randn([256, 1024], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn([1024, 512], 0.0, 1.0, &mut rng);
+    let mut clf = NcmClassifier::new(128);
+    for label in 0..5 {
+        clf.set_prototype(label, &Tensor::randn([128], 0.0, 1.0, &mut rng)).unwrap();
+    }
+    let queries = Tensor::randn([10_000, 128], 0.0, 1.0, &mut rng);
+
+    let mut results: Vec<KernelTiming> = Vec::new();
+    let mut gemm_checksum = None;
+    let mut ncm_checksum = None;
+    let mut serial_median = [0.0f64; 2];
+
+    for &threads in &THREAD_COUNTS {
+        parallel::configure(ThreadConfig { num_threads: threads, ..ThreadConfig::from_env() });
+
+        let (median, min) = time_reps(5, || {
+            std::hint::black_box(a.matmul(&b).unwrap());
+        });
+        let checksum = bits_checksum(&a.matmul(&b).unwrap());
+        assert_eq!(
+            *gemm_checksum.get_or_insert(checksum),
+            checksum,
+            "GEMM not bitwise-identical at {threads} thread(s)"
+        );
+        if threads == 1 {
+            serial_median[0] = median;
+        }
+        results.push(KernelTiming {
+            kernel: "gemm_256x1024x512".into(),
+            threads,
+            median_s: median,
+            min_s: min,
+            speedup_vs_serial: serial_median[0] / median,
+        });
+
+        let (median, min) = time_reps(5, || {
+            std::hint::black_box(clf.distances(&queries).unwrap());
+        });
+        let checksum = bits_checksum(&clf.distances(&queries).unwrap());
+        assert_eq!(
+            *ncm_checksum.get_or_insert(checksum),
+            checksum,
+            "NCM scoring not bitwise-identical at {threads} thread(s)"
+        );
+        if threads == 1 {
+            serial_median[1] = median;
+        }
+        results.push(KernelTiming {
+            kernel: "ncm_5x10000".into(),
+            threads,
+            median_s: median,
+            min_s: min,
+            speedup_vs_serial: serial_median[1] / median,
+        });
+    }
+    parallel::configure(saved);
+
+    let mut t = Table::new(
+        "Parallel kernel layer: thread scaling (bitwise-verified)",
+        &["kernel", "threads", "median", "min", "speedup vs serial"],
+    );
+    for r in &results {
+        t.row(vec![
+            r.kernel.clone(),
+            r.threads.to_string(),
+            format!("{:.2} ms", r.median_s * 1e3),
+            format!("{:.2} ms", r.min_s * 1e3),
+            format!("{:.2}×", r.speedup_vs_serial),
+        ]);
+    }
+    println!("{t}");
+    if host_threads == 1 {
+        println!(
+            "  (host has a single hardware thread: multi-thread rows measure \
+             scheduling overhead, not speedup)"
+        );
+    }
+
+    write_json(
+        out,
+        "BENCH_kernels.json",
+        &json!({
+            "host_hardware_threads": host_threads,
+            "thread_counts": THREAD_COUNTS.to_vec(),
+            "bitwise_identical_across_thread_counts": true,
+            "results": results.iter().map(|r| json!({
+                "kernel": r.kernel,
+                "threads": r.threads,
+                "median_s": r.median_s,
+                "min_s": r.min_s,
+                "speedup_vs_serial": r.speedup_vs_serial,
+            })).collect::<Vec<_>>(),
+        }),
+    );
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_distinguishes_bit_flips() {
+        let a = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        assert_eq!(bits_checksum(&a), bits_checksum(&b));
+        // Flip the sign bit of one element: checksum must move.
+        b.as_mut_slice()[1] = -2.0;
+        assert_ne!(bits_checksum(&a), bits_checksum(&b));
+    }
+}

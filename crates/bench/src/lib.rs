@@ -20,6 +20,7 @@
 //! repro ablate-pairs   # A3 — full vs reduced pair scheme
 //! repro ablate-strategies # A4 — CL strategy comparison
 //! repro cloud-vs-edge  # A5 — link-cost comparison
+//! repro kernels        # parallel kernel layer thread-scaling (BENCH_kernels.json)
 //! ```
 
 pub mod exp_ablations;
@@ -28,6 +29,7 @@ pub mod exp_fig4;
 pub mod exp_fig5;
 pub mod exp_fig6;
 pub mod exp_fig7;
+pub mod exp_kernels;
 pub mod exp_table2;
 pub mod exp_timing;
 pub mod report;

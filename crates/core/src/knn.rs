@@ -1,6 +1,6 @@
 //! k-nearest-neighbour classification in embedding space — the natural
 //! alternative to the NCM rule. The paper's related work (Zuo et al. 2019,
-//! ref. [33]) pairs interpretable features with a kNN classifier; here kNN
+//! ref. \[33\]) pairs interpretable features with a kNN classifier; here kNN
 //! runs over the same exemplar support set as NCM, trading prototype
 //! compression for instance-level boundaries.
 //!
@@ -75,30 +75,36 @@ impl KnnClassifier {
         }
         let dists = queries.pairwise_sq_dists(&self.embeddings)?;
         let k = self.k.min(self.len());
-        let mut out = Vec::with_capacity(queries.rows());
-        for q in 0..queries.rows() {
-            let row = dists.row(q);
-            // Partial selection of the k smallest distances.
-            let mut idx: Vec<usize> = (0..row.len()).collect();
-            idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("finite distances"));
-            idx.truncate(k);
-            // Vote: count per label, accumulate distance for tie-breaks.
-            let mut votes: std::collections::BTreeMap<usize, (usize, f32)> =
-                std::collections::BTreeMap::new();
-            for &i in &idx {
-                let e = votes.entry(self.labels[i]).or_insert((0, 0.0));
-                e.0 += 1;
-                e.1 += row[i];
+        let n = self.len();
+        // Each query's selection + vote is independent, so the loop is
+        // band-parallel over queries (bitwise-deterministic: per-query work
+        // does not depend on the banding; see docs/THREADING.md).
+        let threads = pilote_tensor::parallel::effective_threads(queries.rows() * n);
+        let mut out = vec![0usize; queries.rows()];
+        pilote_tensor::parallel::for_each_band(&mut out, 1, threads, |q0, band| {
+            for (off, o) in band.iter_mut().enumerate() {
+                let row = dists.row(q0 + off);
+                // Partial selection of the k smallest distances.
+                let mut idx: Vec<usize> = (0..row.len()).collect();
+                idx.sort_by(|&a, &b| row[a].partial_cmp(&row[b]).expect("finite distances"));
+                idx.truncate(k);
+                // Vote: count per label, accumulate distance for tie-breaks.
+                let mut votes: std::collections::BTreeMap<usize, (usize, f32)> =
+                    std::collections::BTreeMap::new();
+                for &i in &idx {
+                    let e = votes.entry(self.labels[i]).or_insert((0, 0.0));
+                    e.0 += 1;
+                    e.1 += row[i];
+                }
+                *o = votes
+                    .into_iter()
+                    .max_by(|(_, (ca, da)), (_, (cb, db))| {
+                        ca.cmp(cb).then(db.partial_cmp(da).expect("finite"))
+                    })
+                    .map(|(label, _)| label)
+                    .expect("non-empty votes");
             }
-            let best = votes
-                .into_iter()
-                .max_by(|(_, (ca, da)), (_, (cb, db))| {
-                    ca.cmp(cb).then(db.partial_cmp(da).expect("finite"))
-                })
-                .map(|(label, _)| label)
-                .expect("non-empty votes");
-            out.push(best);
-        }
+        });
         Ok(out)
     }
 }

@@ -6,6 +6,14 @@
 //! in place by the distillation loss. [`PairScheme::Reduced`] implements
 //! that scheme; [`PairScheme::Full`] is the classic all-pairs sampling used
 //! for cloud pre-training and by the re-trained baseline.
+//!
+//! Threading: [`PairSet::gather`] — the per-step hot path that materialises
+//! the two feature batches — is band-parallel through
+//! `Tensor::select_rows`. [`sample_pairs`], [`build_epoch_pairs`] and
+//! [`PairSet::shuffle`] are *deliberately serial*: their output is defined
+//! by the order of draws from a single [`Rng64`] stream, and any parallel
+//! partition would change the stream and hence the experiment results (see
+//! `docs/THREADING.md`).
 
 use pilote_tensor::{Rng64, Tensor, TensorError};
 use serde::{Deserialize, Serialize};

@@ -19,8 +19,7 @@
 
 use crate::sensors::{Triad, CHANNELS};
 use crate::simulate::RawDataset;
-use pilote_tensor::{Tensor, TensorError};
-use rayon::prelude::*;
+use pilote_tensor::{parallel, Tensor, TensorError};
 
 /// Dimensionality of the feature vector (the embedding network's input).
 pub const FEATURE_DIM: usize = 80;
@@ -164,18 +163,28 @@ pub fn extract(window: &Tensor) -> Result<Tensor, TensorError> {
 
 /// Extracts features from every window of a raw dataset in parallel,
 /// producing an `[n, 80]` feature matrix.
+///
+/// Windows are processed in contiguous bands via the `pilote-tensor`
+/// parallel layer (`docs/THREADING.md`); each window's feature vector is
+/// computed by exactly one thread with the serial [`extract`] kernel, so
+/// the matrix is bitwise-identical at any thread count. The first error
+/// encountered (in window order) is returned.
 pub fn extract_batch(raw: &RawDataset) -> Result<Tensor, TensorError> {
-    let rows: Result<Vec<Vec<f32>>, TensorError> = raw
-        .windows
-        .par_iter()
-        .map(|w| extract(w).map(Tensor::into_vec))
-        .collect();
-    let rows = rows?;
-    let mut data = Vec::with_capacity(rows.len() * FEATURE_DIM);
-    for row in rows {
-        data.extend_from_slice(&row);
+    let n = raw.windows.len();
+    let work: usize = raw.windows.iter().map(Tensor::len).sum();
+    let threads = parallel::effective_threads(work);
+    let bands = parallel::map_bands(n, threads, |range| {
+        let mut data = Vec::with_capacity(range.len() * FEATURE_DIM);
+        for w in &raw.windows[range] {
+            data.extend_from_slice(extract(w)?.as_slice());
+        }
+        Ok::<Vec<f32>, TensorError>(data)
+    });
+    let mut data = Vec::with_capacity(n * FEATURE_DIM);
+    for band in bands {
+        data.extend_from_slice(&band?);
     }
-    Tensor::from_vec(data, [raw.windows.len(), FEATURE_DIM])
+    Tensor::from_vec(data, [n, FEATURE_DIM])
 }
 
 /// Human-readable name of feature `index` (for reports and debugging).

@@ -26,6 +26,8 @@
 //! backward passes auditable: each is a dozen lines of textbook calculus,
 //! and each is pinned by unit tests and property-based gradient checks.
 
+#![warn(missing_docs)]
+
 pub mod gradcheck;
 pub mod layer;
 pub mod loss;

@@ -28,12 +28,18 @@
 //! * Storage is always contiguous; transposition is materialised. For the
 //!   matrix sizes used by PILOTE (≤ a few thousand rows, ≤ 1024 columns)
 //!   this is both simpler and faster than stride gymnastics.
+//! * Hot kernels are parallelised by the [`parallel`] band layer with a
+//!   bitwise-determinism guarantee: any thread count produces bit-identical
+//!   results (contract in `docs/THREADING.md`).
+
+#![warn(missing_docs)]
 
 pub mod error;
 pub mod init;
 pub mod linalg;
 pub mod matmul;
 pub mod ops;
+pub mod parallel;
 pub mod reduce;
 pub mod rng;
 pub mod shape;
@@ -43,6 +49,7 @@ pub mod tensor;
 pub use stats::Welford;
 
 pub use error::TensorError;
+pub use parallel::ThreadConfig;
 pub use rng::Rng64;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -6,9 +6,24 @@
 //! defined on it, and the herding selector evaluates it thousands of times.
 
 use crate::error::TensorError;
+use crate::parallel;
 use crate::reduce::Axis;
 use crate::tensor::Tensor;
 use crate::Result;
+
+/// Per-row squared L2 norms of a rank-2 tensor's data, band-parallel over
+/// rows with the serial per-row f32 chain.
+fn row_sq_norms(data: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows];
+    let threads = parallel::effective_threads(rows * cols);
+    parallel::for_each_band(&mut out, 1, threads, |i0, band| {
+        for (off, o) in band.iter_mut().enumerate() {
+            let i = i0 + off;
+            *o = data[i * cols..(i + 1) * cols].iter().map(|&v| v * v).sum();
+        }
+    });
+    out
+}
 
 impl Tensor {
     /// Pairwise squared Euclidean distances between the rows of `self`
@@ -26,20 +41,20 @@ impl Tensor {
             });
         }
         let cross = self.matmul_t(other)?; // [m, n]
-        let x_sq: Vec<f32> = (0..self.rows())
-            .map(|i| self.row(i).iter().map(|&v| v * v).sum())
-            .collect();
-        let y_sq: Vec<f32> = (0..other.rows())
-            .map(|j| other.row(j).iter().map(|&v| v * v).sum())
-            .collect();
+        let x_sq = row_sq_norms(self.as_slice(), self.rows(), self.cols());
+        let y_sq = row_sq_norms(other.as_slice(), other.rows(), other.cols());
         let (m, n) = (self.rows(), other.rows());
         let mut out = cross.into_vec();
-        for i in 0..m {
-            let xs = x_sq[i];
-            let row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in row.iter_mut().enumerate() {
-                *o = (xs + y_sq[j] - 2.0 * *o).max(0.0);
-            }
+        if n > 0 {
+            let threads = parallel::effective_threads(m * n);
+            parallel::for_each_band(&mut out, n, threads, |i0, bandslice| {
+                for (bi, row) in bandslice.chunks_mut(n).enumerate() {
+                    let xs = x_sq[i0 + bi];
+                    for (j, o) in row.iter_mut().enumerate() {
+                        *o = (xs + y_sq[j] - 2.0 * *o).max(0.0);
+                    }
+                }
+            });
         }
         Tensor::from_vec(out, [m, n])
     }
@@ -71,14 +86,20 @@ impl Tensor {
             return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "normalize_rows" });
         }
         let mut out = self.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
-            let norm = row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt() as f32;
-            if norm > eps {
-                for v in row {
-                    *v /= norm;
+        let (r, c) = (out.rows(), out.cols());
+        let threads = parallel::effective_threads(r * c);
+        if c > 0 {
+            parallel::for_each_band(out.as_mut_slice(), c, threads, |_i0, band| {
+                for row in band.chunks_mut(c) {
+                    let norm =
+                        row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt() as f32;
+                    if norm > eps {
+                        for v in row {
+                            *v /= norm;
+                        }
+                    }
                 }
-            }
+            });
         }
         Ok(out)
     }
@@ -202,6 +223,27 @@ mod tests {
             assert!(d.at(i, i) < 1e-4);
             assert!(d.at(i, i) >= 0.0);
         }
+    }
+
+    #[test]
+    fn parallel_bitwise_matches_serial() {
+        use crate::parallel::{self, ThreadConfig};
+        let _guard = parallel::TEST_CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = Rng64::new(21);
+        let x = Tensor::from_vec((0..33 * 19).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [33, 19])
+            .unwrap();
+        let y = Tensor::from_vec((0..27 * 19).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [27, 19])
+            .unwrap();
+
+        let saved = parallel::current();
+        parallel::configure(ThreadConfig::serial());
+        let serial = (x.pairwise_sq_dists(&y).unwrap(), x.normalize_rows(1e-9).unwrap());
+        for threads in [2usize, 3, 4] {
+            parallel::configure(ThreadConfig { num_threads: threads, min_parallel_len: 0 });
+            assert_eq!(x.pairwise_sq_dists(&y).unwrap(), serial.0);
+            assert_eq!(x.normalize_rows(1e-9).unwrap(), serial.1);
+        }
+        parallel::configure(saved);
     }
 
     #[test]

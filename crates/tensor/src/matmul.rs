@@ -6,13 +6,55 @@
 //! workspace (batch × layer-width GEMMs up to roughly `256 × 1024 × 512`)
 //! this stays within a few × of an optimised BLAS, which is plenty — the
 //! experiment wall-clocks in the paper are sub-second per epoch.
+//!
+//! All four kernels are parallelised over contiguous bands of *output rows*
+//! via [`crate::parallel`]. Each output element is accumulated in ascending
+//! `k` order by exactly one thread, so results are bitwise-identical at
+//! every thread count (see `docs/THREADING.md`).
 
 use crate::error::TensorError;
+use crate::parallel;
 use crate::tensor::Tensor;
 use crate::Result;
 
+/// `k`-blocking factor: the live `KB × n` slice of the right-hand side
+/// stays resident in L1/L2 across a band of output rows.
+const KB: usize = 64;
+
+/// The original blocked `matmul` loop, restricted to the output-row band
+/// starting at `row0`. Called once per thread; with one thread this is the
+/// exact serial kernel.
+fn matmul_band(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, band: &mut [f32]) {
+    let rows = band.len() / n;
+    for k0 in (0..k).step_by(KB) {
+        let k1 = (k0 + KB).min(k);
+        for bi in 0..rows {
+            let i = row0 + bi;
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut band[bi * n..(bi + 1) * n];
+            for kk in k0..k1 {
+                let aik = a_row[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    }
+}
+
 impl Tensor {
     /// Matrix product `self @ other` for rank-2 operands.
+    ///
+    /// ```
+    /// use pilote_tensor::Tensor;
+    /// let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+    /// let b = Tensor::eye(2);
+    /// assert_eq!(a.matmul(&b).unwrap(), a);
+    /// ```
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "matmul" });
@@ -32,25 +74,11 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-
-        // Block over k so that the live slice of `b` fits in L1/L2.
-        const KB: usize = 64;
-        for k0 in (0..k).step_by(KB) {
-            let k1 = (k0 + KB).min(k);
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for kk in k0..k1 {
-                    let aik = a_row[kk];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += aik * bv;
-                    }
-                }
-            }
+        if n > 0 {
+            let threads = parallel::effective_threads(m * n * k);
+            parallel::for_each_band(&mut out, n, threads, |row0, band| {
+                matmul_band(a, b, k, n, row0, band);
+            });
         }
         Tensor::from_vec(out, [m, n])
     }
@@ -59,6 +87,14 @@ impl Tensor {
     ///
     /// This is the hot pattern in backprop (`dX = dY @ Wᵀ`) and in pairwise
     /// distance computations (`X @ Yᵀ`).
+    ///
+    /// ```
+    /// use pilote_tensor::Tensor;
+    /// let a = Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap();
+    /// let b = Tensor::from_rows(&[vec![3.0, 4.0]]).unwrap();
+    /// // a @ bᵀ is [2, 1]: the dot of each row of `a` with the row of `b`.
+    /// assert_eq!(a.matmul_t(&b).unwrap().as_slice(), &[3.0, 8.0]);
+    /// ```
     pub fn matmul_t(&self, other: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 || other.rank() != 2 {
             return Err(TensorError::RankMismatch {
@@ -79,17 +115,22 @@ impl Tensor {
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
+        if n > 0 {
+            let threads = parallel::effective_threads(m * n * k);
+            parallel::for_each_band(&mut out, n, threads, |row0, band| {
+                for (bi, out_row) in band.chunks_mut(n).enumerate() {
+                    let i = row0 + bi;
+                    let a_row = &a[i * k..(i + 1) * k];
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        let b_row = &b[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (&x, &y) in a_row.iter().zip(b_row) {
+                            acc += x * y;
+                        }
+                        *o = acc;
+                    }
                 }
-                *o = acc;
-            }
+            });
         }
         Tensor::from_vec(out, [m, n])
     }
@@ -118,24 +159,40 @@ impl Tensor {
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
         // out[i, j] = Σ_k a[k, i] * b[k, j]; iterate k outermost so both
-        // inner accesses are contiguous (rank-1 update per k).
-        for kk in 0..k {
-            let a_row = &a[kk * m..(kk + 1) * m];
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (i, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
+        // inner accesses are contiguous (rank-1 update per k). Each band
+        // owns output rows [i0, i0 + band_rows) and walks all of k, so the
+        // per-element accumulation order (ascending k) is band-invariant.
+        if n > 0 {
+            let threads = parallel::effective_threads(m * n * k);
+            parallel::for_each_band(&mut out, n, threads, |i0, band| {
+                let band_rows = band.len() / n;
+                for kk in 0..k {
+                    let a_row = &a[kk * m..(kk + 1) * m];
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for bi in 0..band_rows {
+                        let av = a_row[i0 + bi];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut band[bi * n..(bi + 1) * n];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                            *o += av * bv;
+                        }
+                    }
                 }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
+            });
         }
         Tensor::from_vec(out, [m, n])
     }
 
     /// Matrix–vector product `self @ v` for a rank-2 `self` and rank-1 `v`.
+    ///
+    /// ```
+    /// use pilote_tensor::Tensor;
+    /// let a = Tensor::eye(3);
+    /// let v = Tensor::vector(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(a.matvec(&v).unwrap().as_slice(), &[1.0, 2.0, 3.0]);
+    /// ```
     pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 || v.rank() != 1 || self.cols() != v.len() {
             return Err(TensorError::ShapeMismatch {
@@ -148,10 +205,14 @@ impl Tensor {
         let a = self.as_slice();
         let x = v.as_slice();
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
-            let row = &a[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(x).map(|(&p, &q)| p * q).sum();
-        }
+        let threads = parallel::effective_threads(m * k);
+        parallel::for_each_band(&mut out, 1, threads, |i0, band| {
+            for (off, o) in band.iter_mut().enumerate() {
+                let i = i0 + off;
+                let row = &a[i * k..(i + 1) * k];
+                *o = row.iter().zip(x).map(|(&p, &q)| p * q).sum();
+            }
+        });
         Tensor::from_vec(out, [m])
     }
 }
@@ -253,5 +314,36 @@ mod tests {
         let i = Tensor::eye(6);
         assert!(a.matmul(&i).unwrap().max_abs_diff(&a).unwrap() < 1e-6);
         assert!(i.matmul(&a).unwrap().max_abs_diff(&a).unwrap() < 1e-6);
+    }
+
+    /// Parallel and serial paths must agree bit for bit, for every kernel
+    /// in the matmul family, at several thread counts.
+    #[test]
+    fn parallel_bitwise_matches_serial() {
+        use crate::parallel::{self, ThreadConfig};
+        let _guard = parallel::TEST_CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = Rng64::new(6);
+        let a = random(&mut rng, 37, 53);
+        let b = random(&mut rng, 53, 29);
+        let bt = random(&mut rng, 29, 53);
+        let v = random(&mut rng, 1, 53).reshape([53]).unwrap();
+
+        let saved = parallel::current();
+        parallel::configure(ThreadConfig::serial());
+        let serial = (
+            a.matmul(&b).unwrap(),
+            a.matmul_t(&bt).unwrap(),
+            a.t_matmul(&a).unwrap(),
+            a.matvec(&v).unwrap(),
+        );
+        for threads in [2usize, 3, 4] {
+            // Threshold 0 forces the parallel path even on tiny inputs.
+            parallel::configure(ThreadConfig { num_threads: threads, min_parallel_len: 0 });
+            assert_eq!(a.matmul(&b).unwrap().as_slice(), serial.0.as_slice());
+            assert_eq!(a.matmul_t(&bt).unwrap().as_slice(), serial.1.as_slice());
+            assert_eq!(a.t_matmul(&a).unwrap().as_slice(), serial.2.as_slice());
+            assert_eq!(a.matvec(&v).unwrap().as_slice(), serial.3.as_slice());
+        }
+        parallel::configure(saved);
     }
 }

@@ -10,30 +10,41 @@
 //! operator overloads panic on shape mismatch with the same message.
 
 use crate::error::TensorError;
+use crate::parallel;
 use crate::tensor::Tensor;
 use crate::Result;
 
 #[inline]
-fn zip_apply(a: &Tensor, b: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+fn zip_apply(
+    a: &Tensor,
+    b: &Tensor,
+    op: &'static str,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) -> Result<Tensor> {
+    let n = a.len();
+    let threads = parallel::effective_threads(n);
     if a.shape() == b.shape() {
-        let data = a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
+        let (xs, ys) = (a.as_slice(), b.as_slice());
+        let mut data = vec![0.0f32; n];
+        parallel::for_each_band(&mut data, 1, threads, |i0, band| {
+            for (off, o) in band.iter_mut().enumerate() {
+                let i = i0 + off;
+                *o = f(xs[i], ys[i]);
+            }
+        });
         return Tensor::from_vec(data, a.shape().clone());
     }
     // matrix [n, d] op row-vector [d]
     if a.rank() == 2 && b.rank() == 1 && a.cols() == b.len() {
         let d = a.cols();
-        let bv = b.as_slice();
-        let data = a
-            .as_slice()
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| f(x, bv[i % d]))
-            .collect();
+        let (xs, bv) = (a.as_slice(), b.as_slice());
+        let mut data = vec![0.0f32; n];
+        parallel::for_each_band(&mut data, 1, threads, |i0, band| {
+            for (off, o) in band.iter_mut().enumerate() {
+                let i = i0 + off;
+                *o = f(xs[i], bv[i % d]);
+            }
+        });
         return Tensor::from_vec(data, a.shape().clone());
     }
     Err(TensorError::ShapeMismatch {
@@ -45,6 +56,14 @@ fn zip_apply(a: &Tensor, b: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f
 
 impl Tensor {
     /// Element-wise / broadcast addition.
+    ///
+    /// ```
+    /// use pilote_tensor::Tensor;
+    /// let m = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+    /// let bias = Tensor::vector(&[10.0, 20.0]);
+    /// // Row-vector broadcast: the bias pattern of a dense layer.
+    /// assert_eq!(m.try_add(&bias).unwrap().as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    /// ```
     pub fn try_add(&self, other: &Tensor) -> Result<Tensor> {
         zip_apply(self, other, "add", |x, y| x + y)
     }
@@ -74,9 +93,13 @@ impl Tensor {
                 op: "axpy",
             });
         }
-        for (x, &y) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
-            *x += alpha * y;
-        }
+        let threads = parallel::effective_threads(self.len());
+        let ys = other.as_slice();
+        parallel::for_each_band(self.as_mut_slice(), 1, threads, |i0, band| {
+            for (off, x) in band.iter_mut().enumerate() {
+                *x += alpha * ys[i0 + off];
+            }
+        });
         Ok(())
     }
 
@@ -91,12 +114,15 @@ impl Tensor {
         }
         let d = self.cols();
         let cv = col.as_slice();
-        let data = self
-            .as_slice()
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| x * cv[i / d])
-            .collect();
+        let xs = self.as_slice();
+        let mut data = vec![0.0f32; xs.len()];
+        let threads = parallel::effective_threads(xs.len());
+        parallel::for_each_band(&mut data, 1, threads, |i0, band| {
+            for (off, o) in band.iter_mut().enumerate() {
+                let i = i0 + off;
+                *o = xs[i] * cv[i / d];
+            }
+        });
         Tensor::from_vec(data, self.shape().clone())
     }
 
@@ -213,6 +239,41 @@ mod tests {
         let c = Tensor::vector(&[3.0, 0.5]);
         let out = a.mul_col(&c).unwrap();
         assert_eq!(out.as_slice(), &[3.0, 3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn parallel_bitwise_matches_serial() {
+        use crate::parallel::{self, ThreadConfig};
+        use crate::rng::Rng64;
+        let _guard = parallel::TEST_CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = Rng64::new(11);
+        let a = Tensor::from_vec((0..41 * 17).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [41, 17])
+            .unwrap();
+        let b = Tensor::from_vec((0..41 * 17).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [41, 17])
+            .unwrap();
+        let row = Tensor::from_vec((0..17).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [17]).unwrap();
+        let col = Tensor::from_vec((0..41).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [41]).unwrap();
+
+        let saved = parallel::current();
+        parallel::configure(ThreadConfig::serial());
+        let mut axpy_serial = a.clone();
+        axpy_serial.axpy(0.37, &b).unwrap();
+        let serial = (
+            a.try_add(&b).unwrap(),
+            a.try_mul(&row).unwrap(),
+            a.mul_col(&col).unwrap(),
+            axpy_serial,
+        );
+        for threads in [2usize, 3, 5] {
+            parallel::configure(ThreadConfig { num_threads: threads, min_parallel_len: 0 });
+            assert_eq!(a.try_add(&b).unwrap(), serial.0);
+            assert_eq!(a.try_mul(&row).unwrap(), serial.1);
+            assert_eq!(a.mul_col(&col).unwrap(), serial.2);
+            let mut axpy_par = a.clone();
+            axpy_par.axpy(0.37, &b).unwrap();
+            assert_eq!(axpy_par, serial.3);
+        }
+        parallel::configure(saved);
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! First-party parallel kernel layer: scoped-thread band partitioning with
+//! a bitwise-determinism contract.
+//!
+//! Every parallel kernel in this workspace is built from the two primitives
+//! here, [`for_each_band`] and [`map_bands`], which split the *output* (or
+//! the input index space) into contiguous bands — one per worker thread.
+//! Because each output element is computed by exactly the same sequence of
+//! floating-point operations regardless of how the bands are drawn, every
+//! kernel produces **bitwise-identical** results at any thread count,
+//! including the serial path (`num_threads == 1`), which executes the exact
+//! pre-parallelisation loop. The full contract — which kernels are
+//! parallelised, which deliberately stay serial, and why — is documented in
+//! `docs/THREADING.md` at the repository root.
+//!
+//! Configuration is process-global (see [`ThreadConfig`]): the default is
+//! read once from the `PILOTE_THREADS` / `PILOTE_MIN_PARALLEL_LEN`
+//! environment variables and can be overridden programmatically with
+//! [`configure`]. Threads are scoped (`std::thread::scope`) and spawned per
+//! kernel invocation; the [`ThreadConfig::min_parallel_len`] work threshold
+//! keeps small kernels on the fast serial path where spawn cost would
+//! dominate.
+//!
+//! ```
+//! use pilote_tensor::parallel::{self, ThreadConfig};
+//!
+//! // Pin the process to 2 worker threads with the default work threshold.
+//! parallel::configure(ThreadConfig { num_threads: 2, ..ThreadConfig::default() });
+//! assert_eq!(parallel::current().num_threads, 2);
+//!
+//! // Small kernels stay serial regardless of the thread count…
+//! assert_eq!(parallel::effective_threads(100), 1);
+//! // …large ones fan out.
+//! assert_eq!(parallel::effective_threads(10_000_000), 2);
+//!
+//! // Restore auto-detection for the rest of the process.
+//! parallel::configure(ThreadConfig::from_env());
+//! ```
+
+use std::ops::Range;
+use std::sync::{OnceLock, RwLock};
+
+/// Default work threshold (approximate scalar operations) below which a
+/// kernel runs serially. Chosen so that the ~10–50 µs cost of spawning
+/// scoped threads never exceeds a few percent of kernel runtime.
+pub const DEFAULT_MIN_PARALLEL_LEN: usize = 64 * 1024;
+
+/// Process-wide threading configuration for the parallel kernel layer.
+///
+/// * `num_threads == 1` selects the exact serial path: the same loops the
+///   crate ran before the parallel layer existed, with no thread spawns.
+/// * `num_threads > 1` enables band-parallel kernels, which are guaranteed
+///   bitwise-identical to the serial path (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadConfig {
+    /// Number of worker threads used by parallel kernels (≥ 1; values of 0
+    /// are treated as 1).
+    pub num_threads: usize,
+    /// Minimum approximate scalar-operation count for a kernel invocation
+    /// to use more than one thread.
+    pub min_parallel_len: usize,
+}
+
+impl Default for ThreadConfig {
+    /// Equivalent to [`ThreadConfig::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl ThreadConfig {
+    /// Builds a configuration from the environment:
+    ///
+    /// * `PILOTE_THREADS` — worker thread count; unset, `0`, or unparsable
+    ///   means "use [`std::thread::available_parallelism`]".
+    /// * `PILOTE_MIN_PARALLEL_LEN` — work threshold; defaults to
+    ///   [`DEFAULT_MIN_PARALLEL_LEN`].
+    pub fn from_env() -> Self {
+        let num_threads = std::env::var("PILOTE_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            });
+        let min_parallel_len = std::env::var("PILOTE_MIN_PARALLEL_LEN")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MIN_PARALLEL_LEN);
+        ThreadConfig { num_threads, min_parallel_len }
+    }
+
+    /// A strictly serial configuration (`num_threads = 1`).
+    pub fn serial() -> Self {
+        ThreadConfig { num_threads: 1, min_parallel_len: DEFAULT_MIN_PARALLEL_LEN }
+    }
+}
+
+/// Serialises unit tests that reconfigure the process-global config, so
+/// assertions on [`current`] cannot race. Kernel *results* are unaffected
+/// by races (that is the whole contract), only introspection is.
+#[cfg(test)]
+pub(crate) static TEST_CONFIG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn config_cell() -> &'static RwLock<ThreadConfig> {
+    static CONFIG: OnceLock<RwLock<ThreadConfig>> = OnceLock::new();
+    CONFIG.get_or_init(|| RwLock::new(ThreadConfig::from_env()))
+}
+
+/// The current process-wide [`ThreadConfig`].
+pub fn current() -> ThreadConfig {
+    *config_cell().read().expect("thread config lock poisoned")
+}
+
+/// Replaces the process-wide [`ThreadConfig`].
+///
+/// Takes effect for every subsequent kernel invocation in the process;
+/// kernels already running are unaffected. Because results are bitwise
+/// thread-count-invariant, reconfiguring mid-computation never changes
+/// numerical outcomes — only scheduling.
+pub fn configure(config: ThreadConfig) {
+    *config_cell().write().expect("thread config lock poisoned") = config;
+}
+
+/// Number of threads a kernel performing roughly `work` scalar operations
+/// should use under the current configuration: `1` when the configured
+/// thread count is 1 or `work` is below the threshold, the configured
+/// count otherwise.
+pub fn effective_threads(work: usize) -> usize {
+    let cfg = current();
+    let t = cfg.num_threads.max(1);
+    if t == 1 || work < cfg.min_parallel_len {
+        1
+    } else {
+        t
+    }
+}
+
+/// Splits `items` into at most `threads` contiguous, non-empty, in-order
+/// ranges whose lengths differ by at most one.
+///
+/// ```
+/// let bands = pilote_tensor::parallel::band_ranges(10, 4);
+/// assert_eq!(bands, vec![0..3, 3..6, 6..8, 8..10]);
+/// assert_eq!(pilote_tensor::parallel::band_ranges(2, 4).len(), 2);
+/// ```
+pub fn band_ranges(items: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.max(1).min(items.max(1));
+    let base = items / threads;
+    let extra = items % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for b in 0..threads {
+        let len = base + usize::from(b < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `f` over contiguous bands of `out`, in parallel when `threads > 1`.
+///
+/// `out` is interpreted as `out.len() / item_len` items of `item_len`
+/// elements each (`item_len` is the row stride for matrix kernels, `1` for
+/// flat element-wise kernels); items are never split across bands. `f`
+/// receives `(first_item_index, band)` where `band` is the mutable
+/// sub-slice covering that band's items.
+///
+/// With `threads == 1` this is exactly `f(0, out)` on the calling thread —
+/// no spawns, no synchronisation — which is what makes the serial path of
+/// every kernel identical to its pre-parallel-layer implementation.
+///
+/// # Panics
+/// Panics if `out.len()` is not a multiple of `item_len` (when `item_len
+/// > 0`) or if a worker panics (the panic is propagated by
+/// `std::thread::scope`).
+pub fn for_each_band<T: Send>(
+    out: &mut [T],
+    item_len: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let items = out.len().checked_div(item_len).unwrap_or(0);
+    if item_len > 0 {
+        assert_eq!(out.len(), items * item_len, "output not a whole number of items");
+    }
+    if threads <= 1 || items <= 1 {
+        f(0, out);
+        return;
+    }
+    let ranges = band_ranges(items, threads);
+    if ranges.len() <= 1 {
+        f(0, out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut iter = ranges.into_iter();
+        // Spawn workers for all bands after the first…
+        let first = iter.next().expect("at least one band");
+        let (first_band, tail) = rest.split_at_mut(first.len() * item_len);
+        rest = tail;
+        for range in iter {
+            let (band, tail) = rest.split_at_mut(range.len() * item_len);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(range.start, band));
+        }
+        // …and run the first band on the calling thread.
+        f(0, first_band);
+    });
+}
+
+/// Runs `f` over contiguous index bands of `0..items` and returns the
+/// per-band results in band order.
+///
+/// The reduction counterpart of [`for_each_band`]: use it when each band
+/// produces an intermediate value (partial histogram counts, candidate
+/// lists) that the caller combines afterwards. Combining in band order
+/// keeps order-sensitive merges deterministic.
+///
+/// With `threads == 1` the single band `0..items` runs on the calling
+/// thread and the result vector has one element.
+pub fn map_bands<R: Send>(
+    items: usize,
+    threads: usize,
+    f: impl Fn(Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    if items == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || items == 1 {
+        return vec![f(0..items)];
+    }
+    let ranges = band_ranges(items, threads);
+    if ranges.len() <= 1 {
+        return vec![f(0..items)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(ranges.len());
+        let mut iter = ranges.into_iter();
+        let first = iter.next().expect("at least one band");
+        for range in iter {
+            handles.push(scope.spawn(move || f(range)));
+        }
+        let mut results = vec![f(first)];
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_ranges_cover_and_balance() {
+        for items in [0usize, 1, 2, 7, 64, 1000] {
+            for threads in [1usize, 2, 3, 4, 16] {
+                let ranges = band_ranges(items, threads);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, items, "items={items} threads={threads}");
+                // Contiguous and in order.
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+                // Balanced to within one item.
+                if let (Some(max), Some(min)) = (
+                    ranges.iter().map(|r| r.len()).max(),
+                    ranges.iter().map(|r| r.len()).min(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_band_writes_every_item_once() {
+        for threads in [1usize, 2, 3, 5] {
+            let mut out = vec![0u32; 31 * 3];
+            for_each_band(&mut out, 3, threads, |start, band| {
+                for (off, chunk) in band.chunks_mut(3).enumerate() {
+                    for v in chunk.iter_mut() {
+                        *v += (start + off) as u32 + 1;
+                    }
+                }
+            });
+            let expect: Vec<u32> = (0..31u32).flat_map(|i| [i + 1; 3]).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_band_serial_is_single_call() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let mut out = vec![0u8; 100];
+        for_each_band(&mut out, 1, 1, |start, band| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            assert_eq!(start, 0);
+            assert_eq!(band.len(), 100);
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn map_bands_preserves_band_order() {
+        for threads in [1usize, 2, 4, 8] {
+            let sums = map_bands(100, threads, |r| r.clone().sum::<usize>());
+            let total: usize = sums.iter().sum();
+            assert_eq!(total, (0..100).sum::<usize>(), "threads={threads}");
+            let starts = map_bands(100, threads, |r| r.start);
+            let mut sorted = starts.clone();
+            sorted.sort_unstable();
+            assert_eq!(starts, sorted, "band order must be ascending");
+        }
+    }
+
+    #[test]
+    fn map_bands_empty_input() {
+        let r: Vec<usize> = map_bands(0, 4, |_| unreachable!());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn config_roundtrip_and_threshold() {
+        let _guard = TEST_CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = current();
+        configure(ThreadConfig { num_threads: 3, min_parallel_len: 1000 });
+        assert_eq!(current().num_threads, 3);
+        assert_eq!(effective_threads(999), 1);
+        assert_eq!(effective_threads(1000), 3);
+        configure(ThreadConfig::serial());
+        assert_eq!(effective_threads(usize::MAX), 1);
+        configure(saved);
+    }
+}

@@ -1,7 +1,17 @@
 //! Reductions: sums, means, variances, extrema, argmax — whole-tensor and
 //! per-axis (rank-2) variants.
+//!
+//! Per-axis reductions are band-parallelised over their *output* (rows for
+//! [`Axis::Cols`], columns for [`Axis::Rows`]) so each output element keeps
+//! its exact serial accumulation chain at any thread count. Whole-tensor
+//! scalar reductions ([`Tensor::sum`], [`Tensor::mean`],
+//! [`Tensor::variance`], [`Tensor::sq_norm`]) deliberately stay serial:
+//! they are a single accumulation chain, and any repartition would reorder
+//! floating-point additions and break the bitwise-determinism contract of
+//! `docs/THREADING.md`.
 
 use crate::error::TensorError;
+use crate::parallel;
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -16,6 +26,15 @@ pub enum Axis {
 
 impl Tensor {
     /// Sum of all elements.
+    ///
+    /// Always computed as a single serial `f64` accumulation chain — never
+    /// parallelised — so the result is independent of the thread
+    /// configuration (see module docs).
+    ///
+    /// ```
+    /// use pilote_tensor::Tensor;
+    /// assert_eq!(Tensor::vector(&[1.0, 2.0, 3.0]).sum(), 6.0);
+    /// ```
     pub fn sum(&self) -> f32 {
         // f64 accumulator: the training loop sums thousands of squared
         // distances; f32 accumulation loses precision noticeably there.
@@ -96,21 +115,37 @@ impl Tensor {
             return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "sum_axis" });
         }
         let (r, c) = (self.rows(), self.cols());
+        let data = self.as_slice();
+        let threads = parallel::effective_threads(r * c);
         match axis {
             Axis::Rows => {
-                let mut out = vec![0.0f64; c];
-                for i in 0..r {
-                    for (o, &v) in out.iter_mut().zip(self.row(i)) {
-                        *o += v as f64;
+                // One output per column; bands partition the columns and
+                // each column keeps its serial row-ascending f64 chain.
+                let mut out = vec![0.0f32; c];
+                parallel::for_each_band(&mut out, 1, threads, |j0, band| {
+                    let w = band.len();
+                    let mut acc = vec![0.0f64; w];
+                    for i in 0..r {
+                        let row = &data[i * c + j0..i * c + j0 + w];
+                        for (o, &v) in acc.iter_mut().zip(row) {
+                            *o += v as f64;
+                        }
                     }
-                }
-                Tensor::from_vec(out.into_iter().map(|x| x as f32).collect(), [c])
+                    for (o, a) in band.iter_mut().zip(acc) {
+                        *o = a as f32;
+                    }
+                });
+                Tensor::from_vec(out, [c])
             }
             Axis::Cols => {
-                let mut out = Vec::with_capacity(r);
-                for i in 0..r {
-                    out.push(self.row(i).iter().map(|&v| v as f64).sum::<f64>() as f32);
-                }
+                let mut out = vec![0.0f32; r];
+                parallel::for_each_band(&mut out, 1, threads, |i0, band| {
+                    for (off, o) in band.iter_mut().enumerate() {
+                        let i = i0 + off;
+                        *o = data[i * c..(i + 1) * c].iter().map(|&v| v as f64).sum::<f64>()
+                            as f32;
+                    }
+                });
                 Tensor::from_vec(out, [r])
             }
         }
@@ -134,25 +169,42 @@ impl Tensor {
         }
         let (r, c) = (self.rows(), self.cols());
         let mean = self.mean_axis(axis)?;
+        let means = mean.as_slice();
+        let data = self.as_slice();
+        let threads = parallel::effective_threads(r * c);
         match axis {
             Axis::Rows => {
-                let mut out = vec![0.0f64; c];
-                for i in 0..r {
-                    for (j, &v) in self.row(i).iter().enumerate() {
-                        let d = v as f64 - mean.as_slice()[j] as f64;
-                        out[j] += d * d;
-                    }
-                }
                 let denom = r.max(1) as f64;
-                Tensor::from_vec(out.into_iter().map(|x| (x / denom) as f32).collect(), [c])
+                let mut out = vec![0.0f32; c];
+                parallel::for_each_band(&mut out, 1, threads, |j0, band| {
+                    let w = band.len();
+                    let mut acc = vec![0.0f64; w];
+                    for i in 0..r {
+                        let row = &data[i * c + j0..i * c + j0 + w];
+                        for ((o, &v), &m) in acc.iter_mut().zip(row).zip(&means[j0..j0 + w]) {
+                            let d = v as f64 - m as f64;
+                            *o += d * d;
+                        }
+                    }
+                    for (o, a) in band.iter_mut().zip(acc) {
+                        *o = (a / denom) as f32;
+                    }
+                });
+                Tensor::from_vec(out, [c])
             }
             Axis::Cols => {
-                let mut out = Vec::with_capacity(r);
-                for i in 0..r {
-                    let m = mean.as_slice()[i] as f64;
-                    let ss: f64 = self.row(i).iter().map(|&v| (v as f64 - m).powi(2)).sum();
-                    out.push((ss / c.max(1) as f64) as f32);
-                }
+                let mut out = vec![0.0f32; r];
+                parallel::for_each_band(&mut out, 1, threads, |i0, band| {
+                    for (off, o) in band.iter_mut().enumerate() {
+                        let i = i0 + off;
+                        let m = means[i] as f64;
+                        let ss: f64 = data[i * c..(i + 1) * c]
+                            .iter()
+                            .map(|&v| (v as f64 - m).powi(2))
+                            .sum();
+                        *o = (ss / c.max(1) as f64) as f32;
+                    }
+                });
                 Tensor::from_vec(out, [r])
             }
         }
@@ -169,17 +221,22 @@ impl Tensor {
         if self.cols() == 0 {
             return Err(TensorError::Empty { op: "argmin_rows" });
         }
-        let mut out = Vec::with_capacity(self.rows());
-        for i in 0..self.rows() {
-            let row = self.row(i);
-            let mut best = 0usize;
-            for (j, &v) in row.iter().enumerate().skip(1) {
-                if v < row[best] {
-                    best = j;
+        let (r, c) = (self.rows(), self.cols());
+        let data = self.as_slice();
+        let threads = parallel::effective_threads(r * c);
+        let mut out = vec![0usize; r];
+        parallel::for_each_band(&mut out, 1, threads, |i0, band| {
+            for (off, o) in band.iter_mut().enumerate() {
+                let row = &data[(i0 + off) * c..(i0 + off + 1) * c];
+                let mut best = 0usize;
+                for (j, &v) in row.iter().enumerate().skip(1) {
+                    if v < row[best] {
+                        best = j;
+                    }
                 }
+                *o = best;
             }
-            out.push(best);
-        }
+        });
         Ok(out)
     }
 
@@ -256,6 +313,41 @@ mod tests {
         let d = Tensor::from_rows(&[vec![3.0, 1.0, 2.0], vec![0.5, 9.0, 9.0]]).unwrap();
         assert_eq!(d.argmin_rows().unwrap(), vec![1, 0]);
         assert!(Tensor::zeros([2, 0]).argmin_rows().is_err());
+    }
+
+    #[test]
+    fn parallel_bitwise_matches_serial() {
+        use crate::parallel::{self, ThreadConfig};
+        use crate::rng::Rng64;
+        let _guard = parallel::TEST_CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = Rng64::new(12);
+        let x = Tensor::from_vec(
+            (0..57 * 23).map(|_| rng.normal_f32(0.0, 3.0)).collect(),
+            [57, 23],
+        )
+        .unwrap();
+
+        let saved = parallel::current();
+        parallel::configure(ThreadConfig::serial());
+        let serial = (
+            x.sum_axis(Axis::Rows).unwrap(),
+            x.sum_axis(Axis::Cols).unwrap(),
+            x.var_axis(Axis::Rows).unwrap(),
+            x.var_axis(Axis::Cols).unwrap(),
+            x.argmin_rows().unwrap(),
+            x.sum(),
+        );
+        for threads in [2usize, 3, 4] {
+            parallel::configure(ThreadConfig { num_threads: threads, min_parallel_len: 0 });
+            assert_eq!(x.sum_axis(Axis::Rows).unwrap(), serial.0);
+            assert_eq!(x.sum_axis(Axis::Cols).unwrap(), serial.1);
+            assert_eq!(x.var_axis(Axis::Rows).unwrap(), serial.2);
+            assert_eq!(x.var_axis(Axis::Cols).unwrap(), serial.3);
+            assert_eq!(x.argmin_rows().unwrap(), serial.4);
+            // Whole-tensor sum is serial by contract, hence trivially equal.
+            assert_eq!(x.sum().to_bits(), serial.5.to_bits());
+        }
+        parallel::configure(saved);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! and streaming (Welford) moments — used by the experiment reports and by
 //! the drift monitor of the streaming pipeline.
 
+use crate::parallel;
 use crate::tensor::Tensor;
 use crate::TensorError;
 
@@ -34,11 +35,25 @@ impl Tensor {
             return Err(TensorError::Empty { op: "histogram" });
         }
         assert!(bins > 0 && hi > lo, "need bins > 0 and hi > lo");
-        let mut counts = vec![0u64; bins];
         let width = (hi - lo) / bins as f32;
-        for &v in self.as_slice() {
-            let idx = (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
-            counts[idx] += 1;
+        let data = self.as_slice();
+        // Per-band partial counts merged in band order: integer additions
+        // commute exactly, so the result is thread-count-invariant.
+        let threads = parallel::effective_threads(data.len());
+        let partials = parallel::map_bands(data.len(), threads, |range| {
+            let mut counts = vec![0u64; bins];
+            for &v in &data[range] {
+                let idx =
+                    (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+                counts[idx] += 1;
+            }
+            counts
+        });
+        let mut counts = vec![0u64; bins];
+        for p in partials {
+            for (o, v) in counts.iter_mut().zip(p) {
+                *o += v;
+            }
         }
         Ok(counts)
     }

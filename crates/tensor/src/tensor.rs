@@ -208,18 +208,35 @@ impl Tensor {
     }
 
     /// Extracts the rows at `indices` (rank-2 only), in the given order.
+    ///
+    /// The gather primitive behind contrastive pair batching; row copies
+    /// are band-parallel over the output (see `docs/THREADING.md`).
+    ///
+    /// ```
+    /// use pilote_tensor::Tensor;
+    /// let t = Tensor::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+    /// let picked = t.select_rows(&[2, 0, 2]).unwrap();
+    /// assert_eq!(picked.as_slice(), &[2.0, 0.0, 2.0]);
+    /// ```
     pub fn select_rows(&self, indices: &[usize]) -> Result<Tensor> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch { got: self.rank(), expected: 2, op: "select_rows" });
         }
         let cols = self.cols();
         let rows = self.rows();
-        let mut data = Vec::with_capacity(indices.len() * cols);
-        for &i in indices {
-            if i >= rows {
-                return Err(TensorError::OutOfBounds { index: i, bound: rows, op: "select_rows" });
-            }
-            data.extend_from_slice(self.row(i));
+        if let Some(&bad) = indices.iter().find(|&&i| i >= rows) {
+            return Err(TensorError::OutOfBounds { index: bad, bound: rows, op: "select_rows" });
+        }
+        let mut data = vec![0.0f32; indices.len() * cols];
+        if cols > 0 {
+            let src = self.as_slice();
+            let threads = crate::parallel::effective_threads(indices.len() * cols);
+            crate::parallel::for_each_band(&mut data, cols, threads, |i0, band| {
+                for (off, chunk) in band.chunks_mut(cols).enumerate() {
+                    let i = indices[i0 + off];
+                    chunk.copy_from_slice(&src[i * cols..(i + 1) * cols]);
+                }
+            });
         }
         Ok(Tensor { shape: Shape::matrix(indices.len(), cols), data })
     }

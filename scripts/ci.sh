@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: every change must pass this before merging (README §Testing).
+#
+# Runs, in order:
+#   1. release build of the whole workspace
+#   2. the full test suite (unit + integration + vendored stand-ins)
+#   3. doctests (kept separate so a doc regression is named as such)
+#   4. rustdoc with warnings denied (broken intra-doc links fail the gate)
+#   5. clippy with warnings denied
+#
+# Usage: ./scripts/ci.sh   (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --workspace --release"
+cargo build --workspace --release
+
+step "cargo test --workspace -q"
+cargo test --workspace -q
+
+step "cargo test --workspace --doc -q"
+cargo test --workspace --doc -q
+
+step "cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+printf '\nci.sh: all gates passed\n'

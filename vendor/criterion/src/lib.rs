@@ -1,0 +1,338 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! Implements the harness subset this workspace's benches use:
+//! [`Criterion`], [`criterion_group!`]/[`criterion_main!`], benchmark
+//! groups with [`Throughput`], [`BenchmarkId`], and `Bencher::iter`.
+//!
+//! Methodology (simpler than real criterion, but honest): after a warm-up
+//! phase, each benchmark runs `sample_size` samples. Each sample executes
+//! as many iterations as fit a fixed per-sample slice of
+//! `measurement_time`, and the reported figures are the median, minimum
+//! and mean per-iteration wall-clock times across samples. There is no
+//! outlier rejection or bootstrap; on a quiet machine the median is within
+//! noise of real criterion's point estimate.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How throughput is derived from per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id made of the parameter rendering alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark path (`group/id`).
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Minimum per-iteration time.
+    pub min: Duration,
+    /// Mean per-iteration time.
+    pub mean: Duration,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+/// The benchmark harness.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Results recorded so far (available to custom reporters).
+    pub results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Accepted for CLI compatibility; filtering flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample = run_benchmark(
+            id.to_string(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            None,
+            f,
+        );
+        self.results.push(sample);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rate figures for subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample = run_benchmark(
+            full,
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            self.throughput,
+            f,
+        );
+        self.criterion.results.push(sample);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; results were reported live).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    id: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) -> Sample {
+    // Warm-up: run single iterations until the budget is spent, and use
+    // the observed time to size measurement samples.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < warm_up || warm_iters == 0 {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1));
+        warm_iters += 1;
+        if warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+
+    let slice = measurement / sample_size as u32;
+    let iters_per_sample =
+        (slice.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000_000) as u64;
+
+    let mut times: Vec<f64> = Vec::with_capacity(sample_size);
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        total_iters += iters_per_sample;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+
+    let rate = |per_iter_secs: f64| -> String {
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(" ({:.3} Melem/s)", n as f64 / per_iter_secs / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(" ({:.3} MiB/s)", n as f64 / per_iter_secs / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        }
+    };
+    println!(
+        "{id:<50} median {}{}  min {}  mean {}  ({} iters)",
+        fmt_time(median),
+        rate(median),
+        fmt_time(min),
+        fmt_time(mean),
+        total_iters,
+    );
+
+    Sample {
+        id,
+        median: Duration::from_secs_f64(median),
+        min: Duration::from_secs_f64(min),
+        mean: Duration::from_secs_f64(mean),
+        iterations: total_iters,
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a benchmark group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].id, "demo/sum");
+        assert!(c.results[0].median > Duration::ZERO);
+    }
+}

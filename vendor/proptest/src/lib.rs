@@ -1,0 +1,303 @@
+//! Offline stand-in for [proptest](https://docs.rs/proptest).
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, `in`-range strategies on
+//! integers and floats, `prop::sample::select`, and the `prop_assert*`
+//! macros. Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its inputs via the panic
+//!   message (every generated binding is included) but is not minimised.
+//! * **Deterministic** — the RNG seed is derived from the test-function
+//!   name, so failures always reproduce. There is no failure persistence
+//!   file because there is no nondeterminism to persist.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Test-runner plumbing, mirroring `proptest::test_runner` paths.
+pub mod test_runner {
+    pub use super::ProptestConfig;
+
+    /// SplitMix64-based RNG used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic RNG seeded from a test name.
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            // Multiply-shift rejection-free mapping; bias is negligible for
+            // the bounds used in tests.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Strategy trait and implementations, mirroring `proptest::strategy`.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of random values. The stand-in has no shrinking, so a
+    /// strategy is just a sampling function.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range");
+                    (lo + rng.below((hi - lo + 1) as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    /// Strategy produced by [`crate::prop::sample::select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        pub(crate) options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Strategy produced by [`crate::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Constant strategy (`Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Namespaced strategies, mirroring `proptest::prop` / `proptest::sample`.
+pub mod sample {
+    use super::strategy::Select;
+
+    /// Uniformly selects one of the given options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// A `Vec` strategy with element strategy `element` and a length drawn
+    /// from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The `prop` facade used via `use proptest::prelude::*`.
+pub mod prop {
+    pub use super::collection;
+    pub use super::sample;
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::sample;
+    pub use super::strategy::{Just, Strategy};
+    pub use super::test_runner::TestRng;
+    pub use super::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each `fn name(binding in strategy, ...)` body
+/// runs [`ProptestConfig::cases`] times with fresh random bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = ($crate::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($binding:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $binding =
+                    $crate::strategy::Strategy::generate(&$strategy, &mut __rng);)*
+                let __inputs = format!(
+                    concat!("case {} of ", stringify!($name), ":"
+                            $(, " ", stringify!($binding), "={:?}")*),
+                    __case $(, $binding)*
+                );
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(__panic) = __result {
+                    eprintln!("proptest failure: {__inputs}");
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -5i64..5, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn select_picks_member(v in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!([2usize, 4, 8].contains(&v));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_len(v in prop::collection::vec(0u32..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_repeats() {
+        let mut a = TestRng::deterministic("seed-name");
+        let mut b = TestRng::deterministic("seed-name");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Derive macros for the offline vendored `serde` stand-in.
+//!
+//! The real `serde_derive` leans on `syn`/`quote`, neither of which is
+//! available in this offline build environment, so the item is parsed by
+//! hand from the raw [`proc_macro::TokenStream`]. The supported grammar is
+//! exactly what this workspace uses:
+//!
+//! * non-generic `struct` with named fields,
+//! * non-generic tuple structs (newtype structs serialize transparently),
+//! * non-generic `enum` with unit, named-field and tuple variants
+//!   (externally tagged, like serde's default representation),
+//! * `#[serde(...)]` attributes are **not** supported and are rejected
+//!   loudly rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field-less view of the deriving item.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize` (the vendored stand-in trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inner = if *arity == 1 {
+                // Newtype structs serialize transparently, like serde.
+                "::serde::Serialize::to_json_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{ {inner} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::String(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_json_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Value::Object(::std::vec![{}]))])",
+                                pairs.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_json_value(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    elems.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({}) => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), {inner})])",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    body.parse().expect("derive(Serialize): generated code must parse")
+}
+
+/// Derives `serde::Deserialize` (the vendored stand-in trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(\
+                             ::serde::field(__obj, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"struct {name}\", __v))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inner = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_json_value(__v)?))"
+                )
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                         ::serde::DeError::expected(\"tuple struct {name}\", __v))?;\n\
+                     if __arr.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{ {inner} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0})",
+                        v.name
+                    )
+                })
+                .collect();
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::String(__s) = __v {{\n\
+                         return match __s.as_str() {{\n\
+                             {},\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(::std::format!(\
+                                     \"unknown {name} variant {{__other}}\"))),\n\
+                         }};\n\
+                     }}",
+                    unit_arms.join(",\n")
+                )
+            };
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_json_value(\
+                                             ::serde::field(__fields, \"{f}\"))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __fields = __inner.as_object().ok_or_else(|| \
+                                         ::serde::DeError::expected(\
+                                             \"fields of {name}::{vname}\", __inner))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Tuple(arity) => {
+                            if *arity == 1 {
+                                Some(format!(
+                                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                     ::serde::Deserialize::from_json_value(__inner)?))"
+                                ))
+                            } else {
+                                let elems: Vec<String> = (0..*arity)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::from_json_value(&__arr[{i}])?"
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{vname}\" => {{\n\
+                                         let __arr = __inner.as_array().ok_or_else(|| \
+                                             ::serde::DeError::expected(\
+                                                 \"fields of {name}::{vname}\", __inner))?;\n\
+                                         if __arr.len() != {arity} {{\n\
+                                             return ::std::result::Result::Err(\
+                                                 ::serde::DeError::custom(\
+                                                     \"wrong arity for {name}::{vname}\"));\n\
+                                         }}\n\
+                                         ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                     }}",
+                                    elems.join(", ")
+                                ))
+                            }
+                        }
+                    }
+                })
+                .collect();
+            let data_match = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+                         if __obj.len() == 1 {{\n\
+                             let (__tag, __inner) = &__obj[0];\n\
+                             return match __tag.as_str() {{\n\
+                                 {},\n\
+                                 __other => ::std::result::Result::Err(\
+                                     ::serde::DeError::custom(::std::format!(\
+                                         \"unknown {name} variant {{__other}}\"))),\n\
+                             }};\n\
+                         }}\n\
+                     }}",
+                    data_arms.join(",\n")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {unit_match}\n\
+                         {data_match}\n\
+                         ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"enum {name}\", __v))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("derive(Deserialize): generated code must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility. Reject `#[serde(...)]`, which this stand-in cannot honour.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    reject_serde_attr(&g.stream());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` / `pub(super)` carry a parenthesised group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in does not support generic type `{name}`");
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_tuple_fields(g.stream()) }
+            }
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn reject_serde_attr(attr: &TokenStream) {
+    if let Some(TokenTree::Ident(id)) = attr.clone().into_iter().next() {
+        if id.to_string() == "serde" {
+            panic!("the vendored serde stand-in does not support #[serde(...)] attributes");
+        }
+    }
+}
+
+/// Parses `a: T, pub b: U<V, W>, ...` into field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        reject_serde_attr(&g.stream());
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field_name) = tree else {
+            panic!("serde derive: expected field name, got {tree:?}");
+        };
+        fields.push(field_name.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tree in tokens.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the types in a tuple-struct body `(T, U, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+/// Parses enum variants: `Unit, Named { a: T }, Tuple(U, V), ...`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (`#[default]`, doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.next() {
+                reject_serde_attr(&g.stream());
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(vname) = tree else {
+            panic!("serde derive: expected variant name, got {tree:?}");
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name: vname.to_string(), kind });
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(tree) = tokens.peek() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+            tokens.next();
+        }
+    }
+    variants
+}
