@@ -6,15 +6,15 @@
 //!
 //! experiments: all, table2, fig4, fig5, fig6, fig7, timing,
 //!              ablate-alpha, ablate-margin, ablate-pairs,
-//!              ablate-strategies, cloud-vs-edge, kernels
+//!              ablate-strategies, cloud-vs-edge, kernels, faults
 //! ```
 //!
 //! Run it in release mode: `cargo run --release -p pilote-bench --bin repro -- all`.
 
 use pilote_bench::report::results_dir;
 use pilote_bench::{
-    exp_ablations, exp_cloud, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_kernels, exp_table2,
-    exp_timing, Scale,
+    exp_ablations, exp_cloud, exp_faults, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_kernels,
+    exp_table2, exp_timing, Scale,
 };
 use std::process::ExitCode;
 
@@ -30,7 +30,7 @@ fn usage() -> ExitCode {
         "usage: repro <experiment> [--quick] [--rounds N] [--per-activity N] [--seed N] [--out DIR]\n\
          experiments: all, table2, fig4, fig5, fig6, fig7, timing,\n\
                       ablate-alpha, ablate-margin, ablate-pairs, ablate-strategies,\n\
-                      cloud-vs-edge, kernels"
+                      cloud-vs-edge, kernels, faults"
     );
     ExitCode::from(2)
 }
@@ -118,6 +118,9 @@ fn main() -> ExitCode {
         "kernels" => {
             exp_kernels::run(&out);
         }
+        "faults" => {
+            exp_faults::run(&scale, seed, &out);
+        }
         "all" => {
             exp_table2::run(&scale, seed, &out);
             exp_fig4::run(&scale, seed, &out);
@@ -131,6 +134,7 @@ fn main() -> ExitCode {
             exp_ablations::strategy_comparison(&scale, seed, &out);
             exp_cloud::run(&out);
             exp_kernels::run(&out);
+            exp_faults::run(&scale, seed, &out);
         }
         _ => return usage(),
     }

@@ -1,0 +1,380 @@
+//! **Faults** — the resilience sweep of `docs/RESILIENCE.md`: accuracy and
+//! recovery behaviour of the edge pipeline under seed-driven fault
+//! injection at increasing rates.
+//!
+//! Three fault families are swept independently (their schedules come from
+//! forked RNG streams, so raising one rate never perturbs another's
+//! schedule):
+//!
+//! * **sensor** — raw eval windows are corrupted ahead of the
+//!   `WindowAssembler` (dropout gaps, stuck channels, NaN/Inf spikes,
+//!   saturation); tainted windows are quarantined, and the three models of
+//!   §6.1.3 (Pre-trained / Re-trained / PILOTE) are scored on the
+//!   survivors;
+//! * **link** — the cloud→edge deployment download runs over a flaky
+//!   weak-cellular link with retry + exponential backoff;
+//! * **process** — incremental updates are killed at random kill-points;
+//!   the device rolls back to its last-good checkpoint and, under
+//!   persistent failures, degrades to the pre-trained deployment.
+//!
+//! Results land in `BENCH_faults.json` (schema in `EXPERIMENTS.md`). The
+//! JSON contains no wall-clock fields: for a fixed seed the file is
+//! bit-identical across runs and thread counts.
+
+use crate::report::{write_json, Table};
+use crate::scale::Scale;
+use crate::scenario::{pretrain_base, run_pilote, run_pretrained, run_retrained, Scenario};
+use pilote_core::{Pilote, UpdateStage};
+use pilote_edge_sim::faults::{
+    FlakyLink, LinkFaultRates, RetryPolicy, SensorFaultInjector, SensorFaultRates,
+};
+use pilote_edge_sim::{DeviceProfile, LinkModel};
+use pilote_har_data::dataset::Dataset;
+use pilote_har_data::features::extract_batch;
+use pilote_har_data::preprocess::Normalizer;
+use pilote_har_data::sensors::WINDOW_LEN;
+use pilote_har_data::stream::WindowAssembler;
+use pilote_har_data::{Activity, Simulator, FEATURE_DIM};
+use pilote_magneto::{Deployment, EdgeDevice, UpdateStatus};
+use pilote_nn::Checkpoint;
+use pilote_tensor::{Rng64, Tensor};
+use serde_json::json;
+use std::path::Path;
+
+/// Per-family fault rates swept by [`run`].
+pub const FAULT_RATES: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
+
+/// Transfer trials per link-fault rate.
+const LINK_TRIALS: usize = 24;
+
+/// Incremental updates attempted per process-fault rate.
+const PROCESS_UPDATES: usize = 6;
+
+/// Builds the corpus + scenario while keeping the fitted normaliser (the
+/// shared `build_scenario` discards it, but fault injection needs it to
+/// stream raw windows through the assembler exactly as a device would).
+fn faulted_scenario(scale: &Scale, seed: u64) -> (Scenario, Normalizer, Simulator) {
+    let mut sim = Simulator::with_seed(seed);
+    let counts: Vec<(Activity, usize)> =
+        Activity::ALL.iter().map(|&a| (a, scale.per_activity)).collect();
+    let raw = sim.raw_dataset(&counts);
+    let features = extract_batch(&raw).expect("feature extraction");
+    let (norm, features) = Normalizer::fit_transform(&features).expect("normalise");
+    let data = Dataset::new(features, raw.labels).expect("dataset");
+    let mut rng = Rng64::new(seed ^ 0x5011);
+    let (train, test) = data.stratified_split(scale.test_fraction(), &mut rng).expect("split");
+    let new_activity = Activity::Run;
+    let old_labels: Vec<usize> = Activity::ALL
+        .iter()
+        .filter(|&&a| a != new_activity)
+        .map(|a| a.label())
+        .collect();
+    let scenario = Scenario {
+        new_activity,
+        train_old: train.filter_classes(&old_labels).expect("old classes"),
+        new_pool: train.filter_classes(&[new_activity.label()]).expect("new class"),
+        test,
+    };
+    (scenario, norm, sim)
+}
+
+/// Streams raw eval windows (optionally corrupted) through a fresh
+/// assembler and scores each model on the surviving features.
+fn sensor_row(
+    rate: f64,
+    rate_idx: usize,
+    seed: u64,
+    eval: &[(usize, Tensor)],
+    norm: &Normalizer,
+    models: &mut [(&'static str, &mut Pilote)],
+) -> serde_json::Value {
+    let mut injector =
+        SensorFaultInjector::new(seed.wrapping_add(rate_idx as u64), SensorFaultRates::uniform(rate));
+    let mut assembler =
+        WindowAssembler::new(WINDOW_LEN, WINDOW_LEN, 1).with_normalizer(norm.clone());
+    let mut survivors: Vec<Tensor> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (label, window) in eval {
+        let mut w = window.clone();
+        injector.corrupt_window(&mut w);
+        let feats = assembler.push_block(&w).expect("assembler never fails on finite shapes");
+        for f in feats {
+            survivors.push(f.reshape([1, FEATURE_DIM]).expect("row"));
+            labels.push(*label);
+        }
+    }
+    let accuracy: Vec<(&str, f32)> = if survivors.is_empty() {
+        models.iter().map(|(name, _)| (*name, 0.0)).collect()
+    } else {
+        let refs: Vec<&Tensor> = survivors.iter().collect();
+        let features = Tensor::vstack(&refs).expect("stack survivors");
+        let ds = Dataset::new(features, labels.clone()).expect("survivor dataset");
+        models
+            .iter_mut()
+            .map(|(name, model)| (*name, model.accuracy(&ds).expect("eval")))
+            .collect()
+    };
+    let counts = injector.counts();
+    let acc_map = serde_json::Value::Object(
+        accuracy.iter().map(|(n, a)| (n.to_string(), json!(a))).collect(),
+    );
+    json!({
+        "rate": rate,
+        "windows_seen": injector.windows_seen(),
+        "windows_faulted": injector.windows_faulted(),
+        "quarantined": assembler.quarantined(),
+        "survivors": survivors.len(),
+        "injected": {
+            "dropout": counts.dropout,
+            "stuck": counts.stuck,
+            "spike": counts.spike,
+            "saturation": counts.saturation,
+        },
+        "accuracy": acc_map,
+    })
+}
+
+/// Repeated resilient installs over a flaky link at one fault rate.
+fn link_row(rate: f64, rate_idx: usize, seed: u64, deployment: &Deployment) -> serde_json::Value {
+    let policy = RetryPolicy::default_edge();
+    let mut ok = 0usize;
+    let mut aborted = 0usize;
+    let mut attempts_total = 0u64;
+    for trial in 0..LINK_TRIALS {
+        let link_seed = seed ^ ((rate_idx as u64) << 32) ^ trial as u64;
+        let mut flaky = FlakyLink::new(
+            LinkModel::weak_cellular(),
+            link_seed,
+            LinkFaultRates::uniform(rate),
+        );
+        match EdgeDevice::install_resilient(
+            DeviceProfile::budget_phone(),
+            deployment,
+            &mut flaky,
+            &policy,
+        ) {
+            Ok(_) => ok += 1,
+            Err(_) => aborted += 1,
+        }
+        attempts_total += flaky.attempts();
+    }
+    json!({
+        "rate": rate,
+        "trials": LINK_TRIALS,
+        "installed": ok,
+        "aborted": aborted,
+        "mean_attempts": attempts_total as f64 / LINK_TRIALS as f64,
+    })
+}
+
+/// Repeated incremental updates under a crash schedule at one fault rate.
+fn process_row(
+    rate: f64,
+    rate_idx: usize,
+    seed: u64,
+    deployment: &Deployment,
+    scenario: &Scenario,
+    scale: &Scale,
+) -> serde_json::Value {
+    let mut plan =
+        pilote_edge_sim::faults::CrashPlan::new(seed ^ ((rate_idx as u64) << 16), rate);
+    let mut device = EdgeDevice::install(
+        DeviceProfile::budget_phone(),
+        deployment,
+        &LinkModel::wifi(),
+    )
+    .expect("install");
+    let mut rng = Rng64::new(seed ^ 0xf417);
+    let batch = scale.exemplars_per_class.min(scenario.new_pool.len());
+    let (mut completed, mut rolled_back, mut degraded) = (0usize, 0usize, 0usize);
+    for _ in 0..PROCESS_UPDATES {
+        if device.is_degraded() {
+            break;
+        }
+        let new_data = scenario
+            .new_pool
+            .sample_class(scenario.new_activity.label(), batch, &mut rng)
+            .expect("new-class batch");
+        for i in 0..new_data.features.rows() {
+            device.label_sample(scenario.new_activity.label(), Tensor::vector(new_data.features.row(i)));
+        }
+        let kill = plan
+            .next_kill(UpdateStage::ALL.len())
+            .map(|stage| UpdateStage::ALL[stage]);
+        match device.update_faulted(scale.exemplars_per_class, kill).expect("update never errors") {
+            UpdateStatus::Completed => completed += 1,
+            UpdateStatus::RolledBack => rolled_back += 1,
+            UpdateStatus::Degraded => degraded += 1,
+        }
+    }
+    let final_accuracy = device.accuracy(&scenario.test).expect("final eval");
+    json!({
+        "rate": rate,
+        "updates": completed + rolled_back + degraded,
+        "completed": completed,
+        "rolled_back": rolled_back,
+        "degraded": degraded,
+        "is_degraded": device.is_degraded(),
+        "final_classes": device.known_classes().len(),
+        "final_accuracy": final_accuracy,
+    })
+}
+
+/// Runs the three fault sweeps and writes `BENCH_faults.json`. Returns the
+/// JSON document (used by the determinism test).
+pub fn run(scale: &Scale, seed: u64, out: &Path) -> serde_json::Value {
+    eprintln!("[faults] resilience sweep at rates {FAULT_RATES:?}");
+    let (scenario, norm, mut sim) = faulted_scenario(scale, seed);
+    let mut base = pretrain_base(scenario, scale, seed);
+    let new_exemplars = scale.exemplars_per_class.min(base.scenario.new_pool.len());
+
+    // The three models of §6.1.3, updated once on clean data; the sensor
+    // sweep then measures how their accuracy holds up on corrupted input.
+    let mut pre = base.model.clone_model();
+    run_pretrained(&mut pre, &base.scenario, new_exemplars, seed);
+    let mut ret = base.model.clone_model();
+    run_retrained(&mut ret, &base.scenario, new_exemplars, seed);
+    let mut pil = base.model.clone_model();
+    run_pilote(&mut pil, &base.scenario, new_exemplars, seed);
+
+    // Raw eval windows (label, [120, 22]) streamed through the assembler.
+    let eval_per_activity = (scale.per_activity / 4).max(20);
+    let mut eval: Vec<(usize, Tensor)> = Vec::new();
+    for &activity in &Activity::ALL {
+        let raw = sim.raw_dataset(&[(activity, eval_per_activity)]);
+        for w in raw.windows {
+            eval.push((activity.label(), w));
+        }
+    }
+
+    let mut sensor_rows = Vec::new();
+    for (i, &rate) in FAULT_RATES.iter().enumerate() {
+        let mut models: Vec<(&'static str, &mut Pilote)> = vec![
+            ("pretrained", &mut pre),
+            ("retrained", &mut ret),
+            ("pilote", &mut pil),
+        ];
+        sensor_rows.push(sensor_row(rate, i, seed, &eval, &norm, &mut models));
+    }
+
+    let deployment = Deployment {
+        checkpoint: Checkpoint::capture(base.model.net_mut().layers_mut()),
+        support: base.model.support().clone(),
+        normalizer: norm.clone(),
+        config: base.model.config().clone(),
+    };
+    let link_rows: Vec<serde_json::Value> = FAULT_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| link_row(rate, i, seed, &deployment))
+        .collect();
+    let process_rows: Vec<serde_json::Value> = FAULT_RATES
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| process_row(rate, i, seed, &deployment, &base.scenario, scale))
+        .collect();
+
+    let mut t = Table::new(
+        "Sensor faults: accuracy on surviving windows (quarantine up front)",
+        &["rate", "quarantined", "survivors", "Pre-trained", "Re-trained", "PILOTE"],
+    );
+    for row in &sensor_rows {
+        let acc = &row["accuracy"];
+        t.row(vec![
+            format!("{:.2}", row["rate"].as_f64().unwrap_or(0.0)),
+            row["quarantined"].as_u64().unwrap_or(0).to_string(),
+            row["survivors"].as_u64().unwrap_or(0).to_string(),
+            format!("{:.3}", acc["pretrained"].as_f64().unwrap_or(0.0)),
+            format!("{:.3}", acc["retrained"].as_f64().unwrap_or(0.0)),
+            format!("{:.3}", acc["pilote"].as_f64().unwrap_or(0.0)),
+        ]);
+    }
+    println!("{t}");
+
+    let mut t = Table::new(
+        "Link faults: resilient install over weak cellular (retry + backoff)",
+        &["rate", "installed", "aborted", "mean attempts"],
+    );
+    for row in &link_rows {
+        t.row(vec![
+            format!("{:.2}", row["rate"].as_f64().unwrap_or(0.0)),
+            format!(
+                "{}/{}",
+                row["installed"].as_u64().unwrap_or(0),
+                row["trials"].as_u64().unwrap_or(0)
+            ),
+            row["aborted"].as_u64().unwrap_or(0).to_string(),
+            format!("{:.2}", row["mean_attempts"].as_f64().unwrap_or(0.0)),
+        ]);
+    }
+    println!("{t}");
+
+    let mut t = Table::new(
+        "Process faults: crash-safe incremental updates (rollback + degradation)",
+        &["rate", "completed", "rolled back", "degraded", "classes", "final acc"],
+    );
+    for row in &process_rows {
+        t.row(vec![
+            format!("{:.2}", row["rate"].as_f64().unwrap_or(0.0)),
+            row["completed"].as_u64().unwrap_or(0).to_string(),
+            row["rolled_back"].as_u64().unwrap_or(0).to_string(),
+            row["degraded"].as_u64().unwrap_or(0).to_string(),
+            row["final_classes"].as_u64().unwrap_or(0).to_string(),
+            format!("{:.3}", row["final_accuracy"].as_f64().unwrap_or(0.0)),
+        ]);
+    }
+    println!("{t}");
+
+    let doc = json!({
+        "seed": seed,
+        "fault_rates": FAULT_RATES.to_vec(),
+        "scale": { "per_activity": scale.per_activity, "exemplars_per_class": scale.exemplars_per_class },
+        "determinism": "one seed, one fault schedule; no wall-clock fields — byte-identical for a fixed seed at any thread count",
+        "sensor": sensor_rows,
+        "link": link_rows,
+        "process": process_rows,
+    });
+    write_json(out, "BENCH_faults.json", &doc);
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            per_activity: 60,
+            rounds: 1,
+            exemplars_per_class: 12,
+            max_epochs: 2,
+            pretrain_epochs: 3,
+            ..Scale::default()
+        }
+    }
+
+    /// Runs the whole sweep twice and compares serialized bytes — the
+    /// acceptance check for the determinism contract. Two full sweeps are
+    /// minutes-scale even at this tiny sizing, so the tier-1 suite skips
+    /// it; `scripts/ci.sh`'s fault-matrix step runs it in release.
+    #[test]
+    #[ignore = "slow (two full sweeps); run by scripts/ci.sh fault matrix"]
+    fn faults_sweep_is_deterministic_and_well_formed() {
+        let dir = std::env::temp_dir().join("pilote_faults_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = run(&tiny(), 99, &dir);
+        let b = run(&tiny(), 99, &dir);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed must produce a byte-identical BENCH_faults.json"
+        );
+        // Zero-rate rows are fault-free; the highest rate must actually bite.
+        assert_eq!(a["sensor"][0]["quarantined"], json!(0));
+        assert_eq!(a["link"][0]["installed"], json!(LINK_TRIALS));
+        assert!(a["sensor"][3]["windows_faulted"].as_u64().unwrap() > 0);
+        for row in a["process"].as_array().unwrap() {
+            assert!(row["final_classes"].as_u64().unwrap() >= 4);
+        }
+    }
+}

@@ -21,10 +21,12 @@
 //! repro ablate-strategies # A4 — CL strategy comparison
 //! repro cloud-vs-edge  # A5 — link-cost comparison
 //! repro kernels        # parallel kernel layer thread-scaling (BENCH_kernels.json)
+//! repro faults         # resilience sweep under injected faults (BENCH_faults.json)
 //! ```
 
 pub mod exp_ablations;
 pub mod exp_cloud;
+pub mod exp_faults;
 pub mod exp_fig4;
 pub mod exp_fig5;
 pub mod exp_fig6;

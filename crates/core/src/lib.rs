@@ -56,4 +56,4 @@ pub use exemplar::{select_exemplars, SelectionStrategy};
 pub use metrics::{accuracy, ConfusionMatrix};
 pub use knn::KnnClassifier;
 pub use ncm::NcmClassifier;
-pub use pilote::{Pilote, SupportSet};
+pub use pilote::{Pilote, SupportSet, TrainReport, UpdateOutcome, UpdateStage};

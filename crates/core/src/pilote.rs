@@ -128,6 +128,9 @@ pub struct TrainReport {
     pub epochs: Vec<EpochStats>,
     /// Whether the early stopper fired before `max_epochs`.
     pub stopped_early: bool,
+    /// Optimizer steps skipped by the non-finite guard (NaN/Inf loss or
+    /// gradient — see `docs/RESILIENCE.md`, tier 2).
+    pub skipped_steps: u64,
 }
 
 impl TrainReport {
@@ -284,6 +287,13 @@ pub fn train_embedding(
                 batch_loss += opts.alpha * d_loss;
             }
 
+            // Non-finite guard: a NaN/Inf loss or gradient (corrupted
+            // inputs, exploding step) must skip the step — applying it
+            // once makes every later prediction NaN.
+            if !batch_loss.is_finite() || !pilote_nn::grads_finite(net.layers_mut()) {
+                report.skipped_steps += 1;
+                continue;
+            }
             optimizer.step(net.layers_mut(), lr);
             loss_sum += batch_loss as f64;
             batches += 1;
@@ -323,6 +333,33 @@ pub fn train_embedding(
         }
     }
     Ok(report)
+}
+
+/// Stages of the edge update, in execution order — the kill-points a
+/// crash schedule (`pilote_edge_sim::faults::CrashPlan`) can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateStage {
+    /// The embedding finished training; exemplars and prototypes are
+    /// still the pre-update ones.
+    Trained,
+    /// New-class exemplars were stored; prototypes are still stale.
+    ExemplarsStored,
+}
+
+impl UpdateStage {
+    /// All kill-points, in execution order. `CrashPlan::next_kill` draws
+    /// an index into this list.
+    pub const ALL: [UpdateStage; 2] = [UpdateStage::Trained, UpdateStage::ExemplarsStored];
+}
+
+/// Result of an interruptible edge update.
+#[derive(Debug, Clone)]
+pub enum UpdateOutcome {
+    /// The update ran to completion.
+    Completed(TrainReport),
+    /// A kill-point fired; the learner is in the inconsistent state left
+    /// after the named stage.
+    Interrupted(UpdateStage),
 }
 
 /// The PILOTE model: embedding network + exemplar support set + NCM
@@ -397,6 +434,28 @@ impl Pilote {
         new_data: &Dataset,
         new_exemplar_budget: usize,
     ) -> Result<TrainReport, TensorError> {
+        match self.learn_new_class_interruptible(new_data, new_exemplar_budget, None)? {
+            UpdateOutcome::Completed(report) => Ok(report),
+            UpdateOutcome::Interrupted(_) => unreachable!("no kill-point was requested"),
+        }
+    }
+
+    /// [`Pilote::learn_new_class`] with an optional kill-point: when
+    /// `kill` is `Some(stage)`, the update stops *after* that stage
+    /// completes but before the next one begins — simulating a process
+    /// crash (power loss, OOM-kill) mid-update.
+    ///
+    /// An interrupted update leaves the learner **inconsistent on
+    /// purpose** (mutated embedding, stale or missing prototypes); callers
+    /// own recovery, normally by restoring a pre-update
+    /// [`pilote_nn::Checkpoint`] + support-set snapshot (see
+    /// `EdgeDevice::update_faulted` in `pilote-magneto`).
+    pub fn learn_new_class_interruptible(
+        &mut self,
+        new_data: &Dataset,
+        new_exemplar_budget: usize,
+        kill: Option<UpdateStage>,
+    ) -> Result<UpdateOutcome, TensorError> {
         let d0 = self.support.to_dataset()?;
         let combined = d0.concat(new_data)?;
         let mut is_new = vec![false; d0.len()];
@@ -420,6 +479,9 @@ impl Pilote {
         };
         let report =
             train_embedding(&mut self.net, &combined, &is_new, &cfg, opts, &mut self.rng)?;
+        if kill == Some(UpdateStage::Trained) {
+            return Ok(UpdateOutcome::Interrupted(UpdateStage::Trained));
+        }
 
         // Store new-class exemplars (random subset of the incoming data,
         // as in §6.4) and refresh prototypes under the updated embedding.
@@ -434,8 +496,11 @@ impl Pilote {
             )?;
             self.support.put_class(label, class.features.select_rows(&chosen)?);
         }
+        if kill == Some(UpdateStage::ExemplarsStored) {
+            return Ok(UpdateOutcome::Interrupted(UpdateStage::ExemplarsStored));
+        }
         self.refresh_prototypes()?;
-        Ok(report)
+        Ok(UpdateOutcome::Completed(report))
     }
 
     /// Recomputes every class prototype from the support set under the

@@ -18,15 +18,27 @@
 //! * [`link`] — a cloud↔edge transfer model (bandwidth + RTT) used by the
 //!   A5 cloud-vs-edge experiment motivated by the paper's Fig. 1/2;
 //! * [`latency`] — a stopwatch harness that scales host wall-clock by the
-//!   device profile's CPU factor.
+//!   device profile's CPU factor;
+//! * [`faults`] — deterministic, seed-driven fault injection (sensor
+//!   corruption, flaky links, update kill-points) used to exercise the
+//!   resilience tiers of `docs/RESILIENCE.md`.
+
+// Library code must not panic on recoverable conditions (tier-0 of the
+// resilience contract); tests may unwrap freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod device;
+pub mod faults;
 pub mod latency;
 pub mod link;
 pub mod memory;
 pub mod quantize;
 
 pub use device::DeviceProfile;
+pub use faults::{
+    CrashPlan, FaultCounts, FaultPlan, FlakyLink, LinkFault, LinkFaultRates, RetryPolicy,
+    SensorFaultInjector, SensorFaultKind, SensorFaultRates,
+};
 pub use latency::LatencyMeter;
 pub use link::LinkModel;
 pub use memory::MemoryBudget;

@@ -141,7 +141,7 @@ impl Dataset {
 pub fn generate_features(
     sim: &mut Simulator,
     counts: &[(Activity, usize)],
-) -> Result<(Dataset, Normalizer), TensorError> {
+) -> Result<(Dataset, Normalizer), crate::preprocess::PreprocessError> {
     let raw: RawDataset = sim.raw_dataset(counts);
     let features = extract_batch(&raw)?;
     let (norm, features) = Normalizer::fit_transform(&features)?;

@@ -30,6 +30,15 @@
 //!   window-global summaries.
 //! * [`dataset`] — feature datasets with stratified splits, class
 //!   filtering and subsampling for the incremental-learning scenarios.
+//!
+//! Fallible preprocessing paths report typed [`preprocess::PreprocessError`]s
+//! instead of panicking — this crate runs against live edge sensor streams,
+//! where a corrupted window must be quarantined, not crash the device
+//! (`docs/RESILIENCE.md`).
+
+// Library code must not panic on recoverable conditions (tier-0 of the
+// resilience contract); tests may unwrap freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod activity;
 pub mod dataset;
@@ -42,4 +51,5 @@ pub mod stream;
 pub use activity::Activity;
 pub use dataset::Dataset;
 pub use features::FEATURE_DIM;
+pub use preprocess::PreprocessError;
 pub use simulate::{Simulator, SimulatorConfig};

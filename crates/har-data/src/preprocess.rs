@@ -7,14 +7,79 @@
 use pilote_tensor::{Tensor, TensorError};
 use serde::{Deserialize, Serialize};
 
+/// Typed errors for the preprocessing pipeline.
+///
+/// Preprocessing runs on the edge against live sensor data, so every
+/// fallible path reports a recoverable error instead of panicking — a bad
+/// window must be quarantined (see `stream::WindowAssembler`), not crash
+/// the device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreprocessError {
+    /// An underlying tensor operation failed (shape/rank mismatch, …).
+    Tensor(TensorError),
+    /// The moving-average width was even or zero.
+    EvenDenoiseWidth {
+        /// The rejected width.
+        width: usize,
+    },
+    /// Segmentation was asked for a zero-length window or stride.
+    ZeroSegment {
+        /// The rejected window length.
+        window_len: usize,
+        /// The rejected stride.
+        stride: usize,
+    },
+    /// The input contained a NaN/Inf sample at the given position.
+    NonFiniteInput {
+        /// Row (time index) of the offending cell.
+        row: usize,
+        /// Column (channel index) of the offending cell.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreprocessError::Tensor(e) => write!(f, "tensor error: {e}"),
+            PreprocessError::EvenDenoiseWidth { width } => {
+                write!(f, "moving-average width must be odd and ≥ 1, got {width}")
+            }
+            PreprocessError::ZeroSegment { window_len, stride } => {
+                write!(f, "window_len and stride must be positive, got {window_len}/{stride}")
+            }
+            PreprocessError::NonFiniteInput { row, col } => {
+                write!(f, "non-finite input sample at row {row}, channel {col}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PreprocessError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for PreprocessError {
+    fn from(e: TensorError) -> Self {
+        PreprocessError::Tensor(e)
+    }
+}
+
 /// Centred moving-average filter over each channel of a `[time, channels]`
 /// window. `width` must be odd; boundary samples use the available
 /// neighbourhood (shrinking window). O(time · channels).
-pub fn moving_average(window: &Tensor, width: usize) -> Result<Tensor, TensorError> {
+pub fn moving_average(window: &Tensor, width: usize) -> Result<Tensor, PreprocessError> {
     if window.rank() != 2 {
-        return Err(TensorError::RankMismatch { got: window.rank(), expected: 2, op: "moving_average" });
+        return Err(TensorError::RankMismatch { got: window.rank(), expected: 2, op: "moving_average" }.into());
     }
-    assert!(width % 2 == 1 && width >= 1, "moving-average width must be odd and ≥ 1");
+    if width % 2 != 1 {
+        return Err(PreprocessError::EvenDenoiseWidth { width });
+    }
     let (n, c) = (window.rows(), window.cols());
     let half = width / 2;
     let mut out = Tensor::zeros([n, c]);
@@ -40,11 +105,13 @@ pub fn moving_average(window: &Tensor, width: usize) -> Result<Tensor, TensorErr
 /// Splits a long `[time, channels]` session into fixed-length windows with
 /// the given stride. Trailing samples that do not fill a window are
 /// dropped. O(time · channels).
-pub fn segment(session: &Tensor, window_len: usize, stride: usize) -> Result<Vec<Tensor>, TensorError> {
+pub fn segment(session: &Tensor, window_len: usize, stride: usize) -> Result<Vec<Tensor>, PreprocessError> {
     if session.rank() != 2 {
-        return Err(TensorError::RankMismatch { got: session.rank(), expected: 2, op: "segment" });
+        return Err(TensorError::RankMismatch { got: session.rank(), expected: 2, op: "segment" }.into());
     }
-    assert!(window_len > 0 && stride > 0, "window_len and stride must be positive");
+    if window_len == 0 || stride == 0 {
+        return Err(PreprocessError::ZeroSegment { window_len, stride });
+    }
     let n = session.rows();
     let mut out = Vec::new();
     let mut start = 0usize;
@@ -68,9 +135,9 @@ pub struct Normalizer {
 
 impl Normalizer {
     /// Fits per-column mean and standard deviation on `data` (`[n, d]`).
-    pub fn fit(data: &Tensor) -> Result<Self, TensorError> {
+    pub fn fit(data: &Tensor) -> Result<Self, PreprocessError> {
         if data.rank() != 2 {
-            return Err(TensorError::RankMismatch { got: data.rank(), expected: 2, op: "Normalizer::fit" });
+            return Err(TensorError::RankMismatch { got: data.rank(), expected: 2, op: "Normalizer::fit" }.into());
         }
         let mean = data.mean_axis(pilote_tensor::reduce::Axis::Rows)?;
         let var = data.var_axis(pilote_tensor::reduce::Axis::Rows)?;
@@ -86,13 +153,14 @@ impl Normalizer {
     }
 
     /// Applies the fitted transform to `data` (`[n, d]`).
-    pub fn transform(&self, data: &Tensor) -> Result<Tensor, TensorError> {
+    pub fn transform(&self, data: &Tensor) -> Result<Tensor, PreprocessError> {
         if data.rank() != 2 || data.cols() != self.dim() {
             return Err(TensorError::ShapeMismatch {
                 left: data.shape().dims().to_vec(),
                 right: vec![self.dim()],
                 op: "Normalizer::transform",
-            });
+            }
+            .into());
         }
         let mut out = data.clone();
         for i in 0..out.rows() {
@@ -109,7 +177,7 @@ impl Normalizer {
 
     /// Fits on `data` and returns both the normaliser and the transformed
     /// data.
-    pub fn fit_transform(data: &Tensor) -> Result<(Self, Tensor), TensorError> {
+    pub fn fit_transform(data: &Tensor) -> Result<(Self, Tensor), PreprocessError> {
         let norm = Self::fit(data)?;
         let out = norm.transform(data)?;
         Ok((norm, out))
@@ -152,9 +220,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "odd")]
     fn moving_average_rejects_even_width() {
-        let _ = moving_average(&Tensor::zeros([4, 1]), 2);
+        match moving_average(&Tensor::zeros([4, 1]), 2) {
+            Err(PreprocessError::EvenDenoiseWidth { width: 2 }) => {}
+            other => panic!("expected EvenDenoiseWidth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segment_rejects_zero_window_or_stride() {
+        let session = Tensor::zeros([10, 2]);
+        assert!(matches!(
+            segment(&session, 0, 5),
+            Err(PreprocessError::ZeroSegment { window_len: 0, stride: 5 })
+        ));
+        assert!(matches!(
+            segment(&session, 5, 0),
+            Err(PreprocessError::ZeroSegment { window_len: 5, stride: 0 })
+        ));
+    }
+
+    #[test]
+    fn preprocess_error_displays_and_sources() {
+        let e = PreprocessError::NonFiniteInput { row: 3, col: 7 };
+        assert!(e.to_string().contains("row 3"));
+        let wrapped: PreprocessError =
+            TensorError::RankMismatch { got: 1, expected: 2, op: "x" }.into();
+        assert!(std::error::Error::source(&wrapped).is_some());
     }
 
     #[test]

@@ -10,12 +10,18 @@
 //! that re-calibration (an incremental update) is needed.
 
 use crate::features::{extract, FEATURE_DIM};
-use crate::preprocess::{moving_average, Normalizer};
+use crate::preprocess::{moving_average, Normalizer, PreprocessError};
 use crate::sensors::CHANNELS;
 use pilote_tensor::{Tensor, TensorError, Welford};
 
 /// Assembles a per-sample stream into fixed-length windows and emits
 /// feature vectors.
+///
+/// The assembler is the pipeline's first resilience tier (see
+/// `docs/RESILIENCE.md`): samples carrying NaN/Inf taint their window, and
+/// a tainted window is **quarantined** — counted, dropped, and never
+/// forwarded to feature extraction — so corrupted sensor data can never
+/// reach the model's prototypes.
 #[derive(Debug, Clone)]
 pub struct WindowAssembler {
     window_len: usize,
@@ -23,7 +29,12 @@ pub struct WindowAssembler {
     denoise_width: usize,
     normalizer: Option<Normalizer>,
     buffer: Vec<[f32; CHANNELS]>,
+    /// Per-buffered-sample finiteness flags, kept in lock-step with
+    /// `buffer` so a tainted sample poisons exactly the windows it is part
+    /// of.
+    valid: Vec<bool>,
     emitted: u64,
+    quarantined: u64,
 }
 
 impl WindowAssembler {
@@ -42,7 +53,9 @@ impl WindowAssembler {
             denoise_width,
             normalizer: None,
             buffer: Vec::with_capacity(window_len),
+            valid: Vec::with_capacity(window_len),
             emitted: 0,
+            quarantined: 0,
         }
     }
 
@@ -59,6 +72,12 @@ impl WindowAssembler {
         self.emitted
     }
 
+    /// Windows dropped because they contained non-finite samples or
+    /// produced non-finite features.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
     /// Samples currently buffered (waiting for a full window).
     pub fn buffered(&self) -> usize {
         self.buffer.len()
@@ -67,9 +86,21 @@ impl WindowAssembler {
     /// Feeds one 22-channel sample; returns the extracted (and, if a
     /// normaliser is attached, normalised) 80-feature vector whenever a
     /// window completes.
-    pub fn push(&mut self, sample: [f32; CHANNELS]) -> Result<Option<Tensor>, TensorError> {
+    ///
+    /// A completed window containing any NaN/Inf sample — or whose
+    /// extracted features come out non-finite — is quarantined: the
+    /// stream slides past it, [`WindowAssembler::quarantined`] is
+    /// incremented, and `Ok(None)` is returned.
+    pub fn push(&mut self, sample: [f32; CHANNELS]) -> Result<Option<Tensor>, PreprocessError> {
+        self.valid.push(sample.iter().all(|v| v.is_finite()));
         self.buffer.push(sample);
         if self.buffer.len() < self.window_len {
+            return Ok(None);
+        }
+        let tainted = self.valid.iter().any(|&ok| !ok);
+        if tainted {
+            self.slide();
+            self.quarantined += 1;
             return Ok(None);
         }
         // Materialise the window, denoise, extract.
@@ -92,21 +123,34 @@ impl WindowAssembler {
             }
             None => features,
         };
-        // Slide by `stride`.
-        self.buffer.drain(..self.stride.min(self.buffer.len()));
+        self.slide();
+        // Finite inputs can still overflow f32 in variance/energy terms;
+        // those features would poison prototype means downstream.
+        if !features.all_finite() {
+            self.quarantined += 1;
+            return Ok(None);
+        }
         self.emitted += 1;
         Ok(Some(features))
     }
 
+    /// Slides the buffer (and its validity flags) forward by one stride.
+    fn slide(&mut self) {
+        let n = self.stride.min(self.buffer.len());
+        self.buffer.drain(..n);
+        self.valid.drain(..n);
+    }
+
     /// Feeds a `[n, 22]` block of samples, collecting every completed
     /// window's features.
-    pub fn push_block(&mut self, block: &Tensor) -> Result<Vec<Tensor>, TensorError> {
+    pub fn push_block(&mut self, block: &Tensor) -> Result<Vec<Tensor>, PreprocessError> {
         if block.rank() != 2 || block.cols() != CHANNELS {
             return Err(TensorError::ShapeMismatch {
                 left: block.shape().dims().to_vec(),
                 right: vec![CHANNELS],
                 op: "push_block",
-            });
+            }
+            .into());
         }
         let mut out = Vec::new();
         for i in 0..block.rows() {
@@ -275,6 +319,45 @@ mod tests {
             monitor.observe(&extract(w).unwrap());
         }
         assert!(monitor.drifted(), "missed drift, shift {}", monitor.max_shift());
+    }
+
+    #[test]
+    fn non_finite_sample_quarantines_every_window_containing_it() {
+        // stride 60, window 120: a tainted sample poisons the two windows
+        // that overlap it.
+        let mut asm = WindowAssembler::new(120, 60, 1);
+        let mut sim = Simulator::with_seed(7);
+        let mut session = sim.session(Activity::Walk, 3); // 360 samples
+        session.row_mut(90)[4] = f32::NAN;
+        let feats = asm.push_block(&session).unwrap();
+        // starts 0,60,120,180,240 → windows [0,120) and [60,180) are tainted
+        assert_eq!(asm.quarantined(), 2);
+        assert_eq!(feats.len(), 3);
+        assert_eq!(asm.emitted(), 3);
+        for f in &feats {
+            assert!(f.all_finite());
+        }
+    }
+
+    #[test]
+    fn clean_stream_quarantines_nothing() {
+        let mut asm = WindowAssembler::new(120, 120, 1);
+        let mut sim = Simulator::with_seed(8);
+        let session = sim.session(Activity::Run, 4);
+        let feats = asm.push_block(&session).unwrap();
+        assert_eq!(asm.quarantined(), 0);
+        assert_eq!(feats.len(), 4);
+    }
+
+    #[test]
+    fn infinite_sample_is_quarantined_too() {
+        let mut asm = WindowAssembler::new(120, 120, 1);
+        let mut sim = Simulator::with_seed(9);
+        let mut session = sim.session(Activity::Still, 2);
+        session.row_mut(200)[0] = f32::INFINITY;
+        let feats = asm.push_block(&session).unwrap();
+        assert_eq!(asm.quarantined(), 1);
+        assert_eq!(feats.len(), 1);
     }
 
     #[test]

@@ -1,16 +1,85 @@
 //! The edge side of MAGNETO: install a deployment once, then stream,
 //! classify and incrementally learn — all on-device.
+//!
+//! Resilience (see `docs/RESILIENCE.md`): installs retry flaky transfers
+//! with exponential backoff, incremental updates snapshot a last-good
+//! [`Checkpoint`] and roll back on any failure, and persistent failures
+//! degrade the device to its frozen pre-trained deployment — it keeps
+//! classifying the old classes rather than going dark.
 
 use crate::cloud::Deployment;
 use crate::events::{EventKind, EventLog};
-use pilote_core::{EmbeddingNet, Pilote};
+use pilote_core::{EmbeddingNet, NcmClassifier, Pilote, SupportSet, UpdateOutcome};
+use pilote_edge_sim::faults::{FlakyLink, LinkFault, RetryPolicy};
 use pilote_edge_sim::{DeviceProfile, LinkModel};
 use pilote_har_data::dataset::Dataset;
+use pilote_har_data::preprocess::PreprocessError;
 use pilote_har_data::stream::{DriftMonitor, WindowAssembler};
 use pilote_har_data::sensors::WINDOW_LEN;
 use pilote_har_data::FEATURE_DIM;
+use pilote_nn::persist::{Checkpoint, CheckpointError};
 use pilote_tensor::{Rng64, Tensor, TensorError};
 use std::time::Instant;
+
+/// Typed errors for edge-device operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Preprocessing rejected the input stream.
+    Preprocess(PreprocessError),
+    /// The deployment checkpoint could not be loaded.
+    Checkpoint(CheckpointError),
+    /// The cloud→edge transfer exhausted its retry budget.
+    Link {
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// The last fault observed.
+        last: LinkFault,
+    },
+}
+
+impl std::fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EdgeError::Preprocess(e) => write!(f, "preprocess error: {e}"),
+            EdgeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            EdgeError::Link { attempts, last } => {
+                write!(f, "transfer failed after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeError::Tensor(e) => Some(e),
+            EdgeError::Preprocess(e) => Some(e),
+            EdgeError::Checkpoint(e) => Some(e),
+            EdgeError::Link { .. } => None,
+        }
+    }
+}
+
+impl From<TensorError> for EdgeError {
+    fn from(e: TensorError) -> Self {
+        EdgeError::Tensor(e)
+    }
+}
+
+impl From<PreprocessError> for EdgeError {
+    fn from(e: PreprocessError) -> Self {
+        EdgeError::Preprocess(e)
+    }
+}
+
+impl From<CheckpointError> for EdgeError {
+    fn from(e: CheckpointError) -> Self {
+        EdgeError::Checkpoint(e)
+    }
+}
 
 /// Result of classifying one streamed window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +91,23 @@ pub struct InferenceOutcome {
     pub distance: f32,
 }
 
+/// Status of a fault-aware incremental update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateStatus {
+    /// The update completed and passed post-update validation.
+    Completed,
+    /// The update failed; the last-good checkpoint + exemplar set were
+    /// restored and the pending samples kept for a retry.
+    RolledBack,
+    /// Consecutive failures exhausted the retry budget; the device fell
+    /// back to its frozen pre-trained deployment.
+    Degraded,
+}
+
+/// Consecutive update failures after which a device degrades to its
+/// pre-trained deployment.
+pub const MAX_UPDATE_FAILURES: u32 = 3;
+
 /// An edge device running the MAGNETO recognition loop.
 pub struct EdgeDevice {
     profile: DeviceProfile,
@@ -31,6 +117,12 @@ pub struct EdgeDevice {
     log: EventLog,
     /// Buffered labelled samples awaiting the next incremental update.
     pending: Vec<(usize, Tensor)>,
+    /// The as-installed deployment (parameters + exemplars) — the frozen
+    /// pre-trained state the device degrades to under persistent faults.
+    baseline: (Checkpoint, SupportSet),
+    /// Consecutive failed incremental updates.
+    update_failures: u32,
+    degraded: bool,
 }
 
 impl EdgeDevice {
@@ -40,14 +132,66 @@ impl EdgeDevice {
         profile: DeviceProfile,
         deployment: &Deployment,
         link: &LinkModel,
-    ) -> Result<EdgeDevice, TensorError> {
+    ) -> Result<EdgeDevice, EdgeError> {
+        let mut log = EventLog::new();
+        log.advance(link.transfer_seconds(deployment.wire_bytes()));
+        Self::build(profile, deployment, log)
+    }
+
+    /// Installs over a flaky link, retrying failed transfer attempts with
+    /// the policy's exponential backoff until success, the attempt budget,
+    /// or the deadline. Every retry is recorded in the device's
+    /// [`EventLog`]; an exhausted budget returns [`EdgeError::Link`].
+    pub fn install_resilient(
+        profile: DeviceProfile,
+        deployment: &Deployment,
+        flaky: &mut FlakyLink,
+        policy: &RetryPolicy,
+    ) -> Result<EdgeDevice, EdgeError> {
+        let payload = deployment.wire_bytes();
+        let mut log = EventLog::new();
+        let mut last = None;
+        let mut attempts = 0usize;
+        for attempt in 1..=policy.max_attempts {
+            let backoff = policy.backoff_before(attempt);
+            if log.now() + backoff > policy.deadline_s {
+                break;
+            }
+            log.advance(backoff);
+            attempts = attempt;
+            let (cost, result) = flaky.attempt(payload);
+            log.advance(cost);
+            match result {
+                Ok(()) => return Self::build(profile, deployment, log),
+                Err(fault) => {
+                    last = Some(fault);
+                    log.record(EventKind::TransferRetried {
+                        attempt,
+                        backoff_seconds: policy.backoff_before(attempt + 1),
+                    });
+                }
+            }
+            if log.now() >= policy.deadline_s {
+                break;
+            }
+        }
+        Err(EdgeError::Link {
+            attempts,
+            last: last.unwrap_or(LinkFault::Dropped),
+        })
+    }
+
+    /// Shared install tail: load the checkpoint, snapshot the baseline,
+    /// stamp the `Deployed` event on the provided (already-advanced) log.
+    fn build(
+        profile: DeviceProfile,
+        deployment: &Deployment,
+        mut log: EventLog,
+    ) -> Result<EdgeDevice, EdgeError> {
         let payload = deployment.wire_bytes();
         let mut rng = Rng64::new(deployment.config.seed ^ 0xed6e);
         let mut net = EmbeddingNet::new(deployment.config.net.clone(), &mut rng);
-        deployment
-            .checkpoint
-            .restore(net.layers_mut())
-            .map_err(|e| TensorError::Empty { op: Box::leak(e.to_string().into_boxed_str()) })?;
+        deployment.checkpoint.restore(net.layers_mut())?;
         let model = Pilote::from_parts(
             deployment.config.clone(),
             net,
@@ -56,10 +200,19 @@ impl EdgeDevice {
         )?;
         let assembler = WindowAssembler::new(WINDOW_LEN, WINDOW_LEN, 1)
             .with_normalizer(deployment.normalizer.clone());
-        let mut log = EventLog::new();
         log.record(EventKind::Deployed { payload_bytes: payload });
-        log.advance(link.transfer_seconds(payload));
-        Ok(EdgeDevice { profile, model, assembler, drift: None, log, pending: Vec::new() })
+        let baseline = (deployment.checkpoint.clone(), deployment.support.clone());
+        Ok(EdgeDevice {
+            profile,
+            model,
+            assembler,
+            drift: None,
+            log,
+            pending: Vec::new(),
+            baseline,
+            update_failures: 0,
+            degraded: false,
+        })
     }
 
     /// The device profile.
@@ -77,15 +230,35 @@ impl EdgeDevice {
         self.model.classifier().labels().to_vec()
     }
 
+    /// Whether the device has degraded to its pre-trained deployment.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Consecutive failed incremental updates.
+    pub fn update_failures(&self) -> u32 {
+        self.update_failures
+    }
+
+    /// Windows dropped by the assembler's quarantine so far.
+    pub fn quarantined_windows(&self) -> u64 {
+        self.assembler.quarantined()
+    }
+
     /// Arms the drift monitor with a reference feature matrix.
-    pub fn arm_drift_monitor(&mut self, reference: &Tensor, threshold: f32) -> Result<(), TensorError> {
+    pub fn arm_drift_monitor(&mut self, reference: &Tensor, threshold: f32) -> Result<(), EdgeError> {
         self.drift = Some(DriftMonitor::from_reference(reference, threshold)?);
         Ok(())
     }
 
     /// Feeds a block of raw sensor samples (`[n, 22]`), classifying every
     /// completed window. Virtual time advances by the block's duration.
-    pub fn stream(&mut self, samples: &Tensor) -> Result<Vec<InferenceOutcome>, TensorError> {
+    ///
+    /// Windows containing non-finite samples are quarantined by the
+    /// assembler (never classified, never shown to the drift monitor) and
+    /// surface as a [`EventKind::WindowsQuarantined`] log entry.
+    pub fn stream(&mut self, samples: &Tensor) -> Result<Vec<InferenceOutcome>, EdgeError> {
+        let quarantined_before = self.assembler.quarantined();
         let features = self.assembler.push_block(samples)?;
         let mut out = Vec::with_capacity(features.len());
         for f in features {
@@ -108,6 +281,10 @@ impl EdgeDevice {
         }
         // Real-time stream: n samples at 120 Hz.
         self.log.advance(samples.rows() as f64 / 120.0);
+        let quarantined = self.assembler.quarantined() - quarantined_before;
+        if quarantined > 0 {
+            self.log.record(EventKind::WindowsQuarantined { windows: quarantined });
+        }
         Ok(out)
     }
 
@@ -124,10 +301,33 @@ impl EdgeDevice {
     }
 
     /// Runs the PILOTE incremental update on the buffered samples
-    /// (Fig. 2 right, step iii — entirely on-device).
-    pub fn update(&mut self, exemplar_budget: usize) -> Result<(), TensorError> {
+    /// (Fig. 2 right, step iii — entirely on-device). A failed update
+    /// rolls back to the last-good checkpoint; see
+    /// [`EdgeDevice::update_faulted`] for the full status.
+    pub fn update(&mut self, exemplar_budget: usize) -> Result<(), EdgeError> {
+        self.update_faulted(exemplar_budget, None).map(|_| ())
+    }
+
+    /// Crash-safe incremental update with an optional simulated
+    /// kill-point (`pilote_edge_sim::faults::CrashPlan` supplies one by
+    /// drawing an index into [`pilote_core::UpdateStage::ALL`]).
+    ///
+    /// The device snapshots its model parameters and exemplar set before
+    /// the update. If the update is interrupted, errors, or produces
+    /// non-finite parameters or prototypes, the snapshot is restored
+    /// **exactly** — edge updates freeze batch-norm statistics, so
+    /// restoring parameters + exemplars restores behaviour bit-for-bit —
+    /// and the pending samples are kept for a retry. After
+    /// [`MAX_UPDATE_FAILURES`] consecutive failures the device falls back
+    /// to its frozen pre-trained deployment (the paper's Pre-trained
+    /// baseline) and drops the pending batch.
+    pub fn update_faulted(
+        &mut self,
+        exemplar_budget: usize,
+        kill: Option<pilote_core::UpdateStage>,
+    ) -> Result<UpdateStatus, EdgeError> {
         if self.pending.is_empty() {
-            return Ok(());
+            return Ok(UpdateStatus::Completed);
         }
         let labels: Vec<usize> = self.pending.iter().map(|(l, _)| *l).collect();
         let rows: Vec<Tensor> = self
@@ -140,28 +340,84 @@ impl EdgeDevice {
         let new_data = Dataset::new(features, labels.clone())?;
         let new_label = labels[0];
 
+        // Last-good snapshot: parameters + exemplars. BN running stats
+        // are frozen during edge updates, so this pair restores exact
+        // pre-update behaviour.
+        let snapshot = Checkpoint::capture(self.model.net_mut().layers_mut());
+        let snapshot_support = self.model.support().clone();
+
         self.log.record(EventKind::UpdateStarted { new_label, samples: new_data.len() });
         let start = Instant::now();
-        let report = self.model.learn_new_class(&new_data, exemplar_budget)?;
+        let outcome = self
+            .model
+            .learn_new_class_interruptible(&new_data, exemplar_budget, kill);
         let host = start.elapsed().as_secs_f64();
         self.log.advance(self.profile.project_seconds(host));
-        self.log.record(EventKind::UpdateFinished {
+
+        // Commit only a completed update whose weights AND prototypes are
+        // finite; anything else rolls back.
+        let committed = match outcome {
+            Ok(UpdateOutcome::Completed(report))
+                if pilote_nn::params_finite(self.model.net_mut().layers_mut())
+                    && prototypes_finite(self.model.classifier()) =>
+            {
+                Some(report)
+            }
+            _ => None,
+        };
+        match committed {
+            Some(report) => {
+                self.log.record(EventKind::UpdateFinished {
+                    new_label,
+                    epochs: report.epochs.len(),
+                    seconds: self.profile.project_seconds(host),
+                });
+                self.pending.clear();
+                self.update_failures = 0;
+                Ok(UpdateStatus::Completed)
+            }
+            None => self.roll_back(new_label, &snapshot, snapshot_support),
+        }
+    }
+
+    /// Restores the last-good snapshot after a failed update and, under
+    /// persistent failures, degrades to the pre-trained baseline.
+    fn roll_back(
+        &mut self,
+        new_label: usize,
+        snapshot: &Checkpoint,
+        snapshot_support: SupportSet,
+    ) -> Result<UpdateStatus, EdgeError> {
+        snapshot.restore(self.model.net_mut().layers_mut())?;
+        *self.model.support_mut() = snapshot_support;
+        self.model.refresh_prototypes()?;
+        self.update_failures += 1;
+        self.log.record(EventKind::UpdateRolledBack {
             new_label,
-            epochs: report.epochs.len(),
-            seconds: self.profile.project_seconds(host),
+            failures: self.update_failures,
         });
+        if self.update_failures < MAX_UPDATE_FAILURES {
+            return Ok(UpdateStatus::RolledBack);
+        }
+        // Persistent faults: give up on personalisation, keep recognising
+        // the pre-trained classes (graceful degradation, tier 4).
+        self.baseline.0.restore(self.model.net_mut().layers_mut())?;
+        *self.model.support_mut() = self.baseline.1.clone();
+        self.model.refresh_prototypes()?;
         self.pending.clear();
-        Ok(())
+        self.degraded = true;
+        self.log.record(EventKind::DegradedToPretrained { failures: self.update_failures });
+        Ok(UpdateStatus::Degraded)
     }
 
     /// Classifies a pre-extracted feature batch (test harness path).
-    pub fn classify_features(&mut self, features: &Tensor) -> Result<Vec<usize>, TensorError> {
-        self.model.predict(features)
+    pub fn classify_features(&mut self, features: &Tensor) -> Result<Vec<usize>, EdgeError> {
+        Ok(self.model.predict(features)?)
     }
 
     /// Accuracy on a labelled feature dataset.
-    pub fn accuracy(&mut self, data: &Dataset) -> Result<f32, TensorError> {
-        self.model.accuracy(data)
+    pub fn accuracy(&mut self, data: &Dataset) -> Result<f32, EdgeError> {
+        Ok(self.model.accuracy(data)?)
     }
 
     /// Direct access to the model (federated rounds exchange parameters).
@@ -173,6 +429,13 @@ impl EdgeDevice {
     pub fn note_federated_round(&mut self, participants: usize) {
         self.log.record(EventKind::FederatedRound { participants });
     }
+}
+
+/// Whether every stored prototype is finite.
+fn prototypes_finite(clf: &NcmClassifier) -> bool {
+    clf.labels()
+        .iter()
+        .all(|&l| clf.prototype(l).is_none_or(|p| p.all_finite()))
 }
 
 impl std::fmt::Debug for EdgeDevice {
@@ -253,6 +516,152 @@ mod tests {
         assert_eq!(device.pending_samples(), 0);
         assert_eq!(device.known_classes().len(), 3);
         assert_eq!(device.log().update_count(), 1);
+    }
+
+    fn deployment() -> (crate::cloud::Deployment, Simulator, Normalizer) {
+        let mut sim = Simulator::with_seed(31);
+        let (data, norm) = generate_features(
+            &mut sim,
+            &[(Activity::Still, 50), (Activity::Walk, 50), (Activity::Run, 50)],
+        )
+        .expect("simulate");
+        let server = CloudServer::new(data, norm.clone(), PiloteConfig::fast_test(5));
+        let (deployment, _) = server
+            .pretrain_and_package(&[Activity::Still.label(), Activity::Walk.label()], 15)
+            .expect("package");
+        (deployment, sim, norm)
+    }
+
+    #[test]
+    fn resilient_install_retries_until_success() {
+        use pilote_edge_sim::faults::{LinkFaultRates, RetryPolicy};
+        let (deployment, _, _) = deployment();
+        // Find a seed whose first attempt fails but a later one succeeds.
+        for seed in 0..64u64 {
+            let mut flaky = FlakyLink::new(
+                LinkModel::wifi(),
+                seed,
+                LinkFaultRates::uniform(0.3),
+            );
+            let device = EdgeDevice::install_resilient(
+                DeviceProfile::flagship_phone(),
+                &deployment,
+                &mut flaky,
+                &RetryPolicy::default_edge(),
+            );
+            let retries = flaky.faults();
+            if let Ok(device) = device {
+                if retries > 0 {
+                    let logged = device
+                        .log()
+                        .events()
+                        .iter()
+                        .filter(|e| matches!(e.kind, EventKind::TransferRetried { .. }))
+                        .count() as u64;
+                    assert_eq!(logged, retries);
+                    assert_eq!(device.known_classes().len(), 2);
+                    return;
+                }
+            }
+        }
+        panic!("no seed produced a retry-then-success install");
+    }
+
+    #[test]
+    fn resilient_install_gives_up_on_dead_link() {
+        use pilote_edge_sim::faults::{LinkFaultRates, RetryPolicy};
+        let (deployment, _, _) = deployment();
+        let mut flaky = FlakyLink::new(
+            LinkModel::weak_cellular(),
+            1,
+            LinkFaultRates { drop: 1.0, timeout: 0.0, truncate: 0.0 },
+        );
+        let policy = RetryPolicy::default_edge();
+        match EdgeDevice::install_resilient(
+            DeviceProfile::flagship_phone(),
+            &deployment,
+            &mut flaky,
+            &policy,
+        ) {
+            Err(EdgeError::Link { attempts, last: LinkFault::Dropped }) => {
+                assert!(attempts >= 1 && attempts <= policy.max_attempts);
+            }
+            other => panic!("expected Link error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interrupted_update_rolls_back_exactly() {
+        let (mut device, mut sim, norm) = deployed_device();
+        let raw = sim.raw_dataset(&[(Activity::Run, 25)]);
+        let features = norm.transform(&extract_batch(&raw).expect("features")).expect("norm");
+        let probe = features.clone();
+        let before = device.classify_features(&probe).expect("classify");
+        let before_support = device.model_mut().support().clone();
+        for i in 0..features.rows() {
+            device.label_sample(Activity::Run.label(), Tensor::vector(features.row(i)));
+        }
+        let status = device
+            .update_faulted(20, Some(pilote_core::UpdateStage::Trained))
+            .expect("update");
+        assert_eq!(status, UpdateStatus::RolledBack);
+        // Exact rollback: same predictions, same exemplars, pending kept.
+        assert_eq!(device.classify_features(&probe).expect("classify"), before);
+        assert_eq!(*device.model_mut().support(), before_support);
+        assert_eq!(device.pending_samples(), 25);
+        assert_eq!(device.update_failures(), 1);
+        // A subsequent clean update succeeds from the restored state.
+        let status = device.update_faulted(20, None).expect("retry");
+        assert_eq!(status, UpdateStatus::Completed);
+        assert_eq!(device.known_classes().len(), 3);
+        assert_eq!(device.update_failures(), 0);
+    }
+
+    #[test]
+    fn persistent_failures_degrade_to_pretrained() {
+        let (mut device, mut sim, norm) = deployed_device();
+        let raw = sim.raw_dataset(&[(Activity::Run, 15)]);
+        let features = norm.transform(&extract_batch(&raw).expect("features")).expect("norm");
+        for i in 0..features.rows() {
+            device.label_sample(Activity::Run.label(), Tensor::vector(features.row(i)));
+        }
+        let probe = features.clone();
+        let baseline_preds = device.classify_features(&probe).expect("classify");
+        for failure in 1..=MAX_UPDATE_FAILURES {
+            let status = device
+                .update_faulted(10, Some(pilote_core::UpdateStage::Trained))
+                .expect("update");
+            if failure < MAX_UPDATE_FAILURES {
+                assert_eq!(status, UpdateStatus::RolledBack);
+            } else {
+                assert_eq!(status, UpdateStatus::Degraded);
+            }
+        }
+        assert!(device.is_degraded());
+        assert_eq!(device.pending_samples(), 0);
+        assert_eq!(device.known_classes().len(), 2);
+        // The degraded device still classifies with the pre-trained model.
+        assert_eq!(device.classify_features(&probe).expect("classify"), baseline_preds);
+        assert!(device
+            .log()
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::DegradedToPretrained { .. })));
+    }
+
+    #[test]
+    fn corrupted_stream_quarantines_and_keeps_classifying() {
+        let (mut device, mut sim, _) = deployed_device();
+        let mut session = sim.session(Activity::Still, 10);
+        session.row_mut(130)[3] = f32::NAN; // taints window 1 only
+        let outcomes = device.stream(&session).expect("stream");
+        assert_eq!(outcomes.len(), 9);
+        assert_eq!(device.quarantined_windows(), 1);
+        assert!(device
+            .log()
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WindowsQuarantined { windows: 1 })));
     }
 
     #[test]

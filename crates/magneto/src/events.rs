@@ -41,6 +41,37 @@ pub enum EventKind {
         /// Number of participating devices.
         participants: usize,
     },
+    /// A cloud→edge transfer attempt failed and will be retried.
+    TransferRetried {
+        /// 1-based attempt number that failed.
+        attempt: usize,
+        /// Backoff before the next attempt, in seconds.
+        backoff_seconds: f64,
+    },
+    /// The transfer gave up (attempts or deadline exhausted).
+    TransferAborted {
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+    /// Completed windows were dropped by the assembler's quarantine.
+    WindowsQuarantined {
+        /// Windows quarantined during this stream call.
+        windows: u64,
+    },
+    /// An incremental update failed and the last-good checkpoint was
+    /// restored.
+    UpdateRolledBack {
+        /// Label of the class whose update failed.
+        new_label: usize,
+        /// Consecutive failures for this device so far.
+        failures: u32,
+    },
+    /// Persistent faults exhausted the retry budget; the device fell back
+    /// to the frozen pre-trained model (the paper's Pre-trained baseline).
+    DegradedToPretrained {
+        /// Update failures that triggered the degradation.
+        failures: u32,
+    },
 }
 
 /// One log entry.

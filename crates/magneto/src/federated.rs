@@ -70,9 +70,9 @@ impl FederatedCoordinator {
     /// on every device, refreshing prototypes under the new weights.
     ///
     /// No sensor data, exemplar, or feature leaves any device.
-    pub fn run_round(&mut self, devices: &mut [&mut EdgeDevice]) -> Result<(), TensorError> {
+    pub fn run_round(&mut self, devices: &mut [&mut EdgeDevice]) -> Result<(), crate::edge::EdgeError> {
         if devices.is_empty() {
-            return Err(TensorError::Empty { op: "run_round" });
+            return Err(TensorError::Empty { op: "run_round" }.into());
         }
         let mut contributions = Vec::with_capacity(devices.len());
         for device in devices.iter_mut() {
@@ -83,9 +83,7 @@ impl FederatedCoordinator {
         let averaged = federated_average(&contributions)?;
         let participants = devices.len();
         for device in devices.iter_mut() {
-            averaged
-                .restore(device.model_mut().net_mut().layers_mut())
-                .map_err(|e| TensorError::Empty { op: Box::leak(e.to_string().into_boxed_str()) })?;
+            averaged.restore(device.model_mut().net_mut().layers_mut())?;
             device.model_mut().refresh_prototypes()?;
             device.note_federated_round(participants);
         }

@@ -23,6 +23,6 @@ pub mod events;
 pub mod federated;
 
 pub use cloud::{CloudServer, Deployment};
-pub use edge::{EdgeDevice, InferenceOutcome};
+pub use edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus, MAX_UPDATE_FAILURES};
 pub use events::{Event, EventKind, EventLog};
 pub use federated::{federated_average, FederatedCoordinator};

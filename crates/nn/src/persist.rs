@@ -28,8 +28,17 @@ pub struct Checkpoint {
 /// Errors from checkpoint load/save.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
-    /// The checkpoint was produced by an incompatible format version.
+    /// The checkpoint was produced by an incompatible (older) format
+    /// version.
     VersionMismatch {
+        /// Version found in the payload.
+        found: u32,
+    },
+    /// The checkpoint comes from a *newer* format than this build
+    /// understands — a stale edge binary receiving a fresh cloud payload.
+    /// Distinct from [`CheckpointError::VersionMismatch`] so deployments
+    /// can report "update the device" rather than "corrupt file".
+    VersionTooNew {
         /// Version found in the payload.
         found: u32,
     },
@@ -37,6 +46,12 @@ pub enum CheckpointError {
     StructureMismatch {
         /// Human-readable detail.
         detail: String,
+    },
+    /// A parameter tensor contains NaN/Inf values. Restoring it would
+    /// poison every subsequent forward pass, so loading refuses up front.
+    NonFinite {
+        /// Index of the offending parameter tensor.
+        tensor: usize,
     },
     /// The payload could not be parsed.
     Malformed {
@@ -51,8 +66,18 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::VersionMismatch { found } => {
                 write!(f, "checkpoint version {found} != supported {CHECKPOINT_VERSION}")
             }
+            CheckpointError::VersionTooNew { found } => {
+                write!(
+                    f,
+                    "checkpoint version {found} is newer than supported {CHECKPOINT_VERSION}; \
+                     update this binary"
+                )
+            }
             CheckpointError::StructureMismatch { detail } => {
                 write!(f, "checkpoint structure mismatch: {detail}")
+            }
+            CheckpointError::NonFinite { tensor } => {
+                write!(f, "checkpoint parameter tensor {tensor} contains non-finite values")
             }
             CheckpointError::Malformed { detail } => write!(f, "malformed checkpoint: {detail}"),
         }
@@ -73,11 +98,31 @@ impl Checkpoint {
         }
     }
 
-    /// Restores parameters into a structurally identical model.
-    pub fn restore(&self, model: &mut dyn Layer) -> Result<(), CheckpointError> {
+    /// Validates version and parameter finiteness without touching a
+    /// model — the checks shared by [`Checkpoint::restore`] and callers
+    /// that vet a payload before accepting it.
+    pub fn validate(&self) -> Result<(), CheckpointError> {
+        if self.version > CHECKPOINT_VERSION {
+            return Err(CheckpointError::VersionTooNew { found: self.version });
+        }
         if self.version != CHECKPOINT_VERSION {
             return Err(CheckpointError::VersionMismatch { found: self.version });
         }
+        for (i, p) in self.params.iter().enumerate() {
+            if !p.all_finite() {
+                return Err(CheckpointError::NonFinite { tensor: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores parameters into a structurally identical model.
+    ///
+    /// Rejects newer-than-supported versions and non-finite parameter
+    /// values before writing anything, so a failed restore never leaves
+    /// the model half-updated.
+    pub fn restore(&self, model: &mut dyn Layer) -> Result<(), CheckpointError> {
+        self.validate()?;
         let pairs = model.params_and_grads();
         if pairs.len() != self.params.len() {
             return Err(CheckpointError::StructureMismatch {
@@ -178,12 +223,36 @@ mod tests {
     fn version_mismatch_is_detected() {
         let mut source = net(7);
         let mut ckpt = Checkpoint::capture(&mut source);
-        ckpt.version = 99;
+        ckpt.version = 0;
         let mut target = net(8);
         assert_eq!(
             ckpt.restore(&mut target),
-            Err(CheckpointError::VersionMismatch { found: 99 })
+            Err(CheckpointError::VersionMismatch { found: 0 })
         );
+    }
+
+    #[test]
+    fn newer_version_is_rejected_distinctly() {
+        let mut source = net(9);
+        let mut ckpt = Checkpoint::capture(&mut source);
+        ckpt.version = CHECKPOINT_VERSION + 1;
+        let mut target = net(10);
+        assert_eq!(
+            ckpt.restore(&mut target),
+            Err(CheckpointError::VersionTooNew { found: CHECKPOINT_VERSION + 1 })
+        );
+    }
+
+    #[test]
+    fn non_finite_parameters_are_rejected_without_mutating_model() {
+        let mut source = net(11);
+        let mut ckpt = Checkpoint::capture(&mut source);
+        ckpt.params[1].as_mut_slice()[0] = f32::NAN;
+        let mut target = net(12);
+        let before = Checkpoint::capture(&mut target);
+        assert_eq!(ckpt.restore(&mut target), Err(CheckpointError::NonFinite { tensor: 1 }));
+        // The failed restore must not have written anything.
+        assert_eq!(Checkpoint::capture(&mut target), before);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Training-loop utilities: mini-batch index iteration, the paper's
-//! early-stopping rule, and per-epoch bookkeeping.
+//! early-stopping rule, non-finite step guards, and per-epoch bookkeeping.
 
+use crate::layer::Layer;
 use pilote_tensor::Rng64;
 
 /// Per-epoch training statistics.
@@ -63,6 +64,23 @@ impl EarlyStopper {
         self.streak = 0;
         self.last = None;
     }
+}
+
+/// Whether every gradient tensor of `model` is finite.
+///
+/// The train loop's non-finite guard: a NaN/Inf loss or gradient (from
+/// corrupted inputs or an exploding step) must cause the optimizer step to
+/// be *skipped*, not applied — one poisoned step makes every later
+/// prediction NaN. Check this after `backward` and before
+/// `optimizer.step`.
+pub fn grads_finite(model: &mut dyn Layer) -> bool {
+    model.params_and_grads().iter().all(|(_, g)| g.all_finite())
+}
+
+/// Whether every parameter tensor of `model` is finite — the post-update
+/// validation used before committing an incremental update.
+pub fn params_finite(model: &mut dyn Layer) -> bool {
+    model.params_and_grads().iter().all(|(p, _)| p.all_finite())
 }
 
 /// Yields shuffled mini-batches of row indices `0..n`.
@@ -131,6 +149,26 @@ mod tests {
         s.reset();
         assert!(!s.observe(1.0));
         assert!(!s.observe(1.0)); // first sub-threshold step after reset
+    }
+
+    #[test]
+    fn grad_and_param_guards_detect_non_finite() {
+        use crate::layer::Dense;
+        let mut rng = Rng64::new(5);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        assert!(grads_finite(&mut layer));
+        assert!(params_finite(&mut layer));
+        {
+            let mut pairs = layer.params_and_grads();
+            pairs[0].1.as_mut_slice()[0] = f32::NAN;
+        }
+        assert!(!grads_finite(&mut layer));
+        assert!(params_finite(&mut layer));
+        {
+            let mut pairs = layer.params_and_grads();
+            pairs[0].0.as_mut_slice()[0] = f32::INFINITY;
+        }
+        assert!(!params_finite(&mut layer));
     }
 
     #[test]

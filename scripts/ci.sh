@@ -7,6 +7,9 @@
 #   3. doctests (kept separate so a doc regression is named as such)
 #   4. rustdoc with warnings denied (broken intra-doc links fail the gate)
 #   5. clippy with warnings denied
+#   6. the fault matrix (docs/RESILIENCE.md): the fault property suite
+#      under several fixed fault seeds, plus the end-to-end `repro faults`
+#      determinism check (ignored in the normal suite — two full sweeps)
 #
 # Usage: ./scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -29,5 +32,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 step "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+for seed in 11 4242 20230328; do
+  step "fault matrix: cargo test --release --test fault_props (PILOTE_FAULT_SEED=$seed)"
+  PILOTE_FAULT_SEED="$seed" cargo test --release --test fault_props -q
+done
+
+step "fault matrix: repro faults determinism (ignored test, release)"
+cargo test --release -p pilote-bench exp_faults -- --ignored
 
 printf '\nci.sh: all gates passed\n'

@@ -12,7 +12,8 @@
 //! | [`nn`] | layers, losses, optimizers, training utilities |
 //! | [`har_data`] | synthetic sensor simulator, preprocessing, features |
 //! | [`core`] | the PILOTE learner, baselines, strategies, metrics |
-//! | [`edge_sim`] | device profiles, memory accounting, quantisation |
+//! | [`edge_sim`] | device profiles, memory accounting, quantisation, fault injection |
+//! | [`magneto`] | cloud pre-training, deployments, the resilient edge device, federation |
 //!
 //! ## Quickstart
 //!
@@ -64,8 +65,13 @@ pub mod prelude {
         accuracy, select_exemplars, ConfusionMatrix, EmbeddingNet, NcmClassifier, NetConfig,
         Pilote, PiloteConfig, SelectionStrategy, SupportSet,
     };
-    pub use pilote_edge_sim::{DeviceProfile, LatencyMeter, LinkModel, MemoryBudget};
-    pub use pilote_magneto::{CloudServer, EdgeDevice, FederatedCoordinator};
+    pub use pilote_edge_sim::{
+        CrashPlan, DeviceProfile, FaultPlan, FlakyLink, LatencyMeter, LinkFaultRates, LinkModel,
+        MemoryBudget, RetryPolicy, SensorFaultInjector, SensorFaultRates,
+    };
+    pub use pilote_magneto::{
+        CloudServer, EdgeDevice, EdgeError, FederatedCoordinator, UpdateStatus,
+    };
     pub use pilote_har_data::dataset::generate_features;
     pub use pilote_har_data::{Activity, Dataset, Simulator, SimulatorConfig, FEATURE_DIM};
     pub use pilote_nn::loss::ContrastiveForm;
