@@ -1,0 +1,21 @@
+// quick probe: can Saturation clamp erase an Inf spike in the same window?
+use pilote::edge_sim::faults::{SensorFaultInjector, SensorFaultKind, SensorFaultRates};
+use pilote::tensor::{Rng64, Tensor};
+
+fn main() {
+    let mut erased = 0u64;
+    let mut spiked_windows = 0u64;
+    for seed in 0..2000u64 {
+        let mut rng = Rng64::new(seed.wrapping_mul(77));
+        let mut w = Tensor::randn([30, 4], 0.0, 1.0, &mut rng);
+        let mut inj = SensorFaultInjector::new(seed, SensorFaultRates { dropout: 0.0, stuck: 0.0, spike: 1.0, saturation: 1.0 });
+        let kinds = inj.corrupt_window(&mut w);
+        if kinds.contains(&SensorFaultKind::Spike) {
+            spiked_windows += 1;
+            if w.as_slice().iter().all(|v| v.is_finite()) {
+                erased += 1;
+            }
+        }
+    }
+    println!("spiked windows: {spiked_windows}, fully finite despite spike: {erased}");
+}
