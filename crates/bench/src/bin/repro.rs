@@ -6,16 +6,21 @@
 //!
 //! experiments: all, table2, fig4, fig5, fig6, fig7, timing,
 //!              ablate-alpha, ablate-margin, ablate-pairs,
-//!              ablate-strategies, cloud-vs-edge, kernels, faults
+//!              ablate-strategies, cloud-vs-edge, kernels, faults, obs
 //! ```
 //!
 //! Run it in release mode: `cargo run --release -p pilote-bench --bin repro -- all`.
+//!
+//! Exit status: `0` on success, `1` when an experiment fails (e.g. the
+//! output directory is not writable — the error names the path), `2` on a
+//! usage error.
 
-use pilote_bench::report::results_dir;
+use pilote_bench::report::{results_dir, ReportError};
 use pilote_bench::{
     exp_ablations, exp_cloud, exp_faults, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_kernels,
-    exp_table2, exp_timing, Scale,
+    exp_obs, exp_table2, exp_timing, Scale,
 };
+use std::path::Path;
 use std::process::ExitCode;
 
 struct Args {
@@ -30,7 +35,7 @@ fn usage() -> ExitCode {
         "usage: repro <experiment> [--quick] [--rounds N] [--per-activity N] [--seed N] [--out DIR]\n\
          experiments: all, table2, fig4, fig5, fig6, fig7, timing,\n\
                       ablate-alpha, ablate-margin, ablate-pairs, ablate-strategies,\n\
-                      cloud-vs-edge, kernels, faults"
+                      cloud-vs-edge, kernels, faults, obs"
     );
     ExitCode::from(2)
 }
@@ -67,12 +72,64 @@ fn parse() -> Result<Args, ExitCode> {
     Ok(Args { experiment, scale, seed, out })
 }
 
+/// Runs one named experiment. Returns `None` for an unknown name; a
+/// [`ReportError`] (a result file could not be written) propagates so
+/// `main` can exit non-zero with the failing path in the message.
+fn dispatch(
+    experiment: &str,
+    scale: &Scale,
+    seed: u64,
+    out: &Path,
+) -> Option<Result<(), ReportError>> {
+    let result = match experiment {
+        "table2" => exp_table2::run(scale, seed, out).map(drop),
+        "fig4" => exp_fig4::run(scale, seed, out).map(drop),
+        "fig5" => exp_fig5::run(scale, seed, out).map(drop),
+        "fig6" => exp_fig6::run(scale, seed, out).map(drop),
+        "fig7" => exp_fig7::run(scale, seed, out).map(drop),
+        "timing" => exp_timing::run(scale, seed, out).map(drop),
+        "ablate-alpha" => exp_ablations::alpha_sweep(scale, seed, out).map(drop),
+        "ablate-margin" => exp_ablations::margin_sweep(scale, seed, out).map(drop),
+        "ablate-pairs" => exp_ablations::pair_scheme_sweep(scale, seed, out).map(drop),
+        "ablate-strategies" => exp_ablations::strategy_comparison(scale, seed, out).map(drop),
+        "cloud-vs-edge" => exp_cloud::run(out).map(drop),
+        "kernels" => exp_kernels::run(out).map(drop),
+        "faults" => exp_faults::run(scale, seed, out).map(drop),
+        "obs" => exp_obs::run(scale, seed, out).map(drop),
+        "all" => (|| {
+            exp_table2::run(scale, seed, out)?;
+            exp_fig4::run(scale, seed, out)?;
+            exp_fig5::run(scale, seed, out)?;
+            exp_fig6::run(scale, seed, out)?;
+            exp_fig7::run(scale, seed, out)?;
+            exp_timing::run(scale, seed, out)?;
+            exp_ablations::alpha_sweep(scale, seed, out)?;
+            exp_ablations::margin_sweep(scale, seed, out)?;
+            exp_ablations::pair_scheme_sweep(scale, seed, out)?;
+            exp_ablations::strategy_comparison(scale, seed, out)?;
+            exp_cloud::run(out)?;
+            exp_kernels::run(out)?;
+            exp_faults::run(scale, seed, out)?;
+            exp_obs::run(scale, seed, out)?;
+            Ok(())
+        })(),
+        _ => return None,
+    };
+    Some(result)
+}
+
 fn main() -> ExitCode {
     let args = match parse() {
         Ok(a) => a,
         Err(code) => return code,
     };
-    let out = results_dir(args.out.as_deref());
+    let out = match results_dir(args.out.as_deref()) {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("[repro] error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let scale = args.scale;
     let seed = args.seed;
     eprintln!(
@@ -81,62 +138,13 @@ fn main() -> ExitCode {
     );
 
     let started = std::time::Instant::now();
-    match args.experiment.as_str() {
-        "table2" => {
-            exp_table2::run(&scale, seed, &out);
+    match dispatch(&args.experiment, &scale, seed, &out) {
+        None => return usage(),
+        Some(Err(e)) => {
+            eprintln!("[repro] error: {e}");
+            return ExitCode::FAILURE;
         }
-        "fig4" => {
-            exp_fig4::run(&scale, seed, &out);
-        }
-        "fig5" => {
-            exp_fig5::run(&scale, seed, &out);
-        }
-        "fig6" => {
-            exp_fig6::run(&scale, seed, &out);
-        }
-        "fig7" => {
-            exp_fig7::run(&scale, seed, &out);
-        }
-        "timing" => {
-            exp_timing::run(&scale, seed, &out);
-        }
-        "ablate-alpha" => {
-            exp_ablations::alpha_sweep(&scale, seed, &out);
-        }
-        "ablate-margin" => {
-            exp_ablations::margin_sweep(&scale, seed, &out);
-        }
-        "ablate-pairs" => {
-            exp_ablations::pair_scheme_sweep(&scale, seed, &out);
-        }
-        "ablate-strategies" => {
-            exp_ablations::strategy_comparison(&scale, seed, &out);
-        }
-        "cloud-vs-edge" => {
-            exp_cloud::run(&out);
-        }
-        "kernels" => {
-            exp_kernels::run(&out);
-        }
-        "faults" => {
-            exp_faults::run(&scale, seed, &out);
-        }
-        "all" => {
-            exp_table2::run(&scale, seed, &out);
-            exp_fig4::run(&scale, seed, &out);
-            exp_fig5::run(&scale, seed, &out);
-            exp_fig6::run(&scale, seed, &out);
-            exp_fig7::run(&scale, seed, &out);
-            exp_timing::run(&scale, seed, &out);
-            exp_ablations::alpha_sweep(&scale, seed, &out);
-            exp_ablations::margin_sweep(&scale, seed, &out);
-            exp_ablations::pair_scheme_sweep(&scale, seed, &out);
-            exp_ablations::strategy_comparison(&scale, seed, &out);
-            exp_cloud::run(&out);
-            exp_kernels::run(&out);
-            exp_faults::run(&scale, seed, &out);
-        }
-        _ => return usage(),
+        Some(Ok(())) => {}
     }
     eprintln!("[repro] done in {:.1}s", started.elapsed().as_secs_f64());
     ExitCode::SUCCESS

@@ -8,7 +8,7 @@
 //!   accuracy and update wall-time.
 //! * **A4 strategy comparison** — PILOTE vs the canonical CL families.
 
-use crate::report::{write_json, Table};
+use crate::report::{write_json, ReportError, Table};
 use crate::scale::Scale;
 use crate::scenario::{build_scenario, pretrain_base, run_pilote, PretrainedBase};
 use pilote_core::pairs::PairScheme;
@@ -26,7 +26,7 @@ fn base_for(scale: &Scale, seed: u64) -> PretrainedBase {
 }
 
 /// A1: accuracy as a function of the balancing weight α.
-pub fn alpha_sweep(scale: &Scale, seed: u64, out: &Path) -> Vec<(f32, f32, f32)> {
+pub fn alpha_sweep(scale: &Scale, seed: u64, out: &Path) -> Result<Vec<(f32, f32, f32)>, ReportError> {
     let base = base_for(scale, seed);
     let n_new = scale.exemplars_per_class;
     let mut rows = Vec::new();
@@ -46,12 +46,12 @@ pub fn alpha_sweep(scale: &Scale, seed: u64, out: &Path) -> Vec<(f32, f32, f32)>
         out,
         "ablate_alpha.json",
         &json!(rows.iter().map(|&(a, acc, old)| json!({"alpha": a, "accuracy": acc, "old_accuracy": old})).collect::<Vec<_>>()),
-    );
-    rows
+    )?;
+    Ok(rows)
 }
 
 /// A2: accuracy as a function of the contrastive margin and loss form.
-pub fn margin_sweep(scale: &Scale, seed: u64, out: &Path) -> Vec<(String, f32, f32)> {
+pub fn margin_sweep(scale: &Scale, seed: u64, out: &Path) -> Result<Vec<(String, f32, f32)>, ReportError> {
     let base = base_for(scale, seed);
     let n_new = scale.exemplars_per_class;
     let mut rows = Vec::new();
@@ -74,13 +74,17 @@ pub fn margin_sweep(scale: &Scale, seed: u64, out: &Path) -> Vec<(String, f32, f
         out,
         "ablate_margin.json",
         &json!(rows.iter().map(|(n, m, a)| json!({"config": n, "margin": m, "accuracy": a})).collect::<Vec<_>>()),
-    );
-    rows
+    )?;
+    Ok(rows)
 }
 
 /// A3: the reduced pair scheme of §5.2 vs full pairs — accuracy and
 /// wall-time of the incremental update.
-pub fn pair_scheme_sweep(scale: &Scale, seed: u64, out: &Path) -> Vec<(String, f32, f64)> {
+pub fn pair_scheme_sweep(
+    scale: &Scale,
+    seed: u64,
+    out: &Path,
+) -> Result<Vec<(String, f32, f64)>, ReportError> {
     let base = base_for(scale, seed);
     let n_new = scale.exemplars_per_class;
     let mut rows = Vec::new();
@@ -129,12 +133,16 @@ pub fn pair_scheme_sweep(scale: &Scale, seed: u64, out: &Path) -> Vec<(String, f
         out,
         "ablate_pairs.json",
         &json!(rows.iter().map(|(n, a, s)| json!({"scheme": n, "accuracy": a, "seconds": s})).collect::<Vec<_>>()),
-    );
-    rows
+    )?;
+    Ok(rows)
 }
 
 /// A4: PILOTE vs the canonical continual-learning strategy families.
-pub fn strategy_comparison(scale: &Scale, seed: u64, out: &Path) -> Vec<(String, f32, f32, f32)> {
+pub fn strategy_comparison(
+    scale: &Scale,
+    seed: u64,
+    out: &Path,
+) -> Result<Vec<(String, f32, f32, f32)>, ReportError> {
     let base = base_for(scale, seed);
     let n_new = scale.exemplars_per_class;
     let mut rng = pilote_tensor::Rng64::new(seed ^ 0xa4);
@@ -179,6 +187,6 @@ pub fn strategy_comparison(scale: &Scale, seed: u64, out: &Path) -> Vec<(String,
             .iter()
             .map(|(n, a, o, w)| json!({"strategy": n, "accuracy": a, "old_accuracy": o, "new_accuracy": w}))
             .collect::<Vec<_>>()),
-    );
-    rows
+    )?;
+    Ok(rows)
 }

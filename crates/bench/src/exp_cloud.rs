@@ -3,7 +3,7 @@
 //! over the network forever; the edge deployment downloads the model and
 //! support set once.
 
-use crate::report::{write_json, Table};
+use crate::report::{write_json, ReportError, Table};
 use pilote_core::{EmbeddingNet, NetConfig};
 use pilote_edge_sim::link::cloud_vs_edge;
 use pilote_edge_sim::memory::{model_bytes, ValueWidth};
@@ -15,7 +15,7 @@ use serde_json::json;
 use std::path::Path;
 
 /// Runs the A5 comparison for one day of continuous recognition.
-pub fn run(out: &Path) -> Vec<(String, f64, f64)> {
+pub fn run(out: &Path) -> Result<Vec<(String, f64, f64)>, ReportError> {
     // One raw window = 120 samples × 22 channels × 4 bytes.
     let window_bytes = (WINDOW_LEN * CHANNELS * 4) as u64;
     let windows_per_day = 86_400u64; // one-second windows
@@ -53,6 +53,6 @@ pub fn run(out: &Path) -> Vec<(String, f64, f64)> {
             .iter()
             .map(|(n, c, e)| json!({"link": n, "cloud_seconds_per_day": c, "edge_bootstrap_seconds": e}))
             .collect::<Vec<_>>()),
-    );
-    rows
+    )?;
+    Ok(rows)
 }

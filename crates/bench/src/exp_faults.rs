@@ -21,7 +21,7 @@
 //! JSON contains no wall-clock fields: for a fixed seed the file is
 //! bit-identical across runs and thread counts.
 
-use crate::report::{write_json, Table};
+use crate::report::{write_json, ReportError, Table};
 use crate::scale::Scale;
 use crate::scenario::{pretrain_base, run_pilote, run_pretrained, run_retrained, Scenario};
 use pilote_core::{Pilote, UpdateStage};
@@ -51,9 +51,10 @@ const LINK_TRIALS: usize = 24;
 const PROCESS_UPDATES: usize = 6;
 
 /// Builds the corpus + scenario while keeping the fitted normaliser (the
-/// shared `build_scenario` discards it, but fault injection needs it to
-/// stream raw windows through the assembler exactly as a device would).
-fn faulted_scenario(scale: &Scale, seed: u64) -> (Scenario, Normalizer, Simulator) {
+/// shared `build_scenario` discards it, but fault injection — and the
+/// `exp_obs` lifecycle capture — needs it to stream raw windows through
+/// the assembler exactly as a device would).
+pub(crate) fn faulted_scenario(scale: &Scale, seed: u64) -> (Scenario, Normalizer, Simulator) {
     let mut sim = Simulator::with_seed(seed);
     let counts: Vec<(Activity, usize)> =
         Activity::ALL.iter().map(|&a| (a, scale.per_activity)).collect();
@@ -222,7 +223,7 @@ fn process_row(
 
 /// Runs the three fault sweeps and writes `BENCH_faults.json`. Returns the
 /// JSON document (used by the determinism test).
-pub fn run(scale: &Scale, seed: u64, out: &Path) -> serde_json::Value {
+pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<serde_json::Value, ReportError> {
     eprintln!("[faults] resilience sweep at rates {FAULT_RATES:?}");
     let (scenario, norm, mut sim) = faulted_scenario(scale, seed);
     let mut base = pretrain_base(scenario, scale, seed);
@@ -334,8 +335,8 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> serde_json::Value {
         "link": link_rows,
         "process": process_rows,
     });
-    write_json(out, "BENCH_faults.json", &doc);
-    doc
+    write_json(out, "BENCH_faults.json", &doc)?;
+    Ok(doc)
 }
 
 #[cfg(test)]
@@ -362,8 +363,8 @@ mod tests {
     fn faults_sweep_is_deterministic_and_well_formed() {
         let dir = std::env::temp_dir().join("pilote_faults_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let a = run(&tiny(), 99, &dir);
-        let b = run(&tiny(), 99, &dir);
+        let a = run(&tiny(), 99, &dir).expect("sweep a");
+        let b = run(&tiny(), 99, &dir).expect("sweep b");
         assert_eq!(
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap(),

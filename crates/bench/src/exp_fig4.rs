@@ -5,7 +5,7 @@
 //! with false positives at the expense of 'Walk'; PILOTE keeps the
 //! boundary.
 
-use crate::report::{write_json, Table};
+use crate::report::{write_json, ReportError, Table};
 use crate::scale::Scale;
 use crate::scenario::{build_scenario, pretrain_base, run_pilote, run_pretrained, run_retrained};
 use pilote_core::{ConfusionMatrix, Pilote};
@@ -33,7 +33,11 @@ fn matrix_json(m: &ConfusionMatrix) -> serde_json::Value {
 
 /// Runs the Figure 4 protocol. Returns `(pretrained, retrained, pilote)`
 /// confusion matrices.
-pub fn run(scale: &Scale, seed: u64, out: &Path) -> (ConfusionMatrix, ConfusionMatrix, ConfusionMatrix) {
+pub fn run(
+    scale: &Scale,
+    seed: u64,
+    out: &Path,
+) -> Result<(ConfusionMatrix, ConfusionMatrix, ConfusionMatrix), ReportError> {
     eprintln!("[fig4] scenario: new class Run, {} exemplars/class", scale.exemplars_per_class);
     let scenario = build_scenario(Activity::Run, scale, seed);
     let base = pretrain_base(scenario, scale, seed);
@@ -78,6 +82,6 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> (ConfusionMatrix, ConfusionM
             "retrained": matrix_json(&cm_retr),
             "pilote": matrix_json(&cm_pil),
         }),
-    );
-    (cm_pre, cm_retr, cm_pil)
+    )?;
+    Ok((cm_pre, cm_retr, cm_pil))
 }

@@ -7,7 +7,7 @@
 //! the paper's statement is that the re-trained model separates Run/Walk
 //! better than the pre-trained model but worse than PILOTE.
 
-use crate::report::{write_json, Table};
+use crate::report::{write_json, ReportError, Table};
 use crate::scale::Scale;
 use crate::scenario::{build_scenario, pretrain_base, run_pilote, run_pretrained, run_retrained};
 use pilote_core::projection::{pairwise_separation, scatter_2d, separation_score};
@@ -47,7 +47,11 @@ fn analyse(model: &mut Pilote, test: &Dataset) -> (SpaceQuality, serde_json::Val
 
 /// Runs the Figure 5 protocol; returns the three models' space quality in
 /// `(pretrained, retrained, pilote)` order.
-pub fn run(scale: &Scale, seed: u64, out: &Path) -> (SpaceQuality, SpaceQuality, SpaceQuality) {
+pub fn run(
+    scale: &Scale,
+    seed: u64,
+    out: &Path,
+) -> Result<(SpaceQuality, SpaceQuality, SpaceQuality), ReportError> {
     eprintln!("[fig5] embedding spaces (new class Run)");
     let scenario = build_scenario(Activity::Run, scale, seed);
     let base = pretrain_base(scenario, scale, seed);
@@ -94,6 +98,6 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> (SpaceQuality, SpaceQuality,
             "retrained": {"separation": q_retr.global, "run_walk": q_retr.run_walk, "scatter": s_retr},
             "pilote": {"separation": q_pil.global, "run_walk": q_pil.run_walk, "scatter": s_pil},
         }),
-    );
-    (q_pre, q_retr, q_pil)
+    )?;
+    Ok((q_pre, q_retr, q_pil))
 }

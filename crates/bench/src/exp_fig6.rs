@@ -8,7 +8,7 @@
 //! re-trained model drops *below* the pre-trained model while PILOTE stays
 //! above it.
 
-use crate::report::{write_json, Table};
+use crate::report::{write_json, ReportError, Table};
 use crate::scale::Scale;
 use crate::scenario::{
     build_scenario, pretrain_base, run_pilote, run_pretrained, run_retrained, with_support_budget,
@@ -39,7 +39,7 @@ pub struct Fig6Point {
 }
 
 /// Runs the Figure 6 sweep.
-pub fn run(scale: &Scale, seed: u64, out: &Path) -> Vec<Fig6Point> {
+pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<Vec<Fig6Point>, ReportError> {
     let scenario = build_scenario(Activity::Run, scale, seed);
     let base = pretrain_base(scenario, scale, seed);
     let max_budget = scale.train_per_activity();
@@ -97,6 +97,6 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Vec<Fig6Point> {
                 "pilote": p.pilote,
             }))
             .collect::<Vec<_>>()),
-    );
-    points
+    )?;
+    Ok(points)
 }

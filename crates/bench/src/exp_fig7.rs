@@ -6,7 +6,7 @@
 //! dominates the re-trained model, most clearly below 50 exemplars; the
 //! pre-trained model is a flat warm-start line.
 
-use crate::report::{write_json, Table};
+use crate::report::{write_json, ReportError, Table};
 use crate::scale::Scale;
 use crate::scenario::{build_scenario, pretrain_base, run_pilote, run_pretrained, run_retrained};
 use pilote_har_data::Activity;
@@ -30,7 +30,7 @@ pub struct Fig7Point {
 }
 
 /// Runs the Figure 7 sweep.
-pub fn run(scale: &Scale, seed: u64, out: &Path) -> Vec<Fig7Point> {
+pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<Vec<Fig7Point>, ReportError> {
     let scenario = build_scenario(Activity::Run, scale, seed);
     let base = pretrain_base(scenario, scale, seed);
     let mut points = Vec::new();
@@ -77,6 +77,6 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Vec<Fig7Point> {
                 "pilote": p.pilote,
             }))
             .collect::<Vec<_>>()),
-    );
-    points
+    )?;
+    Ok(points)
 }

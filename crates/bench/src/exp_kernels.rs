@@ -13,7 +13,7 @@
 //! path, so `speedup_vs_serial` reads directly as the parallel-layer gain.
 //! Results land in `BENCH_kernels.json` (schema in `EXPERIMENTS.md`).
 
-use crate::report::{write_json, Table};
+use crate::report::{write_json, ReportError, Table};
 use pilote_core::NcmClassifier;
 use pilote_tensor::parallel::{self, ThreadConfig};
 use pilote_tensor::{Rng64, Tensor};
@@ -61,7 +61,7 @@ fn bits_checksum(t: &Tensor) -> u64 {
 
 /// Measures the two anchor kernels at each thread count and writes
 /// `BENCH_kernels.json`. Returns the measurement grid.
-pub fn run(out: &Path) -> Vec<KernelTiming> {
+pub fn run(out: &Path) -> Result<Vec<KernelTiming>, ReportError> {
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
         "[kernels] thread-scaling sweep (host has {host_threads} hardware thread(s); \
@@ -74,7 +74,7 @@ pub fn run(out: &Path) -> Vec<KernelTiming> {
     let b = Tensor::randn([1024, 512], 0.0, 1.0, &mut rng);
     let mut clf = NcmClassifier::new(128);
     for label in 0..5 {
-        clf.set_prototype(label, &Tensor::randn([128], 0.0, 1.0, &mut rng)).unwrap();
+        clf.set_prototype(label, &Tensor::randn([128], 0.0, 1.0, &mut rng)).expect("prototype");
     }
     let queries = Tensor::randn([10_000, 128], 0.0, 1.0, &mut rng);
 
@@ -87,9 +87,9 @@ pub fn run(out: &Path) -> Vec<KernelTiming> {
         parallel::configure(ThreadConfig { num_threads: threads, ..ThreadConfig::from_env() });
 
         let (median, min) = time_reps(5, || {
-            std::hint::black_box(a.matmul(&b).unwrap());
+            std::hint::black_box(a.matmul(&b).expect("gemm"));
         });
-        let checksum = bits_checksum(&a.matmul(&b).unwrap());
+        let checksum = bits_checksum(&a.matmul(&b).expect("gemm"));
         assert_eq!(
             *gemm_checksum.get_or_insert(checksum),
             checksum,
@@ -107,9 +107,9 @@ pub fn run(out: &Path) -> Vec<KernelTiming> {
         });
 
         let (median, min) = time_reps(5, || {
-            std::hint::black_box(clf.distances(&queries).unwrap());
+            std::hint::black_box(clf.distances(&queries).expect("ncm"));
         });
-        let checksum = bits_checksum(&clf.distances(&queries).unwrap());
+        let checksum = bits_checksum(&clf.distances(&queries).expect("ncm"));
         assert_eq!(
             *ncm_checksum.get_or_insert(checksum),
             checksum,
@@ -164,8 +164,8 @@ pub fn run(out: &Path) -> Vec<KernelTiming> {
                 "speedup_vs_serial": r.speedup_vs_serial,
             })).collect::<Vec<_>>(),
         }),
-    );
-    results
+    )?;
+    Ok(results)
 }
 
 #[cfg(test)]

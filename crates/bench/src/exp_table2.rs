@@ -1,7 +1,7 @@
 //! **Table 2** — accuracy of the pre-trained / re-trained / PILOTE models
 //! on the five new-class scenarios, mean ± std over repetition rounds.
 
-use crate::report::{pm, write_json, Table};
+use crate::report::{pm, write_json, ReportError, Table};
 use crate::scale::Scale;
 use crate::scenario::{build_scenario, pretrain_base, run_pilote, run_pretrained, run_retrained};
 use pilote_core::metrics::mean_std;
@@ -23,7 +23,7 @@ pub struct Table2Row {
 }
 
 /// Runs the full Table 2 protocol.
-pub fn run(scale: &Scale, seed: u64, out: &Path) -> Vec<Table2Row> {
+pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<Vec<Table2Row>, ReportError> {
     let mut rows = Vec::new();
     for (si, &activity) in Activity::ALL.iter().enumerate() {
         eprintln!("[table2] scenario {}/5: new class {}", si + 1, activity);
@@ -85,6 +85,6 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Vec<Table2Row> {
                 "pilote_std": r.pilote.1,
             }))
             .collect::<Vec<_>>()),
-    );
-    rows
+    )?;
+    Ok(rows)
 }

@@ -6,7 +6,7 @@
 //! epochs, and each epoch costs less than 0.5 s"; "2 500 exemplars in
 //! compressed format would take 3.2 MB".
 
-use crate::report::{write_json, Table};
+use crate::report::{write_json, ReportError, Table};
 use crate::scale::Scale;
 use crate::scenario::{build_scenario, pretrain_base, run_pilote};
 use pilote_edge_sim::memory::{model_bytes, ValueWidth};
@@ -19,9 +19,13 @@ use std::path::Path;
 /// Measured Q2 quantities.
 #[derive(Debug, Clone)]
 pub struct TimingResult {
-    /// Mean seconds per incremental-update epoch on the host.
-    pub epoch_seconds_host: f64,
-    /// Epochs the update ran before stopping.
+    /// Mean seconds per incremental-update epoch on the host, or `None`
+    /// when the update ran zero epochs (there is no per-epoch latency to
+    /// report; the old `max(1)` clamp silently printed `0.000 s` instead
+    /// of surfacing the empty run).
+    pub epoch_seconds_host: Option<f64>,
+    /// Epochs the update ran before stopping (may genuinely be 0, e.g.
+    /// when the pair population is empty at tiny scales).
     pub epochs: usize,
     /// Accuracy after the update.
     pub accuracy: f32,
@@ -34,7 +38,7 @@ pub struct TimingResult {
 }
 
 /// Runs the timing/storage measurements.
-pub fn run(scale: &Scale, seed: u64, out: &Path) -> TimingResult {
+pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<TimingResult, ReportError> {
     eprintln!("[timing] measuring the PILOTE edge update (new class Run)");
     let scenario = build_scenario(Activity::Run, scale, seed);
     let mut base = pretrain_base(scenario, scale, seed);
@@ -42,8 +46,14 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> TimingResult {
 
     let mut model = base.model.clone_model();
     let (run, report) = run_pilote(&mut model, &base.scenario, n_new, seed ^ 0x42);
-    let epochs = report.epochs.len().max(1);
-    let epoch_seconds = report.total_seconds() / epochs as f64;
+    // A zero-epoch run has no per-epoch latency; report it as such rather
+    // than clamping the divisor and printing a bogus 0-second epoch.
+    let epochs = report.epochs.len();
+    let epoch_seconds =
+        (epochs > 0).then(|| report.total_seconds() / epochs as f64);
+    if epochs == 0 {
+        eprintln!("[timing] WARNING: the update ran 0 epochs — per-epoch latency unavailable");
+    }
 
     // Storage accounting on the *actual* stored support set.
     let support = model.support().to_dataset().expect("support");
@@ -60,14 +70,18 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> TimingResult {
         model_param_bytes: model_bytes(params),
     };
 
+    let fmt_epoch = |s: Option<f64>| match s {
+        Some(v) => format!("{v:.3} s"),
+        None => "n/a (0 epochs)".to_string(),
+    };
     let mut t = Table::new("Q2: edge applicability measurements", &["quantity", "value"]);
     t.row(vec!["update epochs".into(), result.epochs.to_string()]);
-    t.row(vec!["epoch wall-time (host)".into(), format!("{:.3} s", result.epoch_seconds_host)]);
+    t.row(vec!["epoch wall-time (host)".into(), fmt_epoch(result.epoch_seconds_host)]);
     for device in [DeviceProfile::flagship_phone(), DeviceProfile::budget_phone(), DeviceProfile::wearable()]
     {
         t.row(vec![
             format!("epoch wall-time ({})", device.name),
-            format!("{:.3} s", device.project_seconds(result.epoch_seconds_host)),
+            fmt_epoch(result.epoch_seconds_host.map(|s| device.project_seconds(s))),
         ]);
     }
     t.row(vec!["accuracy after update".into(), format!("{:.4}", result.accuracy)]);
@@ -95,6 +109,7 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> TimingResult {
         out,
         "timing.json",
         &json!({
+            // null (not 0.0) when the update ran zero epochs.
             "epoch_seconds_host": result.epoch_seconds_host,
             "epochs": result.epochs,
             "accuracy": result.accuracy,
@@ -102,6 +117,6 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> TimingResult {
             "support_bytes_i8": result.support_bytes_i8,
             "model_param_bytes": result.model_param_bytes,
         }),
-    );
-    result
+    )?;
+    Ok(result)
 }

@@ -22,7 +22,10 @@
 //! repro cloud-vs-edge  # A5 — link-cost comparison
 //! repro kernels        # parallel kernel layer thread-scaling (BENCH_kernels.json)
 //! repro faults         # resilience sweep under injected faults (BENCH_faults.json)
+//! repro obs            # deterministic telemetry snapshot (BENCH_obs.json)
 //! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod exp_ablations;
 pub mod exp_cloud;
@@ -32,6 +35,7 @@ pub mod exp_fig5;
 pub mod exp_fig6;
 pub mod exp_fig7;
 pub mod exp_kernels;
+pub mod exp_obs;
 pub mod exp_table2;
 pub mod exp_timing;
 pub mod report;

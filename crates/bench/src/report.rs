@@ -2,7 +2,30 @@
 
 use std::fmt;
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
+
+/// A result-file I/O failure, carrying the path that could not be written
+/// so `repro` can report *which* file failed before exiting non-zero.
+#[derive(Debug)]
+pub struct ReportError {
+    /// The file or directory the operation targeted.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot write {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for ReportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// A simple aligned text table.
 #[derive(Debug, Clone)]
@@ -79,18 +102,21 @@ pub fn pm(mean: f32, std: f32) -> String {
 }
 
 /// Resolves (and creates) the output directory, default `results/`.
-pub fn results_dir(out: Option<&str>) -> PathBuf {
+pub fn results_dir(out: Option<&str>) -> Result<PathBuf, ReportError> {
     let dir = PathBuf::from(out.unwrap_or("results"));
-    fs::create_dir_all(&dir).expect("create results directory");
-    dir
+    fs::create_dir_all(&dir).map_err(|source| ReportError { path: dir.clone(), source })?;
+    Ok(dir)
 }
 
-/// Writes pretty-printed JSON next to the text output.
-pub fn write_json(dir: &Path, name: &str, value: &serde_json::Value) {
+/// Writes pretty-printed JSON next to the text output. On failure the
+/// error names the exact path, and callers propagate it up to `repro`,
+/// which exits non-zero instead of panicking.
+pub fn write_json(dir: &Path, name: &str, value: &serde_json::Value) -> Result<(), ReportError> {
     let path = dir.join(name);
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialise"))
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    let body = serde_json::to_string_pretty(value).expect("serialise");
+    fs::write(&path, body).map_err(|source| ReportError { path: path.clone(), source })?;
     println!("  → wrote {}", path.display());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -126,10 +152,20 @@ mod tests {
     fn results_dir_creates() {
         let dir = std::env::temp_dir().join("pilote_test_results");
         let _ = std::fs::remove_dir_all(&dir);
-        let d = results_dir(dir.to_str());
+        let d = results_dir(dir.to_str()).expect("results dir");
         assert!(d.exists());
-        write_json(&d, "x.json", &serde_json::json!({"ok": true}));
+        write_json(&d, "x.json", &serde_json::json!({"ok": true})).expect("write");
         assert!(d.join("x.json").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_json_error_names_the_path() {
+        let missing = Path::new("/nonexistent-pilote-dir");
+        let err = write_json(missing, "out.json", &serde_json::json!({}))
+            .expect_err("write into a missing directory must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("out.json"), "error must name the file: {msg}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

@@ -51,6 +51,11 @@ impl SupportSet {
         strategy: SelectionStrategy,
         rng: &mut Rng64,
     ) -> Result<SupportSet, TensorError> {
+        // The span's flops field is the deterministic cost of exemplar
+        // selection (embedding forward + herding distance sweeps).
+        let span = pilote_obs::span("core.support.select");
+        span.annotate("classes", data.classes().len() as f64);
+        span.annotate("per_class", m as f64);
         let mut out = SupportSet::new();
         for label in data.classes() {
             let class = data.filter_classes(&[label])?;
@@ -236,6 +241,11 @@ pub fn train_embedding(
             break;
         }
         let mut loss_sum = 0.0f64;
+        // Weighted components of the joint objective, tracked separately
+        // so telemetry can report the distill-vs-contrastive split
+        // (`(1−α)·L_contra` and `α·L_disti` sum to the train loss).
+        let mut contra_sum = 0.0f64;
+        let mut distill_sum = 0.0f64;
         let mut batches = 0usize;
         let mut start = 0usize;
         while start < pairs_local.len() {
@@ -264,6 +274,8 @@ pub fn train_embedding(
             let grad = Tensor::vstack(&[&ga.scale(contrastive_weight), &gb.scale(contrastive_weight)])?;
             net.backward(&grad);
             let mut batch_loss = contrastive_weight * c_loss;
+            let batch_contra = contrastive_weight * c_loss;
+            let mut batch_distill = 0.0f32;
 
             // Distillation branch: separate forward/backward accumulates
             // into the same parameter gradients before the optimizer step.
@@ -285,6 +297,7 @@ pub fn train_embedding(
                 let (d_loss, d_grad) = distillation_loss(&student, ter)?;
                 net.backward(&d_grad.scale(opts.alpha));
                 batch_loss += opts.alpha * d_loss;
+                batch_distill = opts.alpha * d_loss;
             }
 
             // Non-finite guard: a NaN/Inf loss or gradient (corrupted
@@ -292,10 +305,13 @@ pub fn train_embedding(
             // once makes every later prediction NaN.
             if !batch_loss.is_finite() || !pilote_nn::grads_finite(net.layers_mut()) {
                 report.skipped_steps += 1;
+                pilote_obs::counter("core.train.skipped_steps").inc();
                 continue;
             }
             optimizer.step(net.layers_mut(), lr);
             loss_sum += batch_loss as f64;
+            contra_sum += batch_contra as f64;
+            distill_sum += batch_distill as f64;
             batches += 1;
         }
 
@@ -324,6 +340,16 @@ pub fn train_embedding(
             lr,
             seconds: started.elapsed().as_secs_f64(),
         });
+
+        if pilote_obs::enabled() {
+            let denom = batches.max(1) as f64;
+            pilote_obs::gauge("core.train.loss_contrastive").set(contra_sum / denom);
+            pilote_obs::gauge("core.train.loss_distill").set(distill_sum / denom);
+            // Gradients still hold the epoch's final applied step.
+            let gn = pilote_nn::grad_norm(net.layers_mut());
+            let stats = report.epochs.last().expect("just pushed");
+            pilote_nn::observe_epoch(stats, Some(gn));
+        }
 
         if let Some(v) = val_loss {
             if stopper.observe(v) {
@@ -382,6 +408,8 @@ impl Pilote {
         exemplars_per_class: usize,
         strategy: SelectionStrategy,
     ) -> Result<(Pilote, TrainReport), TensorError> {
+        let span = pilote_obs::span("core.pretrain");
+        span.annotate("samples", data.len() as f64);
         let mut rng = Rng64::new(cfg.seed);
         let mut net = EmbeddingNet::new(cfg.net.clone(), &mut rng);
         let is_new = vec![false; data.len()];
@@ -392,7 +420,10 @@ impl Pilote {
             scheme: PairScheme::Full,
             freeze_bn: false,
         };
-        let report = train_embedding(&mut net, data, &is_new, &cfg, opts, &mut rng)?;
+        let report = {
+            let _train = pilote_obs::span("core.pretrain.train");
+            train_embedding(&mut net, data, &is_new, &cfg, opts, &mut rng)?
+        };
         let support =
             SupportSet::select_from(data, &mut net, exemplars_per_class, strategy, &mut rng)?;
         let mut model = Pilote {
@@ -456,6 +487,8 @@ impl Pilote {
         new_exemplar_budget: usize,
         kill: Option<UpdateStage>,
     ) -> Result<UpdateOutcome, TensorError> {
+        let span = pilote_obs::span("core.update");
+        span.annotate("new_samples", new_data.len() as f64);
         let d0 = self.support.to_dataset()?;
         let combined = d0.concat(new_data)?;
         let mut is_new = vec![false; d0.len()];
@@ -477,29 +510,37 @@ impl Pilote {
             scheme: PairScheme::Reduced,
             freeze_bn: true,
         };
-        let report =
-            train_embedding(&mut self.net, &combined, &is_new, &cfg, opts, &mut self.rng)?;
+        let report = {
+            let _train = pilote_obs::span("core.update.train");
+            train_embedding(&mut self.net, &combined, &is_new, &cfg, opts, &mut self.rng)?
+        };
         if kill == Some(UpdateStage::Trained) {
             return Ok(UpdateOutcome::Interrupted(UpdateStage::Trained));
         }
 
         // Store new-class exemplars (random subset of the incoming data,
         // as in §6.4) and refresh prototypes under the updated embedding.
-        for label in new_data.classes() {
-            let class = new_data.filter_classes(&[label])?;
-            let embeddings = self.net.embed(&class.features);
-            let chosen = select_exemplars(
-                &embeddings,
-                new_exemplar_budget,
-                SelectionStrategy::Random,
-                &mut self.rng,
-            )?;
-            self.support.put_class(label, class.features.select_rows(&chosen)?);
+        {
+            let _exemplars = pilote_obs::span("core.update.exemplars");
+            for label in new_data.classes() {
+                let class = new_data.filter_classes(&[label])?;
+                let embeddings = self.net.embed(&class.features);
+                let chosen = select_exemplars(
+                    &embeddings,
+                    new_exemplar_budget,
+                    SelectionStrategy::Random,
+                    &mut self.rng,
+                )?;
+                self.support.put_class(label, class.features.select_rows(&chosen)?);
+            }
         }
         if kill == Some(UpdateStage::ExemplarsStored) {
             return Ok(UpdateOutcome::Interrupted(UpdateStage::ExemplarsStored));
         }
-        self.refresh_prototypes()?;
+        {
+            let _prototypes = pilote_obs::span("core.update.prototypes");
+            self.refresh_prototypes()?;
+        }
         Ok(UpdateOutcome::Completed(report))
     }
 

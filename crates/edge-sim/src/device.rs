@@ -16,6 +16,14 @@ pub struct DeviceProfile {
     pub cpu_factor: f64,
 }
 
+/// Sustained single-core throughput assumed for the benchmark host, in
+/// floating-point operations per second. The absolute value only sets the
+/// time scale of the simulation; what matters for the experiments is that
+/// it is a **constant**, so modeled device time is a pure function of the
+/// work dispatched (see [`DeviceProfile::seconds_for_flops`]) and never of
+/// host load.
+pub const HOST_REF_FLOPS_PER_SEC: f64 = 2.0e9;
+
 impl DeviceProfile {
     /// A current flagship smartphone (the paper's deployment target class).
     pub fn flagship_phone() -> Self {
@@ -58,8 +66,23 @@ impl DeviceProfile {
     }
 
     /// Projects a host-measured duration onto this device.
+    ///
+    /// Only for *reporting* host benchmarks in device terms. Never feed the
+    /// result into deterministic device-time state such as the `EventLog`
+    /// virtual clock — host measurements vary with machine load; use
+    /// [`DeviceProfile::seconds_for_flops`] there instead.
     pub fn project_seconds(&self, host_seconds: f64) -> f64 {
         host_seconds * self.cpu_factor
+    }
+
+    /// Modeled device seconds for executing `flops` floating-point
+    /// operations: `flops / HOST_REF_FLOPS_PER_SEC × cpu_factor`.
+    ///
+    /// Deterministic by construction — the input comes from shape-derived
+    /// kernel work accounting (`pilote_obs::work`), so the same seed yields
+    /// the same device time on any host at any thread count.
+    pub fn seconds_for_flops(&self, flops: u64) -> f64 {
+        (flops as f64 / HOST_REF_FLOPS_PER_SEC) * self.cpu_factor
     }
 }
 
@@ -89,6 +112,16 @@ mod tests {
     fn projection_scales_time() {
         let b = DeviceProfile::budget_phone();
         assert_eq!(b.project_seconds(0.5), 3.0);
+    }
+
+    #[test]
+    fn flops_model_scales_with_cpu_factor() {
+        let f = DeviceProfile::flagship_phone();
+        let w = DeviceProfile::wearable();
+        let flops = 4_000_000_000u64; // two host-reference seconds of work
+        assert_eq!(f.seconds_for_flops(flops), 4.0);
+        assert_eq!(w.seconds_for_flops(flops), 80.0);
+        assert_eq!(f.seconds_for_flops(0), 0.0);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod link;
 pub mod memory;
 pub mod quantize;
 
-pub use device::DeviceProfile;
+pub use device::{DeviceProfile, HOST_REF_FLOPS_PER_SEC};
 pub use faults::{
     CrashPlan, FaultCounts, FaultPlan, FlakyLink, LinkFault, LinkFaultRates, RetryPolicy,
     SensorFaultInjector, SensorFaultKind, SensorFaultRates,

@@ -101,6 +101,7 @@ impl WindowAssembler {
         if tainted {
             self.slide();
             self.quarantined += 1;
+            pilote_obs::counter("stream.windows_quarantined").inc();
             return Ok(None);
         }
         // Materialise the window, denoise, extract.
@@ -128,9 +129,11 @@ impl WindowAssembler {
         // those features would poison prototype means downstream.
         if !features.all_finite() {
             self.quarantined += 1;
+            pilote_obs::counter("stream.windows_quarantined").inc();
             return Ok(None);
         }
         self.emitted += 1;
+        pilote_obs::counter("stream.windows_emitted").inc();
         Ok(Some(features))
     }
 

@@ -18,8 +18,8 @@ use pilote_har_data::stream::{DriftMonitor, WindowAssembler};
 use pilote_har_data::sensors::WINDOW_LEN;
 use pilote_har_data::FEATURE_DIM;
 use pilote_nn::persist::{Checkpoint, CheckpointError};
+use pilote_obs::work;
 use pilote_tensor::{Rng64, Tensor, TensorError};
-use std::time::Instant;
 
 /// Typed errors for edge-device operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -263,12 +263,16 @@ impl EdgeDevice {
         let mut out = Vec::with_capacity(features.len());
         for f in features {
             let row = f.reshape([1, FEATURE_DIM])?;
-            let start = Instant::now();
+            // Charge the virtual clock by *modeled* work, never by a host
+            // wall-clock measurement: the flop delta below is a pure
+            // function of the operand shapes, so the trace is identical on
+            // a loaded laptop and an idle server (see docs/OBSERVABILITY.md).
+            let flops_before = work::thread_flops();
             let emb = self.model.embed(&row);
             let dists = self.model.classifier().distances(&emb)?;
             let predicted = self.model.classifier().labels()[dists.argmin_rows()?[0]];
-            let host = start.elapsed().as_secs_f64();
-            self.log.advance(self.profile.project_seconds(host));
+            let flops = work::thread_flops().wrapping_sub(flops_before);
+            self.log.advance(self.profile.seconds_for_flops(flops));
             self.log.record(EventKind::Inference { predicted });
             if let Some(monitor) = &mut self.drift {
                 monitor.observe(&f);
@@ -347,12 +351,19 @@ impl EdgeDevice {
         let snapshot_support = self.model.support().clone();
 
         self.log.record(EventKind::UpdateStarted { new_label, samples: new_data.len() });
-        let start = Instant::now();
+        let span = pilote_obs::span("edge.update");
+        span.annotate("new_label", new_label as f64);
+        // Modeled device time (shape-derived flops), not host wall time:
+        // the update's virtual duration must not depend on host load.
+        let flops_before = work::thread_flops();
         let outcome = self
             .model
             .learn_new_class_interruptible(&new_data, exemplar_budget, kill);
-        let host = start.elapsed().as_secs_f64();
-        self.log.advance(self.profile.project_seconds(host));
+        let flops = work::thread_flops().wrapping_sub(flops_before);
+        let device_seconds = self.profile.seconds_for_flops(flops);
+        span.annotate("device_seconds", device_seconds);
+        drop(span);
+        self.log.advance(device_seconds);
 
         // Commit only a completed update whose weights AND prototypes are
         // finite; anything else rolls back.
@@ -370,7 +381,7 @@ impl EdgeDevice {
                 self.log.record(EventKind::UpdateFinished {
                     new_label,
                     epochs: report.epochs.len(),
-                    seconds: self.profile.project_seconds(host),
+                    seconds: device_seconds,
                 });
                 self.pending.clear();
                 self.update_failures = 0;
@@ -662,6 +673,45 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.kind, EventKind::WindowsQuarantined { windows: 1 })));
+    }
+
+    /// Regression test for the host/virtual clock mixing bug: the virtual
+    /// clock used to be advanced by stopwatch-measured host time projected
+    /// through the device profile, so traces varied with host load. Device
+    /// time is now modeled from shape-derived kernel work, so an identical
+    /// operation sequence must produce an *identical* event log — same
+    /// events, same virtual timestamps — even while the host is saturated
+    /// with busy-spinning threads.
+    #[test]
+    fn host_load_cannot_change_virtual_time_traces() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (mut quiet, mut sim_q, _) = deployed_device();
+        let (mut loaded, mut sim_l, _) = deployed_device();
+        let session_q = sim_q.session(Activity::Walk, 6);
+        let session_l = sim_l.session(Activity::Walk, 6);
+        assert_eq!(session_q, session_l, "same seed must give the same session");
+
+        quiet.stream(&session_q).expect("stream");
+
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+            loaded.stream(&session_l).expect("stream");
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        assert_eq!(
+            quiet.log(),
+            loaded.log(),
+            "virtual-time trace changed under host load"
+        );
+        assert!(quiet.log().now() > 0.0);
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub enum EventKind {
         new_label: usize,
         /// Training epochs consumed.
         epochs: usize,
-        /// Wall-clock seconds on the host.
+        /// Modeled device seconds charged to the virtual clock for the
+        /// update (derived from shape-based kernel work via
+        /// `DeviceProfile::seconds_for_flops` — never a host wall-clock
+        /// measurement, which would make traces vary with host load).
         seconds: f64,
     },
     /// A federated round was applied.
@@ -74,6 +77,25 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// Stable `pilote-obs` counter name for this event kind (`edge.*`).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            EventKind::Deployed { .. } => "edge.deployed",
+            EventKind::Inference { .. } => "edge.inference",
+            EventKind::DriftDetected { .. } => "edge.drift_detected",
+            EventKind::UpdateStarted { .. } => "edge.update_started",
+            EventKind::UpdateFinished { .. } => "edge.update_finished",
+            EventKind::FederatedRound { .. } => "edge.federated_round",
+            EventKind::TransferRetried { .. } => "edge.transfer_retried",
+            EventKind::TransferAborted { .. } => "edge.transfer_aborted",
+            EventKind::WindowsQuarantined { .. } => "edge.windows_quarantined",
+            EventKind::UpdateRolledBack { .. } => "edge.update_rolled_back",
+            EventKind::DegradedToPretrained { .. } => "edge.degraded_to_pretrained",
+        }
+    }
+}
+
 /// One log entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Event {
@@ -107,8 +129,18 @@ impl EventLog {
         self.clock_seconds
     }
 
-    /// Appends an event at the current virtual time.
+    /// Appends an event at the current virtual time, bridging it into the
+    /// `pilote-obs` registry as an `edge.*` counter (quarantine events add
+    /// their window count; every other kind counts occurrences).
     pub fn record(&mut self, kind: EventKind) {
+        if pilote_obs::enabled() {
+            match &kind {
+                EventKind::WindowsQuarantined { windows } => {
+                    pilote_obs::counter(kind.metric_name()).add(*windows);
+                }
+                _ => pilote_obs::counter(kind.metric_name()).inc(),
+            }
+        }
         self.events.push(Event { at_seconds: self.clock_seconds, kind });
     }
 
@@ -173,5 +205,81 @@ mod tests {
         let json = serde_json::to_string(&log).unwrap();
         let back: EventLog = serde_json::from_str(&json).unwrap();
         assert_eq!(back, log);
+    }
+
+    #[test]
+    fn rollback_and_degradation_do_not_inflate_update_count() {
+        // A device that fails three updates and degrades has completed
+        // ZERO updates — only UpdateFinished may count.
+        let mut log = EventLog::new();
+        for failures in 1..=3u32 {
+            log.record(EventKind::UpdateStarted { new_label: 7, samples: 20 });
+            log.record(EventKind::UpdateRolledBack { new_label: 7, failures });
+        }
+        log.record(EventKind::DegradedToPretrained { failures: 3 });
+        assert_eq!(log.update_count(), 0);
+        log.record(EventKind::UpdateFinished { new_label: 8, epochs: 4, seconds: 2.5 });
+        assert_eq!(log.update_count(), 1);
+    }
+
+    #[test]
+    fn fault_events_round_trip_and_bridge_to_counters() {
+        let saved = pilote_obs::enabled();
+        pilote_obs::set_enabled(true);
+        let retried_before =
+            pilote_obs::snapshot().counters.get("edge.transfer_retried").copied().unwrap_or(0);
+        let quarantined_before =
+            pilote_obs::snapshot().counters.get("edge.windows_quarantined").copied().unwrap_or(0);
+
+        let mut log = EventLog::new();
+        log.record(EventKind::TransferRetried { attempt: 1, backoff_seconds: 0.5 });
+        log.record(EventKind::TransferRetried { attempt: 2, backoff_seconds: 1.0 });
+        log.record(EventKind::TransferAborted { attempts: 2 });
+        log.advance(3.0);
+        log.record(EventKind::WindowsQuarantined { windows: 4 });
+        log.record(EventKind::UpdateRolledBack { new_label: 5, failures: 1 });
+        log.record(EventKind::DegradedToPretrained { failures: 3 });
+
+        // Serde round-trip of the fault/telemetry event kinds.
+        let json = serde_json::to_string(&log).unwrap();
+        let back: EventLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.now(), 3.0);
+
+        // Bridged counters: retries count occurrences, quarantine counts
+        // windows. Other tests in this binary may record events
+        // concurrently, so assert lower bounds on the deltas.
+        let snap = pilote_obs::snapshot();
+        assert!(
+            snap.counters.get("edge.transfer_retried").copied().unwrap_or(0) - retried_before >= 2
+        );
+        assert!(
+            snap.counters.get("edge.windows_quarantined").copied().unwrap_or(0)
+                - quarantined_before
+                >= 4
+        );
+        pilote_obs::set_enabled(saved);
+    }
+
+    #[test]
+    fn every_event_kind_has_a_unique_metric_name() {
+        let kinds = [
+            EventKind::Deployed { payload_bytes: 1 },
+            EventKind::Inference { predicted: 0 },
+            EventKind::DriftDetected { max_shift: 1.0 },
+            EventKind::UpdateStarted { new_label: 0, samples: 1 },
+            EventKind::UpdateFinished { new_label: 0, epochs: 1, seconds: 1.0 },
+            EventKind::FederatedRound { participants: 2 },
+            EventKind::TransferRetried { attempt: 1, backoff_seconds: 0.5 },
+            EventKind::TransferAborted { attempts: 1 },
+            EventKind::WindowsQuarantined { windows: 1 },
+            EventKind::UpdateRolledBack { new_label: 0, failures: 1 },
+            EventKind::DegradedToPretrained { failures: 3 },
+        ];
+        let mut names: Vec<_> = kinds.iter().map(EventKind::metric_name).collect();
+        assert!(names.iter().all(|n| n.starts_with("edge.")));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
     }
 }

@@ -17,6 +17,8 @@
 //! direction: FedAvg-style collaboration where devices share *model
 //! parameters*, never data — consistent with MAGNETO's privacy stance.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod cloud;
 pub mod edge;
 pub mod events;

@@ -45,4 +45,4 @@ pub use optim::{Adam, Optimizer, Sgd};
 pub use optim_extra::{AdamW, RmsProp};
 pub use persist::{Checkpoint, CheckpointError};
 pub use sched::{ConstantLr, HalvingLr, LrSchedule, StepLr};
-pub use train::{grads_finite, params_finite, EarlyStopper, EpochStats};
+pub use train::{grad_norm, grads_finite, observe_epoch, params_finite, EarlyStopper, EpochStats};

@@ -83,6 +83,41 @@ pub fn params_finite(model: &mut dyn Layer) -> bool {
     model.params_and_grads().iter().all(|(p, _)| p.all_finite())
 }
 
+/// Global L2 norm of all gradient tensors of `model`, accumulated in `f64`
+/// so the value is independent of parameter-tensor iteration order at the
+/// `f32` level only (the order itself is fixed by the layer structure).
+pub fn grad_norm(model: &mut dyn Layer) -> f64 {
+    let sq: f64 = model
+        .params_and_grads()
+        .iter()
+        .flat_map(|(_, g)| g.as_slice())
+        .map(|&v| f64::from(v) * f64::from(v))
+        .sum();
+    sq.sqrt()
+}
+
+/// Publishes an epoch's statistics to the `pilote-obs` registry
+/// (`nn.train.*` gauges and the epoch counter).
+///
+/// `EpochStats::seconds` is **deliberately not** published: it is a host
+/// wall-clock measurement and must never enter deterministic telemetry
+/// (see `docs/OBSERVABILITY.md`). Pass the gradient norm of the epoch's
+/// last step (from [`grad_norm`]), or `None` when it was not computed.
+pub fn observe_epoch(stats: &EpochStats, last_grad_norm: Option<f64>) {
+    if !pilote_obs::enabled() {
+        return;
+    }
+    pilote_obs::counter("nn.train.epochs").inc();
+    pilote_obs::gauge("nn.train.loss").set(f64::from(stats.train_loss));
+    pilote_obs::gauge("nn.train.lr").set(f64::from(stats.lr));
+    if let Some(v) = stats.val_loss {
+        pilote_obs::gauge("nn.train.val_loss").set(f64::from(v));
+    }
+    if let Some(g) = last_grad_norm {
+        pilote_obs::gauge("nn.train.grad_norm").set(g);
+    }
+}
+
 /// Yields shuffled mini-batches of row indices `0..n`.
 ///
 /// The final batch may be smaller than `batch_size`; empty batches are
@@ -169,6 +204,48 @@ mod tests {
             pairs[0].0.as_mut_slice()[0] = f32::INFINITY;
         }
         assert!(!params_finite(&mut layer));
+    }
+
+    #[test]
+    fn grad_norm_matches_hand_computation() {
+        use crate::layer::Dense;
+        let mut rng = Rng64::new(6);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        {
+            let mut pairs = layer.params_and_grads();
+            for (_, g) in pairs.iter_mut() {
+                for v in g.as_mut_slice() {
+                    *v = 0.0;
+                }
+            }
+            pairs[0].1.as_mut_slice()[0] = 3.0;
+            pairs[0].1.as_mut_slice()[1] = 4.0;
+        }
+        assert!((grad_norm(&mut layer) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_epoch_publishes_gauges_not_seconds() {
+        let stats = EpochStats {
+            epoch: 0,
+            train_loss: 0.5,
+            val_loss: Some(0.25),
+            lr: 0.01,
+            seconds: 123.0, // host wall clock: must never reach the registry
+        };
+        let saved = pilote_obs::enabled();
+        pilote_obs::set_enabled(true);
+        observe_epoch(&stats, Some(2.0));
+        let snap = pilote_obs::snapshot();
+        assert!(snap.counters.get("nn.train.epochs").copied().unwrap_or(0) >= 1);
+        assert_eq!(snap.gauges.get("nn.train.loss").map(|g| g.last), Some(0.5));
+        assert_eq!(snap.gauges.get("nn.train.val_loss").map(|g| g.last), Some(0.25));
+        assert_eq!(snap.gauges.get("nn.train.grad_norm").map(|g| g.last), Some(2.0));
+        assert!(
+            !snap.gauges.keys().any(|k| k.contains("second")),
+            "wall-clock values must not be published"
+        );
+        pilote_obs::set_enabled(saved);
     }
 
     #[test]

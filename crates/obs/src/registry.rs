@@ -1,0 +1,386 @@
+//! The deterministic metrics registry: counters, gauges and fixed-bucket
+//! histograms, snapshotted into a serialisable, byte-stable [`Snapshot`].
+//!
+//! Metrics are addressed by name; handles are cheap `Arc` clones, so hot
+//! call sites can look a handle up once and keep it. All recording calls
+//! are gated on the [`crate::enabled`] kill switch.
+//!
+//! Determinism: counters are atomic adds (commutative — thread interleaving
+//! cannot change the final value); gauges and histograms must only be fed
+//! values that are themselves deterministic functions of the seed (losses,
+//! learning rates, modeled device seconds — never host wall-time). The
+//! snapshot orders every section by name (`BTreeMap`), so serialising it
+//! yields byte-identical JSON for identical recorded values.
+
+use crate::work;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically-increasing event counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. A no-op when telemetry is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct GaugeState {
+    last: f64,
+    min: f64,
+    max: f64,
+    count: u64,
+}
+
+/// A last-value gauge that also tracks min/max and the number of sets.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<Mutex<GaugeState>>);
+
+impl Gauge {
+    /// Records a value. A no-op when telemetry is disabled.
+    pub fn set(&self, value: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let mut s = self.0.lock().expect("gauge lock poisoned");
+        if s.count == 0 {
+            s.min = value;
+            s.max = value;
+        } else {
+            s.min = s.min.min(value);
+            s.max = s.max.max(value);
+        }
+        s.last = value;
+        s.count += 1;
+    }
+
+    /// Current state as a serialisable snapshot.
+    pub fn read(&self) -> GaugeSnapshot {
+        let s = self.0.lock().expect("gauge lock poisoned");
+        GaugeSnapshot { last: s.last, min: s.min, max: s.max, count: s.count }
+    }
+}
+
+/// Serialisable state of a [`Gauge`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Most recently set value.
+    pub last: f64,
+    /// Smallest value set so far.
+    pub min: f64,
+    /// Largest value set so far.
+    pub max: f64,
+    /// Number of sets.
+    pub count: u64,
+}
+
+#[derive(Debug)]
+struct HistogramState {
+    /// Upper bucket bounds, ascending; an implicit overflow bucket follows.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Vec<AtomicU64>,
+}
+
+/// A fixed-bucket histogram: bucket bounds are set at creation and never
+/// change, so two runs that observe the same values produce identical
+/// bucket counts regardless of observation order.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramState>);
+
+impl Histogram {
+    /// Records one observation. A no-op when telemetry is disabled.
+    pub fn observe(&self, value: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        let idx = self.0.bounds.iter().position(|&b| value <= b).unwrap_or(self.0.bounds.len());
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current state as a serialisable snapshot.
+    pub fn read(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            counts: self.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Serialisable state of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one entry per bound plus a trailing overflow
+    /// bucket.
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Per-kernel dispatch statistics (from [`crate::work`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Kernel invocations dispatched.
+    pub dispatches: u64,
+    /// Approximate floating-point operations across those dispatches.
+    pub flops: u64,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<Mutex<GaugeState>>>,
+    histograms: BTreeMap<String, Arc<HistogramState>>,
+}
+
+fn registry() -> &'static Mutex<RegistryInner> {
+    static REGISTRY: OnceLock<Mutex<RegistryInner>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(RegistryInner::default()))
+}
+
+/// Looks up (or creates) the counter `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry().lock().expect("registry lock poisoned");
+    let cell = reg.counters.entry(name.to_string()).or_default();
+    Counter(Arc::clone(cell))
+}
+
+/// Looks up (or creates) the gauge `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry().lock().expect("registry lock poisoned");
+    let cell = reg.gauges.entry(name.to_string()).or_default();
+    Gauge(Arc::clone(cell))
+}
+
+/// Looks up (or creates) the histogram `name` with the given ascending
+/// upper bucket `bounds`. An existing histogram keeps its original bounds;
+/// `bounds` is only used on first creation.
+pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+    assert!(
+        bounds.windows(2).all(|w| w[0] < w[1]),
+        "histogram bounds must be strictly ascending"
+    );
+    let mut reg = registry().lock().expect("registry lock poisoned");
+    let cell = reg.histograms.entry(name.to_string()).or_insert_with(|| {
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Arc::new(HistogramState { bounds: bounds.to_vec(), counts })
+    });
+    Histogram(Arc::clone(cell))
+}
+
+/// A byte-stable, serialisable view of every metric, kernel statistic and
+/// finished span. Sections are ordered by name; serialising the same
+/// recorded state twice yields identical bytes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Whether telemetry was enabled when the snapshot was taken. When
+    /// `false`, every other section is empty (the kill-switch contract).
+    pub enabled: bool,
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Tensor kernel dispatch statistics by kernel name.
+    pub kernels: BTreeMap<String, KernelStats>,
+    /// Finished root spans, in completion order.
+    pub spans: Vec<crate::span::SpanNode>,
+}
+
+/// Captures the current state of the registry, the kernel work counters
+/// and the finished spans. Returns an all-empty snapshot (with
+/// `enabled: false`) when the kill switch is off.
+pub fn snapshot() -> Snapshot {
+    if !crate::enabled() {
+        return Snapshot::default();
+    }
+    let reg = registry().lock().expect("registry lock poisoned");
+    let counters = reg
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let gauges = reg
+        .gauges
+        .iter()
+        .map(|(k, v)| {
+            let s = v.lock().expect("gauge lock poisoned");
+            (k.clone(), GaugeSnapshot { last: s.last, min: s.min, max: s.max, count: s.count })
+        })
+        .collect();
+    let histograms = reg
+        .histograms
+        .iter()
+        .map(|(k, v)| {
+            (
+                k.clone(),
+                HistogramSnapshot {
+                    bounds: v.bounds.clone(),
+                    counts: v.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                },
+            )
+        })
+        .collect();
+    drop(reg);
+    let kernels = work::kernel_totals()
+        .into_iter()
+        .filter(|(_, dispatches, _)| *dispatches > 0)
+        .map(|(name, dispatches, flops)| (name.to_string(), KernelStats { dispatches, flops }))
+        .collect();
+    Snapshot {
+        enabled: true,
+        counters,
+        gauges,
+        histograms,
+        kernels,
+        spans: crate::span::finished(),
+    }
+}
+
+/// Clears every metric, the kernel work totals, the span log and the span
+/// sequence counter. Call at the start of an instrumented run so the
+/// snapshot covers exactly that run.
+pub fn reset() {
+    let mut reg = registry().lock().expect("registry lock poisoned");
+    reg.counters.clear();
+    reg.gauges.clear();
+    reg.histograms.clear();
+    drop(reg);
+    work::reset_globals();
+    crate::span::reset();
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// Serialises registry-global tests (they share process state).
+    pub(crate) static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = crate::enabled();
+        crate::set_enabled(true);
+        reset();
+        counter("t.a").inc();
+        counter("t.a").add(4);
+        counter("t.b").inc();
+        let snap = snapshot();
+        assert_eq!(snap.counters["t.a"], 5);
+        assert_eq!(snap.counters["t.b"], 1);
+        reset();
+        crate::set_enabled(saved);
+    }
+
+    #[test]
+    fn gauge_tracks_min_max_last() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = crate::enabled();
+        crate::set_enabled(true);
+        reset();
+        let g = gauge("t.g");
+        g.set(2.0);
+        g.set(-1.0);
+        g.set(0.5);
+        let s = g.read();
+        assert_eq!(s.last, 0.5);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.count, 3);
+        reset();
+        crate::set_enabled(saved);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = crate::enabled();
+        crate::set_enabled(true);
+        reset();
+        let h = histogram("t.h", &[1.0, 10.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // bucket 0 (inclusive upper bound)
+        h.observe(5.0); // bucket 1
+        h.observe(99.0); // overflow
+        let s = h.read();
+        assert_eq!(s.counts, vec![2, 1, 1]);
+        assert_eq!(s.total(), 4);
+        reset();
+        crate::set_enabled(saved);
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_snapshot_is_empty() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = crate::enabled();
+        crate::set_enabled(true);
+        reset();
+        let c = counter("t.off");
+        crate::set_enabled(false);
+        c.inc();
+        gauge("t.off.g").set(1.0);
+        histogram("t.off.h", &[1.0]).observe(0.5);
+        let snap = snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty());
+        crate::set_enabled(true);
+        assert_eq!(c.get(), 0, "disabled counter must not move");
+        reset();
+        crate::set_enabled(saved);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = crate::enabled();
+        crate::set_enabled(true);
+        reset();
+        counter("t.rt.c").add(7);
+        gauge("t.rt.g").set(0.125);
+        histogram("t.rt.h", &[0.5, 1.5]).observe(1.0);
+        {
+            let _outer = crate::span("t.rt.outer");
+            let _inner = crate::span("t.rt.inner");
+        }
+        let snap = snapshot();
+        let json = serde_json::to_string(&snap).expect("serialise");
+        let back: Snapshot = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, snap);
+        reset();
+        crate::set_enabled(saved);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        histogram("t.bad", &[2.0, 1.0]);
+    }
+}

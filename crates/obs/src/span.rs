@@ -1,0 +1,221 @@
+//! Scoped trace spans with parent/child nesting.
+//!
+//! A span is opened with [`span`] and closed when its guard drops; spans
+//! opened while another span is open on the same thread become its
+//! children. Spans are **never stamped with host time**. Each records:
+//!
+//! * `seq_open` / `seq_close` — ticks of a global logical clock (one tick
+//!   per span open or close), which totally order the span tree;
+//! * `flops` — the kernel work (see [`crate::work`]) dispatched by this
+//!   thread while the span was open, a deterministic cost measure;
+//! * optional named `f64` attributes (e.g. the modeled device seconds a
+//!   `pilote-magneto` update charged to the virtual clock).
+//!
+//! Spans are intended for orchestration code (training phases, edge
+//! updates), which in this workspace runs on a single thread per
+//! deployment; kernel worker threads never open spans. Under that
+//! discipline the span tree is byte-identical across runs and thread
+//! counts.
+//!
+//! ```
+//! use pilote_obs as obs;
+//! obs::set_enabled(true);
+//! obs::reset();
+//! {
+//!     let update = obs::span("update");
+//!     update.annotate("samples", 25.0);
+//!     let _train = obs::span("train");
+//! } // guards drop: "train" nests under "update"
+//! let spans = obs::snapshot().spans;
+//! assert_eq!(spans.len(), 1);
+//! assert_eq!(spans[0].children[0].name, "train");
+//! obs::reset();
+//! ```
+
+use crate::work;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One finished span (and, recursively, its finished children).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Logical-clock tick at open.
+    pub seq_open: u64,
+    /// Logical-clock tick at close.
+    pub seq_close: u64,
+    /// Kernel flops dispatched by the opening thread while the span was
+    /// open (includes children).
+    pub flops: u64,
+    /// Named numeric attributes.
+    pub attrs: BTreeMap<String, f64>,
+    /// Child spans, in completion order.
+    pub children: Vec<SpanNode>,
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static FINISHED: Mutex<Vec<SpanNode>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Open spans on this thread, outermost first. While open, a node's
+    /// `flops` field holds the thread-flop reading at open time.
+    static STACK: RefCell<Vec<SpanNode>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span; it closes (and is recorded) when the returned guard
+/// drops. Returns an inert guard when telemetry is disabled.
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { active: false };
+    }
+    let node = SpanNode {
+        name: name.to_string(),
+        seq_open: SEQ.fetch_add(1, Ordering::Relaxed),
+        seq_close: 0,
+        flops: work::thread_flops(),
+        attrs: BTreeMap::new(),
+        children: Vec::new(),
+    };
+    STACK.with(|s| s.borrow_mut().push(node));
+    SpanGuard { active: true }
+}
+
+/// Closes its span on drop. `!Send` by construction (spans belong to the
+/// thread that opened them).
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Attaches a named numeric attribute to the innermost open span on
+    /// this thread (this guard's span, when called before any child span
+    /// is opened).
+    pub fn annotate(&self, key: &str, value: f64) {
+        if !self.active {
+            return;
+        }
+        STACK.with(|s| {
+            if let Some(top) = s.borrow_mut().last_mut() {
+                top.attrs.insert(key.to_string(), value);
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let Some(mut node) = stack.pop() else {
+                return; // reset() cleared the stack mid-span
+            };
+            node.seq_close = SEQ.fetch_add(1, Ordering::Relaxed);
+            node.flops = work::thread_flops().wrapping_sub(node.flops);
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => FINISHED.lock().expect("span log poisoned").push(node),
+            }
+        });
+    }
+}
+
+/// Finished root spans recorded so far, in completion order.
+pub fn finished() -> Vec<SpanNode> {
+    FINISHED.lock().expect("span log poisoned").clone()
+}
+
+/// Clears the finished-span log, the calling thread's open-span stack and
+/// the logical clock. Called by [`crate::reset`].
+pub(crate) fn reset() {
+    FINISHED.lock().expect("span log poisoned").clear();
+    STACK.with(|s| s.borrow_mut().clear());
+    SEQ.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_sequence_numbers() {
+        let _guard = crate::registry::tests::LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = crate::enabled();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let outer = span("outer");
+            outer.annotate("k", 2.5);
+            {
+                let _inner = span("inner");
+                work::record(work::KernelKind::MatMul, 64);
+            }
+            {
+                let _second = span("second");
+            }
+        }
+        let roots = finished();
+        assert_eq!(roots.len(), 1);
+        let outer = &roots[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.attrs["k"], 2.5);
+        assert_eq!(outer.children.len(), 2);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[1].name, "second");
+        // The logical clock orders opens/closes: outer opens first, closes
+        // last; the span's work includes its children's.
+        assert_eq!(outer.seq_open, 0);
+        assert!(outer.seq_close > outer.children[1].seq_close);
+        assert_eq!(outer.children[0].flops, 64);
+        assert!(outer.flops >= 64);
+        crate::reset();
+        crate::set_enabled(saved);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = crate::registry::tests::LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = crate::enabled();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::set_enabled(false);
+        {
+            let g = span("ghost");
+            g.annotate("x", 1.0);
+        }
+        crate::set_enabled(true);
+        assert!(finished().is_empty());
+        crate::reset();
+        crate::set_enabled(saved);
+    }
+
+    #[test]
+    fn span_node_serde_round_trip() {
+        let node = SpanNode {
+            name: "n".into(),
+            seq_open: 3,
+            seq_close: 9,
+            flops: 1234,
+            attrs: [("device_seconds".to_string(), 0.25)].into_iter().collect(),
+            children: vec![SpanNode {
+                name: "c".into(),
+                seq_open: 4,
+                seq_close: 5,
+                flops: 10,
+                attrs: BTreeMap::new(),
+                children: Vec::new(),
+            }],
+        };
+        let json = serde_json::to_string(&node).expect("serialise");
+        let back: SpanNode = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, node);
+    }
+}

@@ -10,6 +10,7 @@ use crate::parallel;
 use crate::reduce::Axis;
 use crate::tensor::Tensor;
 use crate::Result;
+use pilote_obs::work::{self, KernelKind};
 
 /// Per-row squared L2 norms of a rank-2 tensor's data, band-parallel over
 /// rows with the serial per-row f32 chain.
@@ -40,6 +41,10 @@ impl Tensor {
                 op: "pairwise_sq_dists",
             });
         }
+        // Work beyond the inner `matmul_t` (which records itself): the two
+        // row-norm passes plus the combine/clamp sweep over [m, n].
+        let (mm, nn, dd) = (self.rows() as u64, other.rows() as u64, self.cols() as u64);
+        work::record(KernelKind::PairwiseDist, 2 * (mm + nn) * dd + 3 * mm * nn);
         let cross = self.matmul_t(other)?; // [m, n]
         let x_sq = row_sq_norms(self.as_slice(), self.rows(), self.cols());
         let y_sq = row_sq_norms(other.as_slice(), other.rows(), other.cols());

@@ -16,6 +16,7 @@ use crate::error::TensorError;
 use crate::parallel;
 use crate::tensor::Tensor;
 use crate::Result;
+use pilote_obs::work::{self, KernelKind};
 
 /// `k`-blocking factor: the live `KB × n` slice of the right-hand side
 /// stays resident in L1/L2 across a band of output rows.
@@ -71,6 +72,9 @@ impl Tensor {
                 op: "matmul",
             });
         }
+        // Shape-derived work estimate, recorded on the dispatching thread
+        // before any band fan-out (see docs/OBSERVABILITY.md).
+        work::record(KernelKind::MatMul, 2 * (m as u64) * (n as u64) * (k as u64));
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -112,6 +116,7 @@ impl Tensor {
                 op: "matmul_t",
             });
         }
+        work::record(KernelKind::MatMulT, 2 * (m as u64) * (n as u64) * (k as u64));
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -155,6 +160,7 @@ impl Tensor {
                 op: "t_matmul",
             });
         }
+        work::record(KernelKind::TMatMul, 2 * (m as u64) * (n as u64) * (k as u64));
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -202,6 +208,7 @@ impl Tensor {
             });
         }
         let (m, k) = (self.rows(), self.cols());
+        work::record(KernelKind::MatVec, 2 * (m as u64) * (k as u64));
         let a = self.as_slice();
         let x = v.as_slice();
         let mut out = vec![0.0f32; m];

@@ -10,6 +10,9 @@
 #   6. the fault matrix (docs/RESILIENCE.md): the fault property suite
 #      under several fixed fault seeds, plus the end-to-end `repro faults`
 #      determinism check (ignored in the normal suite — two full sweeps)
+#   7. the observability gate (docs/OBSERVABILITY.md): no std::time in the
+#      telemetry/virtual-clock paths, `repro obs` byte-identical at
+#      PILOTE_THREADS 1 vs 4, and a PILOTE_OBS=0 kill-switch run
 #
 # Usage: ./scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -40,5 +43,30 @@ done
 
 step "fault matrix: repro faults determinism (ignored test, release)"
 cargo test --release -p pilote-bench exp_faults -- --ignored
+
+# --- observability gate (docs/OBSERVABILITY.md) ---------------------------
+
+step "obs: no host clock in the telemetry / virtual-clock paths"
+# crates/obs must not import std::time at all; magneto's edge loop must not
+# measure with Instant (device time is modeled from dispatched flops).
+if grep -rn 'use std::time\|Instant' crates/obs/src/; then
+  echo "obs gate: crates/obs must not touch std::time" >&2; exit 1
+fi
+if grep -n 'use std::time\|Instant' crates/magneto/src/edge.rs; then
+  echo "obs gate: magneto::edge must not measure host time" >&2; exit 1
+fi
+
+step "obs: repro obs byte-identical at PILOTE_THREADS 1 vs 4"
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+PILOTE_THREADS=1 cargo run --release -q -p pilote-bench --bin repro -- \
+  obs --quick --out "$obs_dir/t1"
+PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
+  obs --quick --out "$obs_dir/t4"
+cmp "$obs_dir/t1/BENCH_obs.json" "$obs_dir/t4/BENCH_obs.json"
+
+step "obs: PILOTE_OBS=0 kill-switch run"
+PILOTE_OBS=0 cargo run --release -q -p pilote-bench --bin repro -- \
+  obs --quick --out "$obs_dir/off"
 
 printf '\nci.sh: all gates passed\n'
