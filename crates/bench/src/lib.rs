@@ -23,6 +23,7 @@
 //! repro kernels        # parallel kernel layer thread-scaling (BENCH_kernels.json)
 //! repro faults         # resilience sweep under injected faults (BENCH_faults.json)
 //! repro obs            # deterministic telemetry snapshot (BENCH_obs.json)
+//! repro fleet          # multi-device fleet orchestration (BENCH_fleet.json)
 //! ```
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -34,6 +35,7 @@ pub mod exp_fig4;
 pub mod exp_fig5;
 pub mod exp_fig6;
 pub mod exp_fig7;
+pub mod exp_fleet;
 pub mod exp_kernels;
 pub mod exp_obs;
 pub mod exp_table2;

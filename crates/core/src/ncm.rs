@@ -115,6 +115,26 @@ impl NcmClassifier {
         let d = self.distances(embeddings)?;
         Ok(d.argmin_rows()?.into_iter().map(|r| self.labels[r]).collect())
     }
+
+    /// Classifies each embedding row, returning `(label, squared distance
+    /// to the winning prototype)` per row.
+    ///
+    /// One [`Tensor::pairwise_sq_dists`] call covers the whole batch, and
+    /// every output row is a pure function of its input row, so the result
+    /// is bitwise-identical to classifying each row in its own `[1, d]`
+    /// call — the batched-serving contract of `docs/FLEET.md`.
+    pub fn classify_with_distances(
+        &self,
+        embeddings: &Tensor,
+    ) -> Result<Vec<(usize, f32)>, TensorError> {
+        let d = self.distances(embeddings)?;
+        let winners = d.argmin_rows()?;
+        Ok(winners
+            .into_iter()
+            .enumerate()
+            .map(|(row, col)| (self.labels[col], d.at(row, col)))
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +213,27 @@ mod tests {
         }
         let x = Tensor::randn([20, 3], 0.0, 2.0, &mut rng);
         assert_eq!(a.classify(&x).unwrap(), b.classify(&x).unwrap());
+    }
+
+    #[test]
+    fn classify_with_distances_matches_per_row_calls() {
+        let mut rng = Rng64::new(9);
+        let mut clf = NcmClassifier::new(4);
+        for label in [3, 11, 4] {
+            clf.set_prototype(label, &Tensor::randn([4], 0.0, 1.0, &mut rng)).unwrap();
+        }
+        let x = Tensor::randn([13, 4], 0.0, 2.0, &mut rng);
+        let batched = clf.classify_with_distances(&x).unwrap();
+        assert_eq!(batched.len(), 13);
+        for (i, &(label, dist)) in batched.iter().enumerate() {
+            let row = Tensor::vector(x.row(i)).reshape([1, 4]).unwrap();
+            let single = clf.classify_with_distances(&row).unwrap();
+            assert_eq!(single.len(), 1);
+            assert_eq!(single[0].0, label);
+            // Bitwise, not approximate: the batched kernel computes each
+            // output row independently.
+            assert_eq!(single[0].1.to_bits(), dist.to_bits());
+        }
     }
 
     #[test]

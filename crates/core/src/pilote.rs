@@ -396,6 +396,12 @@ pub struct Pilote {
     support: SupportSet,
     classifier: NcmClassifier,
     rng: Rng64,
+    /// Monotonic counter bumped every time the classifier is rebuilt
+    /// ([`Pilote::refresh_prototypes`]) — every commit point of the model
+    /// lifecycle (pre-train, incremental update, rollback, federated
+    /// install) ends there, so external prototype caches can compare
+    /// generations instead of tensors to detect staleness.
+    generation: u64,
 }
 
 impl Pilote {
@@ -432,6 +438,7 @@ impl Pilote {
             support,
             classifier: NcmClassifier::new(0),
             rng,
+            generation: 0,
         };
         model.refresh_prototypes()?;
         Ok((model, report))
@@ -440,7 +447,8 @@ impl Pilote {
     /// Builds a model directly from parts (used by the baselines to share
     /// one pre-trained starting point across comparisons).
     pub fn from_parts(cfg: PiloteConfig, net: EmbeddingNet, support: SupportSet, rng: Rng64) -> Result<Pilote, TensorError> {
-        let mut model = Pilote { cfg, net, support, classifier: NcmClassifier::new(0), rng };
+        let mut model =
+            Pilote { cfg, net, support, classifier: NcmClassifier::new(0), rng, generation: 0 };
         model.refresh_prototypes()?;
         Ok(model)
     }
@@ -453,6 +461,7 @@ impl Pilote {
             support: self.support.clone(),
             classifier: self.classifier.clone(),
             rng: self.rng.clone(),
+            generation: self.generation,
         }
     }
 
@@ -545,7 +554,8 @@ impl Pilote {
     }
 
     /// Recomputes every class prototype from the support set under the
-    /// current embedding.
+    /// current embedding, and bumps the model [`Pilote::generation`] so
+    /// prototype caches built against the previous classifier invalidate.
     pub fn refresh_prototypes(&mut self) -> Result<(), TensorError> {
         let mut clf = NcmClassifier::new(self.cfg.net.embedding_dim);
         for label in self.support.labels() {
@@ -554,13 +564,34 @@ impl Pilote {
             clf.set_prototype_from(label, &embeddings)?;
         }
         self.classifier = clf;
+        self.generation = self.generation.wrapping_add(1);
         Ok(())
+    }
+
+    /// The model generation: incremented on every
+    /// [`Pilote::refresh_prototypes`]. Two equal generations on the same
+    /// model guarantee the classifier (labels and prototype tensors) is
+    /// unchanged, which is what serving-side prototype caches key on.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Classifies a `[n, input_dim]` feature batch.
     pub fn predict(&mut self, features: &Tensor) -> Result<Vec<usize>, TensorError> {
         let embeddings = self.net.embed(features);
         self.classifier.classify(&embeddings)
+    }
+
+    /// Batched serving entry point: one embedding forward and one pairwise
+    /// distance kernel for the whole `[n, input_dim]` batch, returning
+    /// `(label, squared distance to the winning prototype)` per row.
+    ///
+    /// Bitwise-identical to classifying each row in its own `[1, d]` call
+    /// (every kernel computes each output row independently of its batch
+    /// neighbours — see `docs/FLEET.md`).
+    pub fn classify_batch(&mut self, features: &Tensor) -> Result<Vec<(usize, f32)>, TensorError> {
+        let embeddings = self.net.embed(features);
+        self.classifier.classify_with_distances(&embeddings)
     }
 
     /// Accuracy on a labelled dataset.
@@ -755,6 +786,37 @@ mod tests {
             let _ = train_embedding(&mut net, &old, &is_new, &cfg, opts, &mut rng);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn generation_bumps_at_every_commit_point() {
+        let (old, new, _) = tiny_scenario();
+        let cfg = PiloteConfig::fast_test(9);
+        let (mut model, _) = Pilote::pretrain(cfg, &old, 10, SelectionStrategy::Herding).unwrap();
+        let g0 = model.generation();
+        assert!(g0 > 0, "pretrain ends in refresh_prototypes");
+        model.learn_new_class(&new, 10).unwrap();
+        assert!(model.generation() > g0, "update must bump the generation");
+        let g1 = model.generation();
+        model.refresh_prototypes().unwrap();
+        assert_eq!(model.generation(), g1 + 1);
+    }
+
+    #[test]
+    fn classify_batch_matches_predict_and_per_row() {
+        let (old, _, test) = tiny_scenario();
+        let cfg = PiloteConfig::fast_test(10);
+        let (mut model, _) = Pilote::pretrain(cfg, &old, 10, SelectionStrategy::Herding).unwrap();
+        let batch = test.features.slice_rows(0, 9).unwrap();
+        let batched = model.classify_batch(&batch).unwrap();
+        let labels: Vec<usize> = batched.iter().map(|&(l, _)| l).collect();
+        assert_eq!(labels, model.predict(&batch).unwrap());
+        for (i, &(label, dist)) in batched.iter().enumerate() {
+            let row = Tensor::vector(batch.row(i)).reshape([1, batch.cols()]).unwrap();
+            let single = model.classify_batch(&row).unwrap();
+            assert_eq!(single[0].0, label);
+            assert_eq!(single[0].1.to_bits(), dist.to_bits(), "row {i} not bitwise equal");
+        }
     }
 
     #[test]

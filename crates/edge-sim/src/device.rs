@@ -55,6 +55,20 @@ impl DeviceProfile {
         }
     }
 
+    /// A deterministic heterogeneous roster of `n` devices, cycling
+    /// through the three capability classes (flagship, budget, wearable)
+    /// with index-suffixed names — the fleet experiments' device mix.
+    pub fn roster(n: usize) -> Vec<DeviceProfile> {
+        let base = [Self::flagship_phone(), Self::budget_phone(), Self::wearable()];
+        (0..n)
+            .map(|i| {
+                let mut profile = base[i % base.len()].clone();
+                profile.name = format!("{}-{i}", profile.name);
+                profile
+            })
+            .collect()
+    }
+
     /// Whether a payload of `bytes` fits in the device's storage budget.
     pub fn fits_storage(&self, bytes: u64) -> bool {
         bytes <= self.storage_bytes
@@ -122,6 +136,22 @@ mod tests {
         assert_eq!(f.seconds_for_flops(flops), 4.0);
         assert_eq!(w.seconds_for_flops(flops), 80.0);
         assert_eq!(f.seconds_for_flops(0), 0.0);
+    }
+
+    #[test]
+    fn roster_is_heterogeneous_and_deterministic() {
+        let roster = DeviceProfile::roster(8);
+        assert_eq!(roster.len(), 8);
+        // All three capability classes appear and names are unique.
+        let factors: std::collections::BTreeSet<u64> =
+            roster.iter().map(|p| p.cpu_factor as u64).collect();
+        assert_eq!(factors.len(), 3);
+        let names: std::collections::BTreeSet<&str> =
+            roster.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names.len(), 8);
+        assert_eq!(roster, DeviceProfile::roster(8));
+        assert_eq!(roster[0].cpu_factor, DeviceProfile::flagship_phone().cpu_factor);
+        assert_eq!(roster[2].cpu_factor, DeviceProfile::wearable().cpu_factor);
     }
 
     #[test]

@@ -24,12 +24,38 @@ pub struct Deployment {
     pub config: PiloteConfig,
 }
 
+/// A deployment payload that could not be serialised for the wire.
+///
+/// Carries the encoder's message rather than the source error so the type
+/// stays `Clone + PartialEq` (matching [`crate::edge::EdgeError`], which
+/// wraps it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageError {
+    /// What the JSON encoder reported.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PackageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deployment payload not serialisable: {}", self.detail)
+    }
+}
+
+impl std::error::Error for PackageError {}
+
 impl Deployment {
     /// Wire size of the deployment payload in bytes (JSON encoding — the
     /// repo's cloud→edge format; a production system would use a binary
     /// codec, making this an upper bound).
-    pub fn wire_bytes(&self) -> u64 {
-        serde_json::to_string(self).expect("serialisable").len() as u64
+    ///
+    /// # Errors
+    /// Returns [`PackageError`] when the payload cannot be serialised
+    /// (e.g. non-finite statistics in the normaliser), instead of the
+    /// `expect("serialisable")` panic this used to hide behind.
+    pub fn wire_bytes(&self) -> Result<u64, PackageError> {
+        serde_json::to_string(self)
+            .map(|body| body.len() as u64)
+            .map_err(|e| PackageError { detail: e.to_string() })
     }
 }
 
@@ -100,7 +126,7 @@ mod tests {
         assert_eq!(deployment.support.labels().len(), 2);
         assert_eq!(deployment.support.len(), 20);
         assert!(deployment.checkpoint.param_count() > 0);
-        assert!(deployment.wire_bytes() > 1000);
+        assert!(deployment.wire_bytes().expect("serialisable") > 1000);
     }
 
     #[test]

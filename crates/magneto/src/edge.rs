@@ -7,8 +7,9 @@
 //! degrade the device to its frozen pre-trained deployment — it keeps
 //! classifying the old classes rather than going dark.
 
-use crate::cloud::Deployment;
+use crate::cloud::{Deployment, PackageError};
 use crate::events::{EventKind, EventLog};
+use crate::federated::FederatedError;
 use pilote_core::{EmbeddingNet, NcmClassifier, Pilote, SupportSet, UpdateOutcome};
 use pilote_edge_sim::faults::{FlakyLink, LinkFault, RetryPolicy};
 use pilote_edge_sim::{DeviceProfile, LinkModel};
@@ -37,6 +38,10 @@ pub enum EdgeError {
         /// The last fault observed.
         last: LinkFault,
     },
+    /// The deployment payload could not be serialised for the wire.
+    Package(PackageError),
+    /// A federated aggregation step failed.
+    Federated(FederatedError),
 }
 
 impl std::fmt::Display for EdgeError {
@@ -48,6 +53,8 @@ impl std::fmt::Display for EdgeError {
             EdgeError::Link { attempts, last } => {
                 write!(f, "transfer failed after {attempts} attempts: {last}")
             }
+            EdgeError::Package(e) => write!(f, "package error: {e}"),
+            EdgeError::Federated(e) => write!(f, "federated error: {e}"),
         }
     }
 }
@@ -59,6 +66,8 @@ impl std::error::Error for EdgeError {
             EdgeError::Preprocess(e) => Some(e),
             EdgeError::Checkpoint(e) => Some(e),
             EdgeError::Link { .. } => None,
+            EdgeError::Package(e) => Some(e),
+            EdgeError::Federated(e) => Some(e),
         }
     }
 }
@@ -78,6 +87,18 @@ impl From<PreprocessError> for EdgeError {
 impl From<CheckpointError> for EdgeError {
     fn from(e: CheckpointError) -> Self {
         EdgeError::Checkpoint(e)
+    }
+}
+
+impl From<PackageError> for EdgeError {
+    fn from(e: PackageError) -> Self {
+        EdgeError::Package(e)
+    }
+}
+
+impl From<FederatedError> for EdgeError {
+    fn from(e: FederatedError) -> Self {
+        EdgeError::Federated(e)
     }
 }
 
@@ -123,6 +144,22 @@ pub struct EdgeDevice {
     /// Consecutive failed incremental updates.
     update_failures: u32,
     degraded: bool,
+    /// Serving-side prototype cache: a snapshot of the NCM classifier
+    /// keyed by the model generation it was built from. Batched serving
+    /// classifies against this snapshot; any committed model change
+    /// (incremental update, rollback, degradation, federated install)
+    /// bumps the generation and invalidates it lazily on the next serve.
+    serve_cache: Option<ServeCache>,
+    /// Cache rebuilds performed by [`EdgeDevice::serve_batch`] so far.
+    cache_rebuilds: u64,
+}
+
+/// The cached classifier snapshot behind [`EdgeDevice::serve_batch`].
+struct ServeCache {
+    /// [`pilote_core::Pilote::generation`] the snapshot was taken at.
+    generation: u64,
+    /// Clone of the model's classifier at that generation.
+    classifier: NcmClassifier,
 }
 
 impl EdgeDevice {
@@ -134,7 +171,7 @@ impl EdgeDevice {
         link: &LinkModel,
     ) -> Result<EdgeDevice, EdgeError> {
         let mut log = EventLog::new();
-        log.advance(link.transfer_seconds(deployment.wire_bytes()));
+        log.advance(link.transfer_seconds(deployment.wire_bytes()?));
         Self::build(profile, deployment, log)
     }
 
@@ -148,7 +185,7 @@ impl EdgeDevice {
         flaky: &mut FlakyLink,
         policy: &RetryPolicy,
     ) -> Result<EdgeDevice, EdgeError> {
-        let payload = deployment.wire_bytes();
+        let payload = deployment.wire_bytes()?;
         let mut log = EventLog::new();
         let mut last = None;
         let mut attempts = 0usize;
@@ -188,7 +225,7 @@ impl EdgeDevice {
         deployment: &Deployment,
         mut log: EventLog,
     ) -> Result<EdgeDevice, EdgeError> {
-        let payload = deployment.wire_bytes();
+        let payload = deployment.wire_bytes()?;
         let mut rng = Rng64::new(deployment.config.seed ^ 0xed6e);
         let mut net = EmbeddingNet::new(deployment.config.net.clone(), &mut rng);
         deployment.checkpoint.restore(net.layers_mut())?;
@@ -212,6 +249,8 @@ impl EdgeDevice {
             baseline,
             update_failures: 0,
             degraded: false,
+            serve_cache: None,
+            cache_rebuilds: 0,
         })
     }
 
@@ -426,6 +465,73 @@ impl EdgeDevice {
         Ok(self.model.predict(features)?)
     }
 
+    /// Serves a pre-extracted feature batch (`[n, 28]`) through the
+    /// prototype cache: one embedding forward and one distance kernel for
+    /// the whole batch, classified against a cached snapshot of the NCM
+    /// classifier.
+    ///
+    /// Every kernel is band-parallel over output **rows**, with each row a
+    /// pure serial function of its input row, so the outcomes here are
+    /// bitwise identical to classifying each window on its own (the
+    /// [`EdgeDevice::stream`] path) — see `docs/FLEET.md` for the contract.
+    ///
+    /// The cache is keyed by [`Pilote::generation`], which bumps at every
+    /// model commit point (incremental update, rollback, degradation,
+    /// federated install), so a stale snapshot is rebuilt lazily on the
+    /// next serve and can never be consulted.
+    pub fn serve_batch(&mut self, features: &Tensor) -> Result<Vec<InferenceOutcome>, EdgeError> {
+        if features.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        let generation = self.model.generation();
+        let cache_rebuilt = !matches!(
+            &self.serve_cache,
+            Some(cache) if cache.generation == generation
+        );
+        if cache_rebuilt {
+            self.serve_cache = Some(ServeCache {
+                generation,
+                classifier: self.model.classifier().clone(),
+            });
+            self.cache_rebuilds += 1;
+        }
+        let span = pilote_obs::span("edge.serve_batch");
+        span.annotate("windows", features.rows() as f64);
+        // Modeled device time from shape-derived kernel work, as in
+        // `stream` — never host wall time.
+        let flops_before = work::thread_flops();
+        let embeddings = self.model.embed(features);
+        let labelled = match &self.serve_cache {
+            Some(cache) => cache.classifier.classify_with_distances(&embeddings)?,
+            // The cache was installed above; classifying against the live
+            // model is the same snapshot at this generation.
+            None => self.model.classifier().classify_with_distances(&embeddings)?,
+        };
+        let flops = work::thread_flops().wrapping_sub(flops_before);
+        let device_seconds = self.profile.seconds_for_flops(flops);
+        span.annotate("device_seconds", device_seconds);
+        drop(span);
+        self.log.advance(device_seconds);
+        self.log.record(EventKind::BatchServed {
+            windows: features.rows() as u64,
+            cache_rebuilt,
+        });
+        Ok(labelled
+            .into_iter()
+            .map(|(predicted, distance)| InferenceOutcome { predicted, distance })
+            .collect())
+    }
+
+    /// Prototype-cache rebuilds performed by [`EdgeDevice::serve_batch`].
+    pub fn cache_rebuilds(&self) -> u64 {
+        self.cache_rebuilds
+    }
+
+    /// Model generation the serving cache was built at, if one exists.
+    pub fn serve_cache_generation(&self) -> Option<u64> {
+        self.serve_cache.as_ref().map(|c| c.generation)
+    }
+
     /// Accuracy on a labelled feature dataset.
     pub fn accuracy(&mut self, data: &Dataset) -> Result<f32, EdgeError> {
         Ok(self.model.accuracy(data)?)
@@ -439,6 +545,18 @@ impl EdgeDevice {
     /// Records a federated round in the log.
     pub fn note_federated_round(&mut self, participants: usize) {
         self.log.record(EventKind::FederatedRound { participants });
+    }
+
+    /// Appends an event to this device's log at the current virtual time
+    /// (used by the federated coordinator and fleet orchestration).
+    pub fn record_event(&mut self, kind: EventKind) {
+        self.log.record(kind);
+    }
+
+    /// Advances this device's virtual clock (e.g. a fleet charging link
+    /// transfer time for a federated round's parameter exchange).
+    pub fn advance_clock(&mut self, seconds: f64) {
+        self.log.advance(seconds);
     }
 }
 
@@ -712,6 +830,74 @@ mod tests {
             "virtual-time trace changed under host load"
         );
         assert!(quiet.log().now() > 0.0);
+    }
+
+    /// The batched serving contract: one `serve_batch` over n windows must
+    /// be **bitwise** identical — labels and distances — to n single-window
+    /// serves, because every kernel is band-parallel over output rows.
+    #[test]
+    fn serve_batch_is_bitwise_identical_to_per_window_serving() {
+        let (mut batched, mut sim, norm) = deployed_device();
+        let (mut single, _, _) = deployed_device();
+        let raw = sim.raw_dataset(&[(Activity::Walk, 12)]);
+        let features = norm.transform(&extract_batch(&raw).expect("features")).expect("norm");
+
+        let all = batched.serve_batch(&features).expect("serve");
+        assert_eq!(all.len(), features.rows());
+        for (i, outcome) in all.iter().enumerate() {
+            let row = Tensor::vector(features.row(i)).reshape([1, FEATURE_DIM]).expect("row");
+            let one = single.serve_batch(&row).expect("serve one");
+            assert_eq!(one.len(), 1);
+            assert_eq!(one[0].predicted, outcome.predicted, "window {i}");
+            assert_eq!(
+                one[0].distance.to_bits(),
+                outcome.distance.to_bits(),
+                "window {i}: batched distance must be bitwise equal"
+            );
+        }
+        // One batch = one cache build + one BatchServed event for n windows.
+        assert_eq!(batched.cache_rebuilds(), 1);
+        assert_eq!(batched.log().served_count(), features.rows() as u64);
+        // The per-window device rebuilt once too: generation never moved.
+        assert_eq!(single.cache_rebuilds(), 1);
+    }
+
+    /// Cache coherence: every committed model change (update, rollback,
+    /// degradation) bumps the generation and forces a rebuild on the next
+    /// serve; serving twice at the same generation reuses the snapshot.
+    #[test]
+    fn serve_cache_rebuilds_only_when_generation_moves() {
+        let (mut device, mut sim, norm) = deployed_device();
+        let raw = sim.raw_dataset(&[(Activity::Run, 25)]);
+        let features = norm.transform(&extract_batch(&raw).expect("features")).expect("norm");
+
+        device.serve_batch(&features).expect("serve");
+        device.serve_batch(&features).expect("serve again");
+        assert_eq!(device.cache_rebuilds(), 1, "same generation must reuse the cache");
+        let g0 = device.serve_cache_generation().expect("cache built");
+
+        // A completed update commits through refresh_prototypes → new
+        // generation → rebuild.
+        for i in 0..features.rows() {
+            device.label_sample(Activity::Run.label(), Tensor::vector(features.row(i)));
+        }
+        device.update(20).expect("update");
+        let served = device.serve_batch(&features).expect("serve after update");
+        assert_eq!(device.cache_rebuilds(), 2, "update must invalidate the cache");
+        assert!(device.serve_cache_generation().expect("cache") > g0);
+        // The rebuilt cache reflects the new class.
+        assert!(served.iter().any(|o| o.predicted == Activity::Run.label()));
+
+        // A rollback also commits (restores the snapshot) → rebuild again.
+        for i in 0..5 {
+            device.label_sample(Activity::Drive.label(), Tensor::vector(features.row(i)));
+        }
+        let status = device
+            .update_faulted(20, Some(pilote_core::UpdateStage::Trained))
+            .expect("faulted update");
+        assert_eq!(status, UpdateStatus::RolledBack);
+        device.serve_batch(&features).expect("serve after rollback");
+        assert_eq!(device.cache_rebuilds(), 3, "rollback must invalidate the cache");
     }
 
     #[test]

@@ -39,9 +39,26 @@ pub enum EventKind {
         /// measurement, which would make traces vary with host load).
         seconds: f64,
     },
+    /// A batch of pre-extracted feature windows was classified through the
+    /// batched serving path (one embedding forward + one distance kernel
+    /// for the whole batch — see `docs/FLEET.md`).
+    BatchServed {
+        /// Windows classified in this batch.
+        windows: u64,
+        /// Whether the prototype cache had to be rebuilt (the model
+        /// generation moved since the last serve).
+        cache_rebuilt: bool,
+    },
     /// A federated round was applied.
     FederatedRound {
         /// Number of participating devices.
+        participants: usize,
+    },
+    /// This device was excluded from a federated round's average because
+    /// it had no support exemplars (a zero-sample vote would previously be
+    /// inflated to weight 1). It still received the merged model.
+    FederatedExcluded {
+        /// Devices that did contribute to the round.
         participants: usize,
     },
     /// A cloud→edge transfer attempt failed and will be retried.
@@ -86,7 +103,9 @@ impl EventKind {
             EventKind::DriftDetected { .. } => "edge.drift_detected",
             EventKind::UpdateStarted { .. } => "edge.update_started",
             EventKind::UpdateFinished { .. } => "edge.update_finished",
+            EventKind::BatchServed { .. } => "edge.batch_served",
             EventKind::FederatedRound { .. } => "edge.federated_round",
+            EventKind::FederatedExcluded { .. } => "edge.federated_excluded",
             EventKind::TransferRetried { .. } => "edge.transfer_retried",
             EventKind::TransferAborted { .. } => "edge.transfer_aborted",
             EventKind::WindowsQuarantined { .. } => "edge.windows_quarantined",
@@ -135,7 +154,8 @@ impl EventLog {
     pub fn record(&mut self, kind: EventKind) {
         if pilote_obs::enabled() {
             match &kind {
-                EventKind::WindowsQuarantined { windows } => {
+                EventKind::WindowsQuarantined { windows }
+                | EventKind::BatchServed { windows, .. } => {
                     pilote_obs::counter(kind.metric_name()).add(*windows);
                 }
                 _ => pilote_obs::counter(kind.metric_name()).inc(),
@@ -155,6 +175,17 @@ impl EventLog {
             .iter()
             .filter(|e| matches!(e.kind, EventKind::Inference { .. }))
             .count()
+    }
+
+    /// Total windows classified through the batched serving path.
+    pub fn served_count(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::BatchServed { windows, .. } => windows,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Number of completed updates.
@@ -262,6 +293,16 @@ mod tests {
     }
 
     #[test]
+    fn served_count_sums_batch_windows() {
+        let mut log = EventLog::new();
+        log.record(EventKind::BatchServed { windows: 5, cache_rebuilt: true });
+        log.record(EventKind::Inference { predicted: 1 });
+        log.record(EventKind::BatchServed { windows: 3, cache_rebuilt: false });
+        assert_eq!(log.served_count(), 8);
+        assert_eq!(log.inference_count(), 1);
+    }
+
+    #[test]
     fn every_event_kind_has_a_unique_metric_name() {
         let kinds = [
             EventKind::Deployed { payload_bytes: 1 },
@@ -269,7 +310,9 @@ mod tests {
             EventKind::DriftDetected { max_shift: 1.0 },
             EventKind::UpdateStarted { new_label: 0, samples: 1 },
             EventKind::UpdateFinished { new_label: 0, epochs: 1, seconds: 1.0 },
+            EventKind::BatchServed { windows: 8, cache_rebuilt: true },
             EventKind::FederatedRound { participants: 2 },
+            EventKind::FederatedExcluded { participants: 2 },
             EventKind::TransferRetried { attempt: 1, backoff_seconds: 0.5 },
             EventKind::TransferAborted { attempts: 1 },
             EventKind::WindowsQuarantined { windows: 1 },

@@ -8,8 +8,72 @@
 //! are aggregated, not raw exemplars.
 
 use crate::edge::EdgeDevice;
+use crate::events::EventKind;
 use pilote_nn::Checkpoint;
 use pilote_tensor::{Tensor, TensorError};
+
+/// Errors from federated parameter aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FederatedError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Contributions carry different checkpoint format versions. Averaging
+    /// across formats and silently stamping the result with one of them
+    /// would mislabel the merged model; the round must be rejected until
+    /// every participant runs the same format.
+    VersionSkew {
+        /// Version of the first contribution (the reference).
+        expected: u32,
+        /// The disagreeing version.
+        found: u32,
+    },
+    /// Two contributions disagree on the shape of one parameter tensor.
+    LayerShapeMismatch {
+        /// Index of the offending layer in [`Checkpoint::shapes`] order.
+        layer: usize,
+        /// Shape of that layer in the first contribution.
+        expected: Vec<usize>,
+        /// Shape of that layer in the disagreeing contribution.
+        found: Vec<usize>,
+    },
+    /// The contribution list was empty, or every contribution had zero
+    /// weight.
+    NoContributions,
+}
+
+impl std::fmt::Display for FederatedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederatedError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FederatedError::VersionSkew { expected, found } => write!(
+                f,
+                "checkpoint version skew: expected v{expected}, found v{found}"
+            ),
+            FederatedError::LayerShapeMismatch { layer, expected, found } => write!(
+                f,
+                "layer {layer} shape mismatch: expected {expected:?}, found {found:?}"
+            ),
+            FederatedError::NoContributions => {
+                write!(f, "no weighted contributions to average")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FederatedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FederatedError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for FederatedError {
+    fn from(e: TensorError) -> Self {
+        FederatedError::Tensor(e)
+    }
+}
 
 /// Weighted FedAvg over parameter snapshots.
 ///
@@ -17,24 +81,42 @@ use pilote_tensor::{Tensor, TensorError};
 /// count; the result is the sample-weighted mean of every parameter.
 ///
 /// # Errors
-/// Fails when checkpoints disagree structurally or the list is empty.
+/// Fails when the list is empty, the total weight is zero, checkpoints
+/// disagree on format version ([`FederatedError::VersionSkew`]) or any
+/// layer's shape ([`FederatedError::LayerShapeMismatch`], which names the
+/// offending layer index and both shapes).
 pub fn federated_average(
     contributions: &[(Checkpoint, usize)],
-) -> Result<Checkpoint, TensorError> {
+) -> Result<Checkpoint, FederatedError> {
     let Some(((first, _), rest)) = contributions.split_first() else {
-        return Err(TensorError::Empty { op: "federated_average" });
+        return Err(FederatedError::NoContributions);
     };
     let total_weight: f64 = contributions.iter().map(|(_, w)| *w as f64).sum();
     if total_weight <= 0.0 {
-        return Err(TensorError::Empty { op: "federated_average (zero total weight)" });
+        return Err(FederatedError::NoContributions);
     }
     for (ckpt, _) in rest {
-        if ckpt.shapes != first.shapes {
-            return Err(TensorError::ShapeMismatch {
-                left: first.shapes.first().cloned().unwrap_or_default(),
-                right: ckpt.shapes.first().cloned().unwrap_or_default(),
-                op: "federated_average",
+        if ckpt.version != first.version {
+            return Err(FederatedError::VersionSkew {
+                expected: first.version,
+                found: ckpt.version,
             });
+        }
+        if ckpt.shapes.len() != first.shapes.len() {
+            return Err(FederatedError::LayerShapeMismatch {
+                layer: first.shapes.len().min(ckpt.shapes.len()),
+                expected: first.shapes.get(ckpt.shapes.len()).cloned().unwrap_or_default(),
+                found: ckpt.shapes.get(first.shapes.len()).cloned().unwrap_or_default(),
+            });
+        }
+        for (layer, (exp, got)) in first.shapes.iter().zip(&ckpt.shapes).enumerate() {
+            if exp != got {
+                return Err(FederatedError::LayerShapeMismatch {
+                    layer,
+                    expected: exp.clone(),
+                    found: got.clone(),
+                });
+            }
         }
     }
     let mut averaged: Vec<Tensor> =
@@ -69,22 +151,36 @@ impl FederatedCoordinator {
     /// by its support-set size), averages, and installs the average back
     /// on every device, refreshing prototypes under the new weights.
     ///
+    /// Devices with an **empty** support set are excluded from the average
+    /// — a zero-sample model must not out-vote devices that actually hold
+    /// data (the old `len().max(1)` gave it the same weight as a
+    /// one-sample device). Excluded devices still receive the merged model
+    /// and record the exclusion as [`EventKind::FederatedExcluded`] in
+    /// their [`crate::events::EventLog`].
+    ///
     /// No sensor data, exemplar, or feature leaves any device.
     pub fn run_round(&mut self, devices: &mut [&mut EdgeDevice]) -> Result<(), crate::edge::EdgeError> {
         if devices.is_empty() {
-            return Err(TensorError::Empty { op: "run_round" }.into());
+            return Err(FederatedError::NoContributions.into());
         }
         let mut contributions = Vec::with_capacity(devices.len());
+        let mut contributed = Vec::with_capacity(devices.len());
         for device in devices.iter_mut() {
-            let weight = device.model_mut().support().len().max(1);
-            let ckpt = Checkpoint::capture(device.model_mut().net_mut().layers_mut());
-            contributions.push((ckpt, weight));
+            let weight = device.model_mut().support().len();
+            contributed.push(weight > 0);
+            if weight > 0 {
+                let ckpt = Checkpoint::capture(device.model_mut().net_mut().layers_mut());
+                contributions.push((ckpt, weight));
+            }
         }
         let averaged = federated_average(&contributions)?;
-        let participants = devices.len();
-        for device in devices.iter_mut() {
+        let participants = contributions.len();
+        for (device, contributed) in devices.iter_mut().zip(contributed) {
             averaged.restore(device.model_mut().net_mut().layers_mut())?;
             device.model_mut().refresh_prototypes()?;
+            if !contributed {
+                device.record_event(EventKind::FederatedExcluded { participants });
+            }
             device.note_federated_round(participants);
         }
         self.rounds_completed += 1;
@@ -138,6 +234,43 @@ mod tests {
         }
     }
 
+    /// Regression: merging a v1 and a v2 checkpoint used to silently stamp
+    /// the result with the first contributor's version. Mixed-version
+    /// rounds must be rejected instead.
+    #[test]
+    fn mixed_version_contributions_rejected() {
+        let v1 = checkpoint_with(1.0);
+        let mut v2 = checkpoint_with(2.0);
+        v2.version = v1.version + 1;
+        match federated_average(&[(v1.clone(), 1), (v2, 1)]) {
+            Err(FederatedError::VersionSkew { expected, found }) => {
+                assert_eq!(expected, v1.version);
+                assert_eq!(found, v1.version + 1);
+            }
+            other => panic!("expected VersionSkew, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structural_mismatch_names_the_offending_layer() {
+        let mut rng = Rng64::new(2);
+        // Same first layer, different second layer: the error must point at
+        // layer index 2 (Dense stores weight then bias per layer).
+        let mut a = Sequential::new().push(Dense::new(3, 2, &mut rng)).push(Dense::new(2, 4, &mut rng));
+        let mut b = Sequential::new().push(Dense::new(3, 2, &mut rng)).push(Dense::new(2, 5, &mut rng));
+        let ca = Checkpoint::capture(&mut a);
+        let cb = Checkpoint::capture(&mut b);
+        match federated_average(&[(ca.clone(), 1), (cb.clone(), 1)]) {
+            Err(FederatedError::LayerShapeMismatch { layer, expected, found }) => {
+                assert_eq!(layer, 2, "first disagreeing parameter tensor");
+                assert_eq!(expected, ca.shapes[2]);
+                assert_eq!(found, cb.shapes[2]);
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected LayerShapeMismatch, got {other:?}"),
+        }
+    }
+
     #[test]
     fn structural_mismatch_rejected() {
         let mut rng = Rng64::new(2);
@@ -148,6 +281,15 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert!(federated_average(&[]).is_err());
+        assert_eq!(federated_average(&[]), Err(FederatedError::NoContributions));
+    }
+
+    #[test]
+    fn zero_total_weight_rejected() {
+        let c = checkpoint_with(1.0);
+        assert_eq!(
+            federated_average(&[(c.clone(), 0), (c, 0)]),
+            Err(FederatedError::NoContributions)
+        );
     }
 }

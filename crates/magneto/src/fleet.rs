@@ -1,0 +1,520 @@
+//! Fleet orchestration and serving: one coordinator owning N heterogeneous
+//! [`EdgeDevice`]s, routing simulated user sessions to devices, serving
+//! classification through the **batched** prototype-cache path, and
+//! interleaving incremental updates with periodic federated rounds.
+//!
+//! Everything is deterministic by construction (see `docs/FLEET.md`):
+//!
+//! - **Routing** is a pure hash of `(fleet seed, user id)` — no load
+//!   balancing on wall-clock state.
+//! - **Time** is the per-device virtual clock: modeled kernel flops through
+//!   [`DeviceProfile::seconds_for_flops`] plus modeled link transfers —
+//!   never a host clock.
+//! - **Serving** chunks each session through [`EdgeDevice::serve_batch`],
+//!   which is bitwise identical to per-window classification.
+//! - **Federated rounds** fire on a session-count schedule
+//!   ([`FleetConfig::federated_every`]), charging each participant's link
+//!   with the parameter upload/download before averaging.
+
+use crate::cloud::{Deployment, PackageError};
+use crate::edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus};
+use crate::federated::FederatedCoordinator;
+use pilote_edge_sim::{DeviceProfile, LinkModel};
+use pilote_nn::Checkpoint;
+use pilote_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for a [`Fleet`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Seed for the routing hash (and anything else the fleet randomises).
+    pub seed: u64,
+    /// Maximum windows per [`EdgeDevice::serve_batch`] call; longer
+    /// sessions are chunked. Chunking cannot change results — batched
+    /// serving is bitwise identical at any batch size.
+    pub serve_chunk: usize,
+    /// Run a federated round after every this-many served sessions.
+    /// `0` disables the schedule (rounds can still be run explicitly).
+    pub federated_every: usize,
+    /// Pending labelled samples that trigger an incremental update on a
+    /// device. `0` disables auto-updates.
+    pub update_threshold: usize,
+    /// Exemplar budget per class handed to incremental updates.
+    pub exemplar_budget: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 0x5eed_f1ee,
+            serve_chunk: 64,
+            federated_every: 8,
+            update_threshold: 20,
+            exemplar_budget: 20,
+        }
+    }
+}
+
+/// One device slot: the device plus the link it talks to the cloud (and
+/// the federated coordinator) over.
+struct FleetMember {
+    device: EdgeDevice,
+    link: LinkModel,
+    updates_completed: usize,
+}
+
+/// A deterministic multi-device deployment: routes user sessions to
+/// devices, serves them through the batched prototype-cache path, and
+/// interleaves local incremental updates with federated rounds.
+pub struct Fleet {
+    members: Vec<FleetMember>,
+    coordinator: FederatedCoordinator,
+    config: FleetConfig,
+    sessions_served: u64,
+    windows_served: u64,
+}
+
+/// Per-device summary for reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Device profile name.
+    pub name: String,
+    /// Windows classified through the batched serving path.
+    pub windows_served: u64,
+    /// Prototype-cache rebuilds (one per committed model change that was
+    /// followed by a serve).
+    pub cache_rebuilds: u64,
+    /// Completed incremental updates.
+    pub updates: usize,
+    /// Activity classes the device currently recognises.
+    pub classes: usize,
+    /// Device virtual clock, in modeled seconds.
+    pub clock_seconds: f64,
+    /// Whether the device degraded to its pre-trained baseline.
+    pub degraded: bool,
+}
+
+/// Fleet-wide summary for reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Per-device summaries, in device-index order.
+    pub devices: Vec<DeviceStats>,
+    /// User sessions served.
+    pub sessions: u64,
+    /// Total windows classified across the fleet.
+    pub windows: u64,
+    /// Federated rounds completed.
+    pub federated_rounds: usize,
+}
+
+/// SplitMix64 — the routing hash. Chosen for determinism and full-avalanche
+/// mixing, not cryptographic strength.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Wire size of a checkpoint in the repo's JSON cloud↔edge format — the
+/// payload a federated participant uploads (and downloads back merged).
+fn checkpoint_wire_bytes(ckpt: &Checkpoint) -> Result<u64, PackageError> {
+    serde_json::to_string(ckpt)
+        .map(|body| body.len() as u64)
+        .map_err(|e| PackageError { detail: e.to_string() })
+}
+
+impl Fleet {
+    /// Deploys the same cloud package onto every `(profile, link)` slot,
+    /// charging each device's install download on its own link.
+    pub fn deploy(
+        slots: Vec<(DeviceProfile, LinkModel)>,
+        deployment: &Deployment,
+        config: FleetConfig,
+    ) -> Result<Fleet, EdgeError> {
+        assert!(!slots.is_empty(), "a fleet needs at least one device");
+        assert!(config.serve_chunk > 0, "serve_chunk must be positive");
+        let span = pilote_obs::span("fleet.deploy");
+        span.annotate("devices", slots.len() as f64);
+        let members = slots
+            .into_iter()
+            .map(|(profile, link)| {
+                let device = EdgeDevice::install(profile, deployment, &link)?;
+                Ok(FleetMember { device, link, updates_completed: 0 })
+            })
+            .collect::<Result<Vec<_>, EdgeError>>()?;
+        drop(span);
+        Ok(Fleet {
+            members,
+            coordinator: FederatedCoordinator::new(),
+            config,
+            sessions_served: 0,
+            windows_served: 0,
+        })
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the fleet has no devices (never true after [`Fleet::deploy`]).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The device a user is pinned to: a pure hash of the fleet seed and
+    /// the user id, stable for the lifetime of the fleet.
+    pub fn route(&self, user_id: u64) -> usize {
+        (splitmix64(self.config.seed ^ user_id) % self.members.len() as u64) as usize
+    }
+
+    /// Device at `index`.
+    pub fn device(&self, index: usize) -> &EdgeDevice {
+        &self.members[index].device
+    }
+
+    /// Mutable device at `index` (test and harness access).
+    pub fn device_mut(&mut self, index: usize) -> &mut EdgeDevice {
+        &mut self.members[index].device
+    }
+
+    /// Federated rounds completed so far.
+    pub fn federated_rounds(&self) -> usize {
+        self.coordinator.rounds()
+    }
+
+    /// Serves one user session — a pre-extracted feature matrix
+    /// (`[n, 28]`) — on the user's routed device, chunked through the
+    /// batched prototype-cache path. Afterwards, runs any federated round
+    /// the session schedule now owes ([`FleetConfig::federated_every`]).
+    pub fn serve_session(
+        &mut self,
+        user_id: u64,
+        features: &Tensor,
+    ) -> Result<Vec<InferenceOutcome>, EdgeError> {
+        let index = self.route(user_id);
+        let span = pilote_obs::span("fleet.session");
+        span.annotate("device", index as f64);
+        span.annotate("windows", features.rows() as f64);
+        let mut outcomes = Vec::with_capacity(features.rows());
+        let mut row = 0;
+        while row < features.rows() {
+            let end = (row + self.config.serve_chunk).min(features.rows());
+            let chunk = features.slice_rows(row, end)?;
+            outcomes.extend(self.members[index].device.serve_batch(&chunk)?);
+            row = end;
+        }
+        drop(span);
+        self.sessions_served += 1;
+        self.windows_served += features.rows() as u64;
+        if pilote_obs::enabled() {
+            pilote_obs::counter("fleet.sessions").inc();
+            pilote_obs::counter("fleet.windows_served").add(features.rows() as u64);
+        }
+        if self.config.federated_every > 0
+            && self.sessions_served.is_multiple_of(self.config.federated_every as u64)
+        {
+            self.federated_round()?;
+        }
+        Ok(outcomes)
+    }
+
+    /// Buffers one labelled feature vector on the user's routed device
+    /// (the user tagged part of a session with an activity name). When the
+    /// device's pending buffer reaches [`FleetConfig::update_threshold`],
+    /// runs the incremental update in place.
+    pub fn label_sample(
+        &mut self,
+        user_id: u64,
+        label: usize,
+        features: Tensor,
+    ) -> Result<Option<UpdateStatus>, EdgeError> {
+        let index = self.route(user_id);
+        let member = &mut self.members[index];
+        member.device.label_sample(label, features);
+        if self.config.update_threshold > 0
+            && member.device.pending_samples() >= self.config.update_threshold
+        {
+            let status = member
+                .device
+                .update_faulted(self.config.exemplar_budget, None)?;
+            if status == UpdateStatus::Completed {
+                member.updates_completed += 1;
+            }
+            if pilote_obs::enabled() {
+                pilote_obs::counter("fleet.updates").inc();
+            }
+            return Ok(Some(status));
+        }
+        Ok(None)
+    }
+
+    /// Runs one federated round across the whole fleet: every device with
+    /// a non-empty support set uploads its parameters over its link and
+    /// downloads the merged model back (both transfers advance that
+    /// device's virtual clock); zero-support devices skip the upload but
+    /// still receive — and pay for — the download. Averaging itself is
+    /// [`FederatedCoordinator::run_round`].
+    pub fn federated_round(&mut self) -> Result<(), EdgeError> {
+        let span = pilote_obs::span("fleet.federated_round");
+        span.annotate("devices", self.members.len() as f64);
+        // Charge link time first: upload for contributors, download for
+        // everyone. The merged checkpoint has the same parameter structure
+        // as each contribution, so its wire size is modeled as the
+        // device's own snapshot size.
+        for member in &mut self.members {
+            let ckpt = Checkpoint::capture(member.device.model_mut().net_mut().layers_mut());
+            let bytes = checkpoint_wire_bytes(&ckpt)?;
+            let contributes = !member.device.model_mut().support().is_empty();
+            let transfers = if contributes { 2 } else { 1 };
+            member
+                .device
+                .advance_clock(member.link.repeated_transfer_seconds(bytes, transfers));
+        }
+        let mut devices: Vec<&mut EdgeDevice> =
+            self.members.iter_mut().map(|m| &mut m.device).collect();
+        self.coordinator.run_round(&mut devices)?;
+        drop(span);
+        if pilote_obs::enabled() {
+            pilote_obs::counter("fleet.federated_rounds").inc();
+        }
+        Ok(())
+    }
+
+    /// Fleet-wide summary.
+    pub fn stats(&self) -> FleetStats {
+        let devices = self
+            .members
+            .iter()
+            .map(|m| DeviceStats {
+                name: m.device.profile().name.clone(),
+                windows_served: m.device.log().served_count(),
+                cache_rebuilds: m.device.cache_rebuilds(),
+                updates: m.updates_completed,
+                classes: m.device.known_classes().len(),
+                clock_seconds: m.device.log().now(),
+                degraded: m.device.is_degraded(),
+            })
+            .collect();
+        FleetStats {
+            devices,
+            sessions: self.sessions_served,
+            windows: self.windows_served,
+            federated_rounds: self.coordinator.rounds(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("devices", &self.members.len())
+            .field("sessions", &self.sessions_served)
+            .field("federated_rounds", &self.coordinator.rounds())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudServer;
+    use crate::events::EventKind;
+    use pilote_core::PiloteConfig;
+    use pilote_har_data::dataset::generate_features;
+    use pilote_har_data::features::extract_batch;
+    use pilote_har_data::preprocess::Normalizer;
+    use pilote_har_data::{Activity, Simulator, FEATURE_DIM};
+
+    fn deployment() -> (Deployment, Simulator, Normalizer) {
+        let mut sim = Simulator::with_seed(31);
+        let (data, norm) = generate_features(
+            &mut sim,
+            &[(Activity::Still, 50), (Activity::Walk, 50), (Activity::Run, 50)],
+        )
+        .expect("simulate");
+        let server = CloudServer::new(data, norm.clone(), PiloteConfig::fast_test(5));
+        let (deployment, _) = server
+            .pretrain_and_package(&[Activity::Still.label(), Activity::Walk.label()], 15)
+            .expect("package");
+        (deployment, sim, norm)
+    }
+
+    fn slots(n: usize) -> Vec<(DeviceProfile, LinkModel)> {
+        let links = [LinkModel::wifi(), LinkModel::cellular_4g(), LinkModel::weak_cellular()];
+        DeviceProfile::roster(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, links[i % links.len()]))
+            .collect()
+    }
+
+    fn fleet(n: usize, config: FleetConfig) -> (Fleet, Simulator, Normalizer) {
+        let (deployment, sim, norm) = deployment();
+        let fleet = Fleet::deploy(slots(n), &deployment, config).expect("deploy");
+        (fleet, sim, norm)
+    }
+
+    fn session_features(sim: &mut Simulator, norm: &Normalizer, activity: Activity, windows: usize) -> Tensor {
+        let raw = sim.raw_dataset(&[(activity, windows)]);
+        norm.transform(&extract_batch(&raw).expect("features")).expect("norm")
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spreads_users() {
+        let (fleet, _, _) = fleet(8, FleetConfig::default());
+        let hit: std::collections::BTreeSet<usize> =
+            (0..200u64).map(|u| fleet.route(u)).collect();
+        assert_eq!(hit.len(), 8, "200 users must reach all 8 devices");
+        for u in 0..200u64 {
+            assert_eq!(fleet.route(u), fleet.route(u));
+        }
+    }
+
+    #[test]
+    fn deploy_charges_each_link_separately() {
+        let (fleet, _, _) = fleet(3, FleetConfig::default());
+        // Slot 0 is wifi, slot 2 weak cellular: same payload, slower link,
+        // later deployment timestamp.
+        let t0 = fleet.device(0).log().now();
+        let t2 = fleet.device(2).log().now();
+        assert!(t2 > t0, "weak-cellular install must take longer than wifi");
+    }
+
+    #[test]
+    fn sessions_are_served_on_the_routed_device_only() {
+        let cfg = FleetConfig { federated_every: 0, ..FleetConfig::default() };
+        let (mut fleet, mut sim, norm) = fleet(4, cfg);
+        let features = session_features(&mut sim, &norm, Activity::Still, 9);
+        let user = 7u64;
+        let index = fleet.route(user);
+        let outcomes = fleet.serve_session(user, &features).expect("serve");
+        assert_eq!(outcomes.len(), 9);
+        for i in 0..fleet.len() {
+            let expect = if i == index { 9 } else { 0 };
+            assert_eq!(fleet.device(i).log().served_count(), expect, "device {i}");
+        }
+        assert_eq!(fleet.stats().windows, 9);
+    }
+
+    #[test]
+    fn chunked_serving_is_bitwise_identical_to_one_big_batch() {
+        // serve_chunk: 4 forces 3 chunks for 10 windows.
+        let small =
+            FleetConfig { serve_chunk: 4, federated_every: 0, ..FleetConfig::default() };
+        let big =
+            FleetConfig { serve_chunk: 1024, federated_every: 0, ..FleetConfig::default() };
+        let (mut fleet_small, mut sim, norm) = fleet(4, small);
+        let (mut fleet_big, _, _) = fleet(4, big);
+        let features = session_features(&mut sim, &norm, Activity::Walk, 10);
+        let a = fleet_small.serve_session(3, &features).expect("serve");
+        let b = fleet_big.serve_session(3, &features).expect("serve");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.predicted, y.predicted);
+            assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn labelling_past_threshold_triggers_an_update() {
+        let cfg =
+            FleetConfig { update_threshold: 10, federated_every: 0, ..FleetConfig::default() };
+        let (mut fleet, mut sim, norm) = fleet(3, cfg);
+        let features = session_features(&mut sim, &norm, Activity::Run, 10);
+        let user = 1u64;
+        let index = fleet.route(user);
+        let mut last = None;
+        for i in 0..features.rows() {
+            last = fleet
+                .label_sample(user, Activity::Run.label(), Tensor::vector(features.row(i)))
+                .expect("label");
+        }
+        assert_eq!(last, Some(UpdateStatus::Completed));
+        assert_eq!(fleet.device(index).known_classes().len(), 3);
+        assert_eq!(fleet.stats().devices[index].updates, 1);
+        // Other devices don't know Run until a federated round spreads it.
+        for i in (0..fleet.len()).filter(|&i| i != index) {
+            assert_eq!(fleet.device(i).known_classes().len(), 2);
+        }
+    }
+
+    #[test]
+    fn federated_schedule_fires_every_n_sessions() {
+        let cfg = FleetConfig { federated_every: 3, ..FleetConfig::default() };
+        let (mut fleet, mut sim, norm) = fleet(3, cfg);
+        let features = session_features(&mut sim, &norm, Activity::Still, 2);
+        for user in 0..7u64 {
+            fleet.serve_session(user, &features).expect("serve");
+        }
+        assert_eq!(fleet.federated_rounds(), 2, "rounds after sessions 3 and 6");
+        // Every device saw both rounds in its log.
+        for i in 0..fleet.len() {
+            let rounds = fleet
+                .device(i)
+                .log()
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::FederatedRound { .. }))
+                .count();
+            assert_eq!(rounds, 2, "device {i}");
+        }
+    }
+
+    #[test]
+    fn federated_round_charges_link_time_and_invalidates_caches() {
+        let cfg = FleetConfig { federated_every: 0, ..FleetConfig::default() };
+        let (mut fleet, mut sim, norm) = fleet(3, cfg);
+        let features = session_features(&mut sim, &norm, Activity::Still, 4);
+        fleet.serve_session(0, &features).expect("serve");
+        let clocks_before: Vec<f64> = (0..3).map(|i| fleet.device(i).log().now()).collect();
+        fleet.federated_round().expect("round");
+        for (i, before) in clocks_before.iter().enumerate() {
+            assert!(
+                fleet.device(i).log().now() > *before,
+                "device {i} paid no link time for the round"
+            );
+        }
+        // The round reinstalls parameters on every device → generation
+        // moved → the next serve on any device rebuilds its cache.
+        for user in 0..64u64 {
+            let idx = fleet.route(user);
+            let before = fleet.device(idx).cache_rebuilds();
+            let row = Tensor::vector(features.row(0)).reshape([1, FEATURE_DIM]).expect("row");
+            fleet.serve_session(user, &row).expect("serve");
+            if fleet.device(idx).log().served_count() > 1 {
+                assert_eq!(
+                    fleet.device(idx).cache_rebuilds(),
+                    before + 1,
+                    "device {idx} served before the round must rebuild after it"
+                );
+                return;
+            }
+        }
+        panic!("no user routed back to an already-serving device");
+    }
+
+    #[test]
+    fn stats_summarise_the_fleet() {
+        let cfg = FleetConfig { federated_every: 2, ..FleetConfig::default() };
+        let (mut fleet, mut sim, norm) = fleet(8, cfg);
+        let features = session_features(&mut sim, &norm, Activity::Walk, 3);
+        for user in 0..8u64 {
+            fleet.serve_session(user, &features).expect("serve");
+        }
+        let stats = fleet.stats();
+        assert_eq!(stats.devices.len(), 8);
+        assert_eq!(stats.sessions, 8);
+        assert_eq!(stats.windows, 24);
+        assert_eq!(stats.federated_rounds, 4);
+        assert_eq!(
+            stats.devices.iter().map(|d| d.windows_served).sum::<u64>(),
+            24
+        );
+        // Serde round-trip: FleetStats is a report payload.
+        let json = serde_json::to_string(&stats).expect("serialise");
+        let back: FleetStats = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, stats);
+    }
+}

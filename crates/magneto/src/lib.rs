@@ -16,6 +16,11 @@
 //! The [`federated`] module implements the paper's §7 future-work
 //! direction: FedAvg-style collaboration where devices share *model
 //! parameters*, never data — consistent with MAGNETO's privacy stance.
+//! The [`fleet`] module scales the edge loop out: a deterministic
+//! multi-device [`fleet::Fleet`] routes user sessions to heterogeneous
+//! devices, serves them through the batched prototype-cache path, and
+//! interleaves incremental updates with scheduled federated rounds (see
+//! `docs/FLEET.md`).
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
@@ -23,8 +28,10 @@ pub mod cloud;
 pub mod edge;
 pub mod events;
 pub mod federated;
+pub mod fleet;
 
-pub use cloud::{CloudServer, Deployment};
+pub use cloud::{CloudServer, Deployment, PackageError};
 pub use edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus, MAX_UPDATE_FAILURES};
 pub use events::{Event, EventKind, EventLog};
-pub use federated::{federated_average, FederatedCoordinator};
+pub use federated::{federated_average, FederatedCoordinator, FederatedError};
+pub use fleet::{DeviceStats, Fleet, FleetConfig, FleetStats};

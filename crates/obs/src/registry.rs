@@ -214,6 +214,20 @@ pub struct Snapshot {
     pub spans: Vec<crate::span::SpanNode>,
 }
 
+impl Snapshot {
+    /// Counters whose name starts with `prefix`, in name order — e.g.
+    /// `counters_with_prefix("fleet.")` for a fleet-wide telemetry view.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
 /// Captures the current state of the registry, the kernel work counters
 /// and the finished spans. Returns an all-empty snapshot (with
 /// `enabled: false`) when the kill switch is off.
@@ -382,5 +396,23 @@ pub(crate) mod tests {
     #[should_panic(expected = "ascending")]
     fn histogram_rejects_unsorted_bounds() {
         histogram("t.bad", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn counters_with_prefix_selects_namespace() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = crate::enabled();
+        crate::set_enabled(true);
+        reset();
+        counter("fleet.sessions").add(3);
+        counter("fleet.windows_served").add(40);
+        counter("fleeting").inc(); // shares a prefix string, not the dot namespace
+        counter("edge.inference").inc();
+        let snap = snapshot();
+        let fleet: Vec<(&str, u64)> = snap.counters_with_prefix("fleet.").collect();
+        assert_eq!(fleet, vec![("fleet.sessions", 3), ("fleet.windows_served", 40)]);
+        assert_eq!(snap.counters_with_prefix("nope.").count(), 0);
+        reset();
+        crate::set_enabled(saved);
     }
 }

@@ -32,7 +32,7 @@ fn main() {
     println!(
         "cloud: pre-trained {} epochs; deployment payload {:.2} MB",
         report.epochs.len(),
-        deployment.wire_bytes() as f64 / 1e6
+        deployment.wire_bytes().expect("serialisable") as f64 / 1e6
     );
 
     // ---- edge: install once over 4G ---------------------------------------

@@ -13,6 +13,8 @@
 #   7. the observability gate (docs/OBSERVABILITY.md): no std::time in the
 #      telemetry/virtual-clock paths, `repro obs` byte-identical at
 #      PILOTE_THREADS 1 vs 4, and a PILOTE_OBS=0 kill-switch run
+#   8. the fleet gate (docs/FLEET.md): `repro fleet` run twice plus once
+#      at PILOTE_THREADS=4, all three JSON outputs byte-compared
 #
 # Usage: ./scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -68,5 +70,17 @@ cmp "$obs_dir/t1/BENCH_obs.json" "$obs_dir/t4/BENCH_obs.json"
 step "obs: PILOTE_OBS=0 kill-switch run"
 PILOTE_OBS=0 cargo run --release -q -p pilote-bench --bin repro -- \
   obs --quick --out "$obs_dir/off"
+
+# --- fleet gate (docs/FLEET.md) -------------------------------------------
+
+step "fleet: repro fleet byte-identical across runs and at PILOTE_THREADS=4"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  fleet --quick --out "$obs_dir/f1"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  fleet --quick --out "$obs_dir/f2"
+PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
+  fleet --quick --out "$obs_dir/f4"
+cmp "$obs_dir/f1/BENCH_fleet.json" "$obs_dir/f2/BENCH_fleet.json"
+cmp "$obs_dir/f1/BENCH_fleet.json" "$obs_dir/f4/BENCH_fleet.json"
 
 printf '\nci.sh: all gates passed\n'

@@ -13,7 +13,7 @@
 //! | [`har_data`] | synthetic sensor simulator, preprocessing, features |
 //! | [`core`] | the PILOTE learner, baselines, strategies, metrics |
 //! | [`edge_sim`] | device profiles, memory accounting, quantisation, fault injection |
-//! | [`magneto`] | cloud pre-training, deployments, the resilient edge device, federation |
+//! | [`magneto`] | cloud pre-training, deployments, the resilient edge device, federation, fleet orchestration |
 //!
 //! ## Quickstart
 //!
@@ -70,7 +70,8 @@ pub mod prelude {
         MemoryBudget, RetryPolicy, SensorFaultInjector, SensorFaultRates,
     };
     pub use pilote_magneto::{
-        CloudServer, EdgeDevice, EdgeError, FederatedCoordinator, UpdateStatus,
+        CloudServer, EdgeDevice, EdgeError, FederatedCoordinator, FederatedError, Fleet,
+        FleetConfig, FleetStats, UpdateStatus,
     };
     pub use pilote_har_data::dataset::generate_features;
     pub use pilote_har_data::{Activity, Dataset, Simulator, SimulatorConfig, FEATURE_DIM};

@@ -1,0 +1,226 @@
+//! Property-based tests of the fleet serving subsystem (`docs/FLEET.md`):
+//!
+//! * **batched = per-window**: serving any feature batch through the
+//!   prototype-cache path is bitwise identical to serving it one window at
+//!   a time — labels equal, distances equal to the bit;
+//! * **cache coherence**: after any interleaving of serves, incremental
+//!   updates, rollbacks and federated installs, the cached classifier is
+//!   never stale — serve outcomes always match an uncached classification
+//!   of the live model, bitwise;
+//! * **schedule determinism**: an identical fleet schedule produces
+//!   identical stats and per-device event logs at any thread count.
+//!
+//! The global [`ThreadConfig`] is process-wide, so the thread-variance
+//! test serialises on [`CONFIG_LOCK`], same as `tests/parallel_props.rs`.
+
+use pilote::har_data::features::extract_batch;
+use pilote::magneto::Deployment;
+use pilote::prelude::*;
+use pilote::tensor::parallel::{self, ThreadConfig};
+use proptest::prelude::*;
+use std::sync::{Mutex, OnceLock};
+
+static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+/// One pre-trained deployment shared by every case (pre-training per case
+/// would dominate the suite's runtime).
+struct Fixture {
+    deployment: Deployment,
+    /// Normalised Run features (the class devices can be asked to learn).
+    run_features: Tensor,
+    /// Normalised mixed-activity features for serving.
+    eval_features: Tensor,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut sim = Simulator::with_seed(31);
+        let (data, norm) = generate_features(
+            &mut sim,
+            &[(Activity::Still, 50), (Activity::Walk, 50), (Activity::Run, 50)],
+        )
+        .expect("simulate");
+        let server = CloudServer::new(data, norm.clone(), PiloteConfig::fast_test(5));
+        let (deployment, _) = server
+            .pretrain_and_package(&[Activity::Still.label(), Activity::Walk.label()], 15)
+            .expect("package");
+        let run_raw = sim.raw_dataset(&[(Activity::Run, 20)]);
+        let run_features =
+            norm.transform(&extract_batch(&run_raw).expect("features")).expect("normalise");
+        let eval_raw = sim.raw_dataset(&[
+            (Activity::Still, 8),
+            (Activity::Walk, 8),
+            (Activity::Run, 8),
+        ]);
+        let eval_features =
+            norm.transform(&extract_batch(&eval_raw).expect("features")).expect("normalise");
+        Fixture { deployment, run_features, eval_features }
+    })
+}
+
+/// Installs a fresh device from the shared deployment.
+fn device() -> EdgeDevice {
+    EdgeDevice::install(DeviceProfile::budget_phone(), &fixture().deployment, &LinkModel::wifi())
+        .expect("install")
+}
+
+/// Labels `n` Run samples on the device.
+fn label_run_samples(dev: &mut EdgeDevice, n: usize) {
+    let f = &fixture().run_features;
+    for i in 0..n.min(f.rows()) {
+        dev.label_sample(Activity::Run.label(), Tensor::vector(f.row(i)));
+    }
+}
+
+/// Asserts that serving `features` through the device's prototype cache is
+/// bitwise identical to an uncached classification of its live model.
+fn assert_cache_coherent(dev: &mut EdgeDevice, features: &Tensor) {
+    let served = dev.serve_batch(features).expect("serve");
+    let uncached = dev.model_mut().classify_batch(features).expect("classify");
+    assert_eq!(served.len(), uncached.len());
+    for (i, (outcome, (label, distance))) in served.iter().zip(&uncached).enumerate() {
+        assert_eq!(outcome.predicted, *label, "window {i}: cached label diverged");
+        assert_eq!(
+            outcome.distance.to_bits(),
+            distance.to_bits(),
+            "window {i}: cached distance diverged"
+        );
+    }
+}
+
+/// A fresh 4-device fleet over mixed links from the shared deployment.
+fn fleet(federated_every: usize) -> pilote::magneto::Fleet {
+    let links = [LinkModel::wifi(), LinkModel::cellular_4g(), LinkModel::weak_cellular()];
+    let slots: Vec<(DeviceProfile, LinkModel)> = DeviceProfile::roster(4)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, links[i % links.len()]))
+        .collect();
+    let config = FleetConfig {
+        seed: 0xf1ee7,
+        serve_chunk: 5,
+        federated_every,
+        update_threshold: 8,
+        exemplar_budget: 15,
+    };
+    Fleet::deploy(slots, &fixture().deployment, config).expect("deploy")
+}
+
+/// Runs a small but complete fleet schedule — serves, labels that trigger
+/// an update, and (per config) federated rounds — returning a canonical
+/// trace: the stats JSON plus every device's event-log JSON.
+fn run_schedule(federated_every: usize) -> String {
+    let mut f = fleet(federated_every);
+    let eval = &fixture().eval_features;
+    for user in 0..6u64 {
+        let start = (user as usize * 3) % (eval.rows() - 4);
+        let session = eval.slice_rows(start, start + 4).expect("session");
+        f.serve_session(user, &session).expect("serve");
+    }
+    let run = &fixture().run_features;
+    for i in 0..8 {
+        f.label_sample(2, Activity::Run.label(), Tensor::vector(run.row(i))).expect("label");
+    }
+    for user in 0..6u64 {
+        let session = eval.slice_rows(0, 4).expect("session");
+        f.serve_session(user, &session).expect("serve");
+    }
+    let stats = serde_json::to_string(&f.stats()).expect("stats json");
+    let logs: Vec<String> = (0..f.len())
+        .map(|i| serde_json::to_string(f.device(i).log()).expect("log json"))
+        .collect();
+    format!("{stats}\n{}", logs.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Batched serving is bitwise identical to per-window serving for any
+    /// sub-batch of the eval pool.
+    #[test]
+    fn batched_serving_equals_per_window(start in 0usize..20, len in 1usize..12) {
+        let eval = &fixture().eval_features;
+        let start = start % (eval.rows() - 1);
+        let end = (start + len).min(eval.rows());
+        let batch = eval.slice_rows(start, end).expect("slice");
+        let mut batched = device();
+        let mut single = device();
+        let all = batched.serve_batch(&batch).expect("serve batch");
+        for (i, outcome) in all.iter().enumerate() {
+            let row = batch.slice_rows(i, i + 1).expect("row");
+            let one = single.serve_batch(&row).expect("serve row");
+            prop_assert_eq!(one.len(), 1);
+            prop_assert_eq!(one[0].predicted, outcome.predicted);
+            prop_assert_eq!(one[0].distance.to_bits(), outcome.distance.to_bits());
+        }
+    }
+
+    /// The prototype cache is never stale: any interleaving of serves,
+    /// committed updates and rollbacks keeps serve outcomes bitwise equal
+    /// to uncached classification of the live model.
+    #[test]
+    fn cache_stays_coherent_across_model_lifecycle(ops in prop::collection::vec(0u8..3, 1..6)) {
+        let mut dev = device();
+        let eval = &fixture().eval_features;
+        for op in ops {
+            match op {
+                // Serve (fills or reuses the cache).
+                0 => { dev.serve_batch(eval).expect("serve"); }
+                // Committed incremental update (bumps the generation).
+                1 => {
+                    if !dev.known_classes().contains(&Activity::Run.label()) {
+                        label_run_samples(&mut dev, 10);
+                        dev.update(15).expect("update");
+                    }
+                }
+                // Failed update → exact rollback (also bumps the generation).
+                _ => {
+                    label_run_samples(&mut dev, 6);
+                    dev.update_faulted(15, Some(pilote::core::UpdateStage::Trained))
+                        .expect("faulted update");
+                }
+            }
+            assert_cache_coherent(&mut dev, eval);
+        }
+    }
+}
+
+/// A federated install rewrites every device's parameters in place; the
+/// per-device caches must all be invalidated by the generation bump.
+#[test]
+fn federated_install_invalidates_every_device_cache() {
+    let mut f = fleet(0);
+    let eval = &fixture().eval_features;
+    // Warm every cache.
+    for i in 0..f.len() {
+        f.device_mut(i).serve_batch(eval).expect("warm serve");
+        assert_eq!(f.device(i).cache_rebuilds(), 1);
+    }
+    // Teach one device Run so the round actually changes parameters.
+    label_run_samples(f.device_mut(0), 10);
+    f.device_mut(0).update(15).expect("update");
+    f.federated_round().expect("round");
+    for i in 0..f.len() {
+        let dev = f.device_mut(i);
+        assert_cache_coherent(dev, eval);
+        assert!(
+            dev.cache_rebuilds() >= 2,
+            "device {i}: federated install did not invalidate the cache"
+        );
+    }
+}
+
+/// The full fleet schedule — routing, chunked serving, updates, federated
+/// rounds, virtual clocks — is bitwise identical at 1 and 4 threads.
+#[test]
+fn fleet_schedule_is_thread_invariant() {
+    let _guard = CONFIG_LOCK.lock().unwrap();
+    let saved = parallel::current();
+    parallel::configure(ThreadConfig::serial());
+    let serial = run_schedule(4);
+    parallel::configure(ThreadConfig { num_threads: 4, min_parallel_len: 0 });
+    let threaded = run_schedule(4);
+    parallel::configure(saved);
+    assert_eq!(serial, threaded, "fleet schedule diverged between 1 and 4 threads");
+}

@@ -99,6 +99,6 @@ fn deployment_transfer_cost_is_one_time() {
     let device = EdgeDevice::install(DeviceProfile::wearable(), &deployment, &link)
         .expect("install");
     // The log's clock starts at the (one-time) download latency.
-    let bootstrap = link.transfer_seconds(deployment.wire_bytes());
+    let bootstrap = link.transfer_seconds(deployment.wire_bytes().expect("serialisable"));
     assert!((device.log().now() - bootstrap).abs() < 1e-9);
 }
