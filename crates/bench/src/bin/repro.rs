@@ -7,7 +7,7 @@
 //! experiments: all, table2, fig4, fig5, fig6, fig7, timing,
 //!              ablate-alpha, ablate-margin, ablate-pairs,
 //!              ablate-strategies, cloud-vs-edge, kernels, faults, obs,
-//!              fleet
+//!              fleet, quality
 //! ```
 //!
 //! Run it in release mode: `cargo run --release -p pilote-bench --bin repro -- all`.
@@ -19,7 +19,7 @@
 use pilote_bench::report::{results_dir, ReportError};
 use pilote_bench::{
     exp_ablations, exp_cloud, exp_faults, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_fleet,
-    exp_kernels, exp_obs, exp_table2, exp_timing, Scale,
+    exp_kernels, exp_obs, exp_quality, exp_table2, exp_timing, Scale,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -36,7 +36,7 @@ fn usage() -> ExitCode {
         "usage: repro <experiment> [--quick] [--rounds N] [--per-activity N] [--seed N] [--out DIR]\n\
          experiments: all, table2, fig4, fig5, fig6, fig7, timing,\n\
                       ablate-alpha, ablate-margin, ablate-pairs, ablate-strategies,\n\
-                      cloud-vs-edge, kernels, faults, obs, fleet"
+                      cloud-vs-edge, kernels, faults, obs, fleet, quality"
     );
     ExitCode::from(2)
 }
@@ -98,6 +98,7 @@ fn dispatch(
         "faults" => exp_faults::run(scale, seed, out).map(drop),
         "obs" => exp_obs::run(scale, seed, out).map(drop),
         "fleet" => exp_fleet::run(scale, seed, out).map(drop),
+        "quality" => exp_quality::run(scale, seed, out).map(drop),
         "all" => (|| {
             exp_table2::run(scale, seed, out)?;
             exp_fig4::run(scale, seed, out)?;
@@ -114,6 +115,7 @@ fn dispatch(
             exp_faults::run(scale, seed, out)?;
             exp_obs::run(scale, seed, out)?;
             exp_fleet::run(scale, seed, out)?;
+            exp_quality::run(scale, seed, out)?;
             Ok(())
         })(),
         _ => return None,

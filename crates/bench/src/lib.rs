@@ -24,6 +24,7 @@
 //! repro faults         # resilience sweep under injected faults (BENCH_faults.json)
 //! repro obs            # deterministic telemetry snapshot (BENCH_obs.json)
 //! repro fleet          # multi-device fleet orchestration (BENCH_fleet.json)
+//! repro quality        # quality monitors + fleet telemetry rollup (BENCH_quality.json)
 //! ```
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -38,6 +39,7 @@ pub mod exp_fig7;
 pub mod exp_fleet;
 pub mod exp_kernels;
 pub mod exp_obs;
+pub mod exp_quality;
 pub mod exp_table2;
 pub mod exp_timing;
 pub mod report;

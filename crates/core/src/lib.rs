@@ -37,6 +37,9 @@
 //! * [`metrics`] — accuracy, confusion matrices, forgetting measures.
 //! * [`projection`] — PCA projection of embedding spaces (Fig. 5) and
 //!   cluster separation scores.
+//! * [`quality`] — run-time quality monitoring: forgetting scores,
+//!   prototype drift and NCM margin histograms with deterministic alert
+//!   rules.
 
 pub mod baselines;
 pub mod config;
@@ -48,6 +51,7 @@ pub mod ncm;
 pub mod pairs;
 pub mod pilote;
 pub mod projection;
+pub mod quality;
 pub mod strategies;
 
 pub use config::{NetConfig, PiloteConfig};
@@ -57,3 +61,6 @@ pub use metrics::{accuracy, ConfusionMatrix};
 pub use knn::KnnClassifier;
 pub use ncm::NcmClassifier;
 pub use pilote::{Pilote, SupportSet, TrainReport, UpdateOutcome, UpdateStage};
+pub use quality::{
+    AlertRule, ClassQuality, QualityAlert, QualityMonitor, QualityReport, QualityThresholds,
+};

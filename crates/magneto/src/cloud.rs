@@ -1,13 +1,15 @@
-//! The cloud side of MAGNETO: pre-training and the one-time deployment
-//! package.
+//! The cloud side of MAGNETO: pre-training, the one-time deployment
+//! package, and the fleet telemetry rollup.
 
 use pilote_core::pilote::TrainReport;
 use pilote_core::{Pilote, PiloteConfig, SelectionStrategy, SupportSet};
 use pilote_har_data::preprocess::Normalizer;
 use pilote_har_data::Dataset;
 use pilote_nn::Checkpoint;
+use pilote_obs::{GaugeSnapshot, HistogramSnapshot, Snapshot};
 use pilote_tensor::TensorError;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Everything an edge device needs, shipped once (Fig. 2, right side,
 /// step i): model parameters, exemplar support set, and the feature
@@ -56,6 +58,83 @@ impl Deployment {
         serde_json::to_string(self)
             .map(|body| body.len() as u64)
             .map_err(|e| PackageError { detail: e.to_string() })
+    }
+}
+
+/// Two per-device histograms under the same name disagreed on bucket
+/// bounds, so the rollup cannot merge them bucket-wise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollupError {
+    /// The histogram name whose bounds disagreed.
+    pub histogram: String,
+}
+
+impl std::fmt::Display for RollupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "histogram {:?} has mismatched bucket bounds across devices", self.histogram)
+    }
+}
+
+impl std::error::Error for RollupError {}
+
+/// Deterministic fleet-wide telemetry, merged on the cloud from per-device
+/// [`Snapshot`]s in device-index order (see `docs/QUALITY.md`):
+///
+/// * **counters** — summed by name (counter merges are commutative);
+/// * **histograms** — merged bucket-wise by name via
+///   [`HistogramSnapshot::merge`] (same-bounds contract; a bounds mismatch
+///   is a [`RollupError`], never a silent misfile);
+/// * **gauges** — last write wins, in device-index order, so the value is
+///   a deterministic function of the merge order alone.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetryRollup {
+    /// Devices merged in (kill-switched devices ship empty snapshots but
+    /// are still counted).
+    pub devices: usize,
+    /// Per-device counters summed by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-by-device-index gauges by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Bucket-wise merged histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetryRollup {
+    /// Empty rollup.
+    pub fn new() -> Self {
+        TelemetryRollup::default()
+    }
+
+    /// Merges one device's snapshot. Callers merge in device-index order;
+    /// counter and histogram merges are commutative and associative, so
+    /// the order only determines gauge last-writes.
+    pub fn merge_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), RollupError> {
+        self.devices += 1;
+        for (name, value) in &snapshot.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, gauge) in &snapshot.gauges {
+            self.gauges.insert(name.clone(), gauge.clone());
+        }
+        for (name, histogram) in &snapshot.histograms {
+            match self.histograms.get(name) {
+                Some(existing) => {
+                    let merged = existing
+                        .merge(histogram)
+                        .ok_or_else(|| RollupError { histogram: name.clone() })?;
+                    self.histograms.insert(name.clone(), merged);
+                }
+                None => {
+                    self.histograms.insert(name.clone(), histogram.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total count across one named counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
     }
 }
 
@@ -127,6 +206,77 @@ mod tests {
         assert_eq!(deployment.support.len(), 20);
         assert!(deployment.checkpoint.param_count() > 0);
         assert!(deployment.wire_bytes().expect("serialisable") > 1000);
+    }
+
+    fn snapshot_with(
+        counters: &[(&str, u64)],
+        gauge_last: f64,
+        histogram_values: &[f64],
+    ) -> Snapshot {
+        let mut snap = Snapshot { enabled: true, ..Default::default() };
+        for (name, value) in counters {
+            snap.counters.insert((*name).to_string(), *value);
+        }
+        snap.gauges.insert(
+            "edge.clock_seconds".to_string(),
+            GaugeSnapshot { last: gauge_last, min: gauge_last, max: gauge_last, count: 1 },
+        );
+        let mut h = HistogramSnapshot::with_bounds(&[1.0, 10.0]);
+        for &v in histogram_values {
+            h.record(v);
+        }
+        snap.histograms.insert("quality.margins".to_string(), h);
+        snap
+    }
+
+    #[test]
+    fn rollup_sums_counters_merges_histograms_and_keeps_last_gauge() {
+        let a = snapshot_with(&[("edge.inference", 3), ("edge.batch_served", 8)], 1.5, &[0.5, 42.0]);
+        let b = snapshot_with(&[("edge.inference", 2), ("edge.alert_raised", 1)], 9.25, &[5.0]);
+        let mut rollup = TelemetryRollup::new();
+        rollup.merge_snapshot(&a).expect("merge a");
+        rollup.merge_snapshot(&b).expect("merge b");
+        assert_eq!(rollup.devices, 2);
+        assert_eq!(rollup.counter("edge.inference"), 5);
+        assert_eq!(rollup.counter("edge.batch_served"), 8);
+        assert_eq!(rollup.counter("edge.alert_raised"), 1);
+        assert_eq!(rollup.counter("edge.absent"), 0);
+        // Gauge: last write (device-index order) wins.
+        assert_eq!(rollup.gauges["edge.clock_seconds"].last, 9.25);
+        // Histogram: bucket-wise sum.
+        assert_eq!(rollup.histograms["quality.margins"].counts, vec![1, 1, 1]);
+        assert_eq!(rollup.histograms["quality.margins"].total(), 3);
+        // Serde round-trip: the rollup is a report payload.
+        let json = serde_json::to_string(&rollup).expect("serialise");
+        let back: TelemetryRollup = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, rollup);
+    }
+
+    #[test]
+    fn rollup_counter_totals_equal_per_device_sums() {
+        let snaps = [
+            snapshot_with(&[("edge.inference", 7)], 0.0, &[]),
+            snapshot_with(&[("edge.inference", 11)], 0.0, &[]),
+            snapshot_with(&[("edge.inference", 13)], 0.0, &[]),
+        ];
+        let mut rollup = TelemetryRollup::new();
+        for s in &snaps {
+            rollup.merge_snapshot(s).expect("merge");
+        }
+        let per_device: u64 = snaps.iter().map(|s| s.counters["edge.inference"]).sum();
+        assert_eq!(rollup.counter("edge.inference"), per_device);
+    }
+
+    #[test]
+    fn rollup_rejects_mismatched_histogram_bounds() {
+        let a = snapshot_with(&[], 0.0, &[0.5]);
+        let mut b = snapshot_with(&[], 0.0, &[]);
+        b.histograms
+            .insert("quality.margins".to_string(), HistogramSnapshot::with_bounds(&[2.0, 20.0]));
+        let mut rollup = TelemetryRollup::new();
+        rollup.merge_snapshot(&a).expect("merge a");
+        let err = rollup.merge_snapshot(&b).expect_err("bounds mismatch must fail");
+        assert_eq!(err.histogram, "quality.margins");
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! degrade the device to its frozen pre-trained deployment — it keeps
 //! classifying the old classes rather than going dark.
 
-use crate::cloud::{Deployment, PackageError};
+use crate::cloud::{Deployment, PackageError, RollupError};
 use crate::events::{EventKind, EventLog};
 use crate::federated::FederatedError;
-use pilote_core::{EmbeddingNet, NcmClassifier, Pilote, SupportSet, UpdateOutcome};
+use pilote_core::{
+    EmbeddingNet, NcmClassifier, Pilote, QualityMonitor, QualityReport, QualityThresholds,
+    SupportSet, UpdateOutcome,
+};
 use pilote_edge_sim::faults::{FlakyLink, LinkFault, RetryPolicy};
 use pilote_edge_sim::{DeviceProfile, LinkModel};
 use pilote_har_data::dataset::Dataset;
@@ -42,6 +45,8 @@ pub enum EdgeError {
     Package(PackageError),
     /// A federated aggregation step failed.
     Federated(FederatedError),
+    /// The fleet telemetry rollup could not merge per-device snapshots.
+    Rollup(RollupError),
 }
 
 impl std::fmt::Display for EdgeError {
@@ -55,6 +60,7 @@ impl std::fmt::Display for EdgeError {
             }
             EdgeError::Package(e) => write!(f, "package error: {e}"),
             EdgeError::Federated(e) => write!(f, "federated error: {e}"),
+            EdgeError::Rollup(e) => write!(f, "rollup error: {e}"),
         }
     }
 }
@@ -68,6 +74,7 @@ impl std::error::Error for EdgeError {
             EdgeError::Link { .. } => None,
             EdgeError::Package(e) => Some(e),
             EdgeError::Federated(e) => Some(e),
+            EdgeError::Rollup(e) => Some(e),
         }
     }
 }
@@ -99,6 +106,12 @@ impl From<PackageError> for EdgeError {
 impl From<FederatedError> for EdgeError {
     fn from(e: FederatedError) -> Self {
         EdgeError::Federated(e)
+    }
+}
+
+impl From<RollupError> for EdgeError {
+    fn from(e: RollupError) -> Self {
+        EdgeError::Rollup(e)
     }
 }
 
@@ -152,6 +165,10 @@ pub struct EdgeDevice {
     serve_cache: Option<ServeCache>,
     /// Cache rebuilds performed by [`EdgeDevice::serve_batch`] so far.
     cache_rebuilds: u64,
+    /// Model-quality monitor (forgetting / drift / margins), armed via
+    /// [`EdgeDevice::arm_quality_monitor`]. Sampled at every generation
+    /// bump; fired rules surface as [`EventKind::AlertRaised`].
+    quality: Option<QualityMonitor>,
 }
 
 /// The cached classifier snapshot behind [`EdgeDevice::serve_batch`].
@@ -251,6 +268,7 @@ impl EdgeDevice {
             degraded: false,
             serve_cache: None,
             cache_rebuilds: 0,
+            quality: None,
         })
     }
 
@@ -288,6 +306,57 @@ impl EdgeDevice {
     pub fn arm_drift_monitor(&mut self, reference: &Tensor, threshold: f32) -> Result<(), EdgeError> {
         self.drift = Some(DriftMonitor::from_reference(reference, threshold)?);
         Ok(())
+    }
+
+    /// Arms the model-quality monitor with a held-out probe set (already
+    /// in model feature space) and immediately takes the baseline
+    /// observation at the current generation. `old_labels` are the classes
+    /// whose accuracy the forgetting score tracks. Subsequent generation
+    /// bumps (updates, rollbacks, degradation, federated installs) are
+    /// sampled automatically; fired rules raise
+    /// [`EventKind::AlertRaised`] in the device log.
+    pub fn arm_quality_monitor(
+        &mut self,
+        probe: Dataset,
+        old_labels: &[usize],
+        thresholds: QualityThresholds,
+    ) -> Result<(), EdgeError> {
+        self.quality = Some(QualityMonitor::new(probe, old_labels, thresholds));
+        self.sample_quality()?;
+        Ok(())
+    }
+
+    /// Samples the quality monitor if it is armed and the model generation
+    /// moved since the last observation. The probe evaluation is charged
+    /// to the virtual clock as modeled device work, and every alert in the
+    /// report is raised as an [`EventKind::AlertRaised`] event.
+    pub fn sample_quality(&mut self) -> Result<Option<QualityReport>, EdgeError> {
+        let Some(monitor) = &mut self.quality else {
+            return Ok(None);
+        };
+        let span = pilote_obs::span("edge.quality_sample");
+        let flops_before = work::thread_flops();
+        let report = monitor.observe(&mut self.model)?;
+        let flops = work::thread_flops().wrapping_sub(flops_before);
+        let device_seconds = self.profile.seconds_for_flops(flops);
+        span.annotate("device_seconds", device_seconds);
+        drop(span);
+        self.log.advance(device_seconds);
+        if let Some(report) = &report {
+            for alert in &report.alerts {
+                self.log.record(EventKind::AlertRaised {
+                    rule: alert.rule.name().to_string(),
+                    generation: alert.generation,
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// The armed quality monitor's reports so far (the device's forgetting
+    /// curve), or an empty slice when no monitor is armed.
+    pub fn quality_reports(&self) -> &[QualityReport] {
+        self.quality.as_ref().map(|m| m.reports()).unwrap_or(&[])
     }
 
     /// Feeds a block of raw sensor samples (`[n, 22]`), classifying every
@@ -415,7 +484,7 @@ impl EdgeDevice {
             }
             _ => None,
         };
-        match committed {
+        let status = match committed {
             Some(report) => {
                 self.log.record(EventKind::UpdateFinished {
                     new_label,
@@ -424,10 +493,15 @@ impl EdgeDevice {
                 });
                 self.pending.clear();
                 self.update_failures = 0;
-                Ok(UpdateStatus::Completed)
+                UpdateStatus::Completed
             }
-            None => self.roll_back(new_label, &snapshot, snapshot_support),
-        }
+            None => self.roll_back(new_label, &snapshot, snapshot_support)?,
+        };
+        // Every path above commits through `refresh_prototypes` (commit,
+        // rollback, degradation), so the generation moved — sample the
+        // quality monitor at the new model state.
+        self.sample_quality()?;
+        Ok(status)
     }
 
     /// Restores the last-good snapshot after a failed update and, under
@@ -558,6 +632,55 @@ impl EdgeDevice {
     pub fn advance_clock(&mut self, seconds: f64) {
         self.log.advance(seconds);
     }
+
+    /// A per-device telemetry snapshot assembled from **device-local**
+    /// state: the event log (counters, matching the
+    /// [`EventKind::metric_name`] bridge — window events add their window
+    /// counts), the virtual clock and model generation (gauges), and the
+    /// quality monitor's accumulated margin histogram. The process-global
+    /// `pilote_obs` registry is deliberately not consulted: it sums over
+    /// every device in the process and cannot be attributed back to one
+    /// fleet member. Returns `Snapshot::default()` (all empty,
+    /// `enabled: false`) under the `PILOTE_OBS` kill switch.
+    pub fn telemetry_snapshot(&self) -> pilote_obs::Snapshot {
+        if !pilote_obs::enabled() {
+            return pilote_obs::Snapshot::default();
+        }
+        let mut snapshot = pilote_obs::Snapshot { enabled: true, ..Default::default() };
+        for event in self.log.events() {
+            let add = match &event.kind {
+                EventKind::WindowsQuarantined { windows }
+                | EventKind::BatchServed { windows, .. } => *windows,
+                _ => 1,
+            };
+            *snapshot.counters.entry(event.kind.metric_name().to_string()).or_insert(0) += add;
+        }
+        let point = |v: f64| pilote_obs::GaugeSnapshot { last: v, min: v, max: v, count: 1 };
+        snapshot.gauges.insert("edge.clock_seconds".to_string(), point(self.log.now()));
+        snapshot
+            .gauges
+            .insert("edge.generation".to_string(), point(self.model.generation() as f64));
+        if let Some(monitor) = &self.quality {
+            let mut margins =
+                pilote_obs::HistogramSnapshot::with_bounds(pilote_core::quality::MARGIN_BOUNDS);
+            for report in monitor.reports() {
+                if let Some(merged) = margins.merge(&report.margins) {
+                    margins = merged;
+                }
+            }
+            snapshot.histograms.insert("quality.margins".to_string(), margins);
+            if let Some(last) = monitor.last_report() {
+                snapshot
+                    .gauges
+                    .insert("quality.forgetting".to_string(), point(f64::from(last.forgetting)));
+                snapshot.gauges.insert(
+                    "quality.old_class_accuracy".to_string(),
+                    point(f64::from(last.old_class_accuracy)),
+                );
+            }
+        }
+        snapshot
+    }
 }
 
 /// Whether every stored prototype is finite.
@@ -645,6 +768,98 @@ mod tests {
         assert_eq!(device.pending_samples(), 0);
         assert_eq!(device.known_classes().len(), 3);
         assert_eq!(device.log().update_count(), 1);
+    }
+
+    /// Held-out Still/Walk probe windows, normalised with the deployment
+    /// normaliser (the stream the monitor would realistically retain).
+    fn probe_set(sim: &mut Simulator, norm: &Normalizer) -> Dataset {
+        let raw = sim.raw_dataset(&[(Activity::Still, 20), (Activity::Walk, 20)]);
+        let features = norm.transform(&extract_batch(&raw).expect("features")).expect("norm");
+        Dataset::new(features, raw.labels).expect("probe")
+    }
+
+    #[test]
+    fn quality_monitor_baselines_then_samples_every_commit() {
+        let (mut device, mut sim, norm) = deployed_device();
+        let probe = probe_set(&mut sim, &norm);
+        let old = [Activity::Still.label(), Activity::Walk.label()];
+        let clock_before_arm = device.log().now();
+        device
+            .arm_quality_monitor(probe, &old, QualityThresholds::default())
+            .expect("arm");
+        assert_eq!(device.quality_reports().len(), 1, "arming takes the baseline");
+        let baseline_generation = device.quality_reports()[0].generation;
+        assert_eq!(device.quality_reports()[0].forgetting, 0.0);
+        assert!(
+            device.log().now() > clock_before_arm,
+            "probe evaluation must advance the virtual clock"
+        );
+
+        // An incremental update commits a new generation → a second sample.
+        let raw = sim.raw_dataset(&[(Activity::Run, 25)]);
+        let features = norm.transform(&extract_batch(&raw).expect("features")).expect("norm");
+        for i in 0..features.rows() {
+            device.label_sample(Activity::Run.label(), Tensor::vector(features.row(i)));
+        }
+        device.update(20).expect("update");
+        assert_eq!(device.quality_reports().len(), 2, "the commit must be sampled");
+        let last = device.quality_reports().last().expect("post-update report");
+        assert!(last.generation > baseline_generation);
+        // Per-class rows cover every class the model now knows; the new
+        // class has no probe rows, so its accuracy is the -1.0 sentinel.
+        assert_eq!(last.per_class.len(), 3);
+        let run = last
+            .per_class
+            .iter()
+            .find(|c| c.label == Activity::Run.label())
+            .expect("new class row");
+        assert_eq!(run.accuracy, -1.0, "no probe rows for the new class");
+    }
+
+    #[test]
+    fn quality_alerts_are_recorded_as_events() {
+        let (mut device, mut sim, norm) = deployed_device();
+        let probe = probe_set(&mut sim, &norm);
+        let old = [Activity::Still.label(), Activity::Walk.label()];
+        device
+            .arm_quality_monitor(probe, &old, QualityThresholds::default())
+            .expect("arm");
+        assert_eq!(device.log().alert_count(), 0, "healthy baseline must not alert");
+
+        // Teleport one class's support set: its prototype jumps by far
+        // more than its own norm, which must trip the drift-spike rule.
+        let label = Activity::Still.label();
+        let moved = device.model_mut().support().class(label).expect("class").add_scalar(100.0);
+        device.model_mut().support_mut().put_class(label, moved);
+        device.model_mut().refresh_prototypes().expect("refresh");
+        device.sample_quality().expect("sample");
+        assert!(device.log().alert_count() >= 1, "drift spike must raise an alert event");
+        let raised = device.log().events().iter().any(|e| {
+            matches!(&e.kind, EventKind::AlertRaised { rule, .. } if rule == "drift_spike")
+        });
+        assert!(raised, "the alert event must carry the rule name");
+    }
+
+    #[test]
+    fn telemetry_snapshot_mirrors_the_device_log() {
+        let (mut device, mut sim, _) = deployed_device();
+        let session = sim.session(Activity::Still, 6);
+        device.stream(&session).expect("stream");
+        let snapshot = device.telemetry_snapshot();
+        if !pilote_obs::enabled() {
+            assert_eq!(snapshot, pilote_obs::Snapshot::default());
+            return;
+        }
+        assert!(snapshot.enabled);
+        assert_eq!(snapshot.counters.get("edge.deployed").copied(), Some(1));
+        assert_eq!(snapshot.counters.get("edge.inference").copied(), Some(6));
+        let clock = snapshot.gauges.get("edge.clock_seconds").expect("clock gauge");
+        assert_eq!(clock.last, device.log().now());
+        // Device-local snapshots are attributable: streaming on a second
+        // device must not leak into this one's counters.
+        let (mut other, mut sim2, _) = deployed_device();
+        other.stream(&sim2.session(Activity::Walk, 9)).expect("stream");
+        assert_eq!(device.telemetry_snapshot().counters.get("edge.inference").copied(), Some(6));
     }
 
     fn deployment() -> (crate::cloud::Deployment, Simulator, Normalizer) {

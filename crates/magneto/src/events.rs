@@ -92,6 +92,15 @@ pub enum EventKind {
         /// Update failures that triggered the degradation.
         failures: u32,
     },
+    /// A quality-monitor threshold rule fired for this device's model (see
+    /// `pilote_core::quality` and `docs/QUALITY.md`).
+    AlertRaised {
+        /// Stable rule name (`AlertRule::name`): `forgetting`,
+        /// `margin_collapse` or `drift_spike`.
+        rule: String,
+        /// Model generation the measurement was taken at.
+        generation: u64,
+    },
 }
 
 impl EventKind {
@@ -111,6 +120,7 @@ impl EventKind {
             EventKind::WindowsQuarantined { .. } => "edge.windows_quarantined",
             EventKind::UpdateRolledBack { .. } => "edge.update_rolled_back",
             EventKind::DegradedToPretrained { .. } => "edge.degraded_to_pretrained",
+            EventKind::AlertRaised { .. } => "edge.alert_raised",
         }
     }
 }
@@ -186,6 +196,14 @@ impl EventLog {
                 _ => 0,
             })
             .sum()
+    }
+
+    /// Number of quality alerts raised.
+    pub fn alert_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::AlertRaised { .. }))
+            .count()
     }
 
     /// Number of completed updates.
@@ -318,6 +336,7 @@ mod tests {
             EventKind::WindowsQuarantined { windows: 1 },
             EventKind::UpdateRolledBack { new_label: 0, failures: 1 },
             EventKind::DegradedToPretrained { failures: 3 },
+            EventKind::AlertRaised { rule: "forgetting".into(), generation: 2 },
         ];
         let mut names: Vec<_> = kinds.iter().map(EventKind::metric_name).collect();
         assert!(names.iter().all(|n| n.starts_with("edge.")));

@@ -16,11 +16,14 @@
 //!   ([`FleetConfig::federated_every`]), charging each participant's link
 //!   with the parameter upload/download before averaging.
 
-use crate::cloud::{Deployment, PackageError};
+use crate::cloud::{Deployment, PackageError, TelemetryRollup};
 use crate::edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus};
 use crate::federated::FederatedCoordinator;
+use pilote_core::QualityThresholds;
 use pilote_edge_sim::{DeviceProfile, LinkModel};
+use pilote_har_data::Dataset;
 use pilote_nn::Checkpoint;
+use pilote_obs::Snapshot;
 use pilote_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +123,14 @@ fn splitmix64(mut x: u64) -> u64 {
 /// payload a federated participant uploads (and downloads back merged).
 fn checkpoint_wire_bytes(ckpt: &Checkpoint) -> Result<u64, PackageError> {
     serde_json::to_string(ckpt)
+        .map(|body| body.len() as u64)
+        .map_err(|e| PackageError { detail: e.to_string() })
+}
+
+/// Wire size of one device's telemetry snapshot in the repo's JSON
+/// edge→cloud format — the payload the device uploads for the rollup.
+fn snapshot_wire_bytes(snapshot: &Snapshot) -> Result<u64, PackageError> {
+    serde_json::to_string(snapshot)
         .map(|body| body.len() as u64)
         .map_err(|e| PackageError { detail: e.to_string() })
 }
@@ -275,11 +286,66 @@ impl Fleet {
         let mut devices: Vec<&mut EdgeDevice> =
             self.members.iter_mut().map(|m| &mut m.device).collect();
         self.coordinator.run_round(&mut devices)?;
+        // The round installed merged parameters everywhere (generation
+        // bumped), so armed quality monitors must sample the new model.
+        for member in &mut self.members {
+            member.device.sample_quality()?;
+        }
         drop(span);
         if pilote_obs::enabled() {
             pilote_obs::counter("fleet.federated_rounds").inc();
         }
         Ok(())
+    }
+
+    /// Arms a [`pilote_core::QualityMonitor`] with the same probe set and
+    /// thresholds on every device, in device-index order. Each monitor
+    /// takes its baseline measurement immediately and then samples at
+    /// every later generation bump (updates, rollbacks, degradations and
+    /// federated installs), raising [`crate::events::EventKind::AlertRaised`]
+    /// events into the device log.
+    pub fn arm_quality_monitors(
+        &mut self,
+        probe: &Dataset,
+        old_labels: &[usize],
+        thresholds: QualityThresholds,
+    ) -> Result<(), EdgeError> {
+        for member in &mut self.members {
+            member
+                .device
+                .arm_quality_monitor(probe.clone(), old_labels, thresholds)?;
+        }
+        Ok(())
+    }
+
+    /// Collects every device's telemetry snapshot over its own link
+    /// (charging real wire bytes and modeled transfer time, like any other
+    /// deployment traffic) and merges them into a deterministic fleet-wide
+    /// [`TelemetryRollup`] in device-index order.
+    ///
+    /// Under `PILOTE_OBS=0` each device ships an empty snapshot — the
+    /// rollup stays well-formed (all sections empty) and the devices are
+    /// still counted, but no telemetry leaves the device.
+    ///
+    /// # Errors
+    /// [`EdgeError::Package`] when a snapshot cannot be serialised for the
+    /// wire; [`EdgeError::Rollup`] when two devices disagree on histogram
+    /// bucket bounds.
+    pub fn telemetry_rollup(&mut self) -> Result<TelemetryRollup, EdgeError> {
+        let span = pilote_obs::span("fleet.telemetry_rollup");
+        span.annotate("devices", self.members.len() as f64);
+        let mut rollup = TelemetryRollup::new();
+        for member in &mut self.members {
+            let snapshot = member.device.telemetry_snapshot();
+            let bytes = snapshot_wire_bytes(&snapshot)?;
+            member.device.advance_clock(member.link.transfer_seconds(bytes));
+            rollup.merge_snapshot(&snapshot)?;
+        }
+        drop(span);
+        if pilote_obs::enabled() {
+            pilote_obs::counter("fleet.telemetry_rollups").inc();
+        }
+        Ok(rollup)
     }
 
     /// Fleet-wide summary.
@@ -493,6 +559,72 @@ mod tests {
             }
         }
         panic!("no user routed back to an already-serving device");
+    }
+
+    /// Held-out Still/Walk probe windows, normalised with the deployment
+    /// normaliser.
+    fn probe_set(sim: &mut Simulator, norm: &Normalizer) -> Dataset {
+        let raw = sim.raw_dataset(&[(Activity::Still, 15), (Activity::Walk, 15)]);
+        let features = norm.transform(&extract_batch(&raw).expect("features")).expect("norm");
+        Dataset::new(features, raw.labels).expect("probe")
+    }
+
+    #[test]
+    fn federated_round_samples_armed_quality_monitors() {
+        let cfg = FleetConfig { federated_every: 0, ..FleetConfig::default() };
+        let (mut fleet, mut sim, norm) = fleet(3, cfg);
+        let probe = probe_set(&mut sim, &norm);
+        let old = [Activity::Still.label(), Activity::Walk.label()];
+        fleet
+            .arm_quality_monitors(&probe, &old, QualityThresholds::default())
+            .expect("arm");
+        for i in 0..fleet.len() {
+            assert_eq!(fleet.device(i).quality_reports().len(), 1, "device {i} baseline");
+        }
+        // The round installs merged parameters everywhere → every armed
+        // monitor must sample the new generation.
+        fleet.federated_round().expect("round");
+        for i in 0..fleet.len() {
+            assert_eq!(
+                fleet.device(i).quality_reports().len(),
+                2,
+                "device {i} must sample the federated install"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_rollup_totals_match_per_device_snapshots() {
+        let cfg = FleetConfig { federated_every: 0, ..FleetConfig::default() };
+        let (mut fleet, mut sim, norm) = fleet(3, cfg);
+        let features = session_features(&mut sim, &norm, Activity::Still, 5);
+        for user in 0..6u64 {
+            fleet.serve_session(user, &features).expect("serve");
+        }
+        let clocks_before: Vec<f64> = (0..3).map(|i| fleet.device(i).log().now()).collect();
+        let per_device: Vec<_> = (0..3).map(|i| fleet.device(i).telemetry_snapshot()).collect();
+        let rollup = fleet.telemetry_rollup().expect("rollup");
+        assert_eq!(rollup.devices, 3);
+        if !pilote_obs::enabled() {
+            assert!(rollup.counters.is_empty(), "kill switch ships empty snapshots");
+            return;
+        }
+        // Rollup counters are exactly the sum of the per-device snapshots.
+        let mut expected = std::collections::BTreeMap::new();
+        for snap in &per_device {
+            for (name, value) in &snap.counters {
+                *expected.entry(name.clone()).or_insert(0u64) += value;
+            }
+        }
+        assert_eq!(rollup.counters, expected);
+        assert_eq!(rollup.counter("edge.batch_served"), 30, "6 sessions × 5 windows");
+        // Shipping the snapshot charges each device's own link.
+        for (i, before) in clocks_before.iter().enumerate() {
+            assert!(
+                fleet.device(i).log().now() > *before,
+                "device {i} paid no link time for its telemetry upload"
+            );
+        }
     }
 
     #[test]

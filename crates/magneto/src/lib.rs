@@ -30,7 +30,7 @@ pub mod events;
 pub mod federated;
 pub mod fleet;
 
-pub use cloud::{CloudServer, Deployment, PackageError};
+pub use cloud::{CloudServer, Deployment, PackageError, RollupError, TelemetryRollup};
 pub use edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus, MAX_UPDATE_FAILURES};
 pub use events::{Event, EventKind, EventLog};
 pub use federated::{federated_average, FederatedCoordinator, FederatedError};

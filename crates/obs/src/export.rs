@@ -1,0 +1,165 @@
+//! Trace export: renders finished [`SpanNode`] trees to the Chrome
+//! `trace_events` JSON format, loadable in `chrome://tracing` or Perfetto.
+//!
+//! The export preserves the crate's determinism contract: every field is a
+//! function of the recorded spans alone. Timestamps (`ts`) are the spans'
+//! **logical sequence ticks** (`seq_open`) and durations (`dur`) are tick
+//! intervals (`seq_close - seq_open`) — never host time. The flop cost of
+//! each span rides along in `args.flops`, together with any named span
+//! attributes (e.g. the modeled `device_seconds` an edge update charged to
+//! the virtual clock), so the viewer shows both the ordering of phases and
+//! their deterministic work cost.
+//!
+//! Event order is depth-first (parent before children) over the root spans
+//! in completion order; object keys are emitted in a fixed order. One seed
+//! ⇒ byte-identical trace JSON at any `PILOTE_THREADS`.
+//!
+//! ```
+//! use pilote_obs as obs;
+//! obs::set_enabled(true);
+//! obs::reset();
+//! {
+//!     let _update = obs::span("edge.update");
+//!     let _train = obs::span("train");
+//! }
+//! let trace = obs::export::chrome_trace(&obs::snapshot().spans);
+//! let text = serde_json::to_string(&trace).expect("serialise");
+//! assert!(text.contains("\"traceEvents\""));
+//! obs::reset();
+//! ```
+
+use crate::span::SpanNode;
+use serde_json::{json, Value};
+
+/// Renders finished root spans to a Chrome `trace_events` JSON document:
+/// `{"displayTimeUnit": "ms", "traceEvents": [...]}` where each span
+/// (recursively including children) becomes one complete (`"ph": "X"`)
+/// event. An empty slice — e.g. from a kill-switched
+/// [`Snapshot`](crate::Snapshot) — yields an empty `traceEvents` array,
+/// still a valid trace document.
+pub fn chrome_trace(spans: &[SpanNode]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    for root in spans {
+        push_events(root, &mut events);
+    }
+    json!({
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+    })
+}
+
+/// Appends `node` and, depth-first, its children as complete events.
+fn push_events(node: &SpanNode, events: &mut Vec<Value>) {
+    let mut args: Vec<(String, Value)> = vec![("flops".to_string(), json!(node.flops))];
+    for (key, value) in &node.attrs {
+        args.push((key.clone(), json!(*value)));
+    }
+    events.push(json!({
+        "name": node.name.clone(),
+        "cat": "pilote",
+        "ph": "X",
+        "pid": 0,
+        "tid": 0,
+        "ts": node.seq_open,
+        "dur": node.seq_close.saturating_sub(node.seq_open),
+        "args": Value::Object(args),
+    }));
+    for child in &node.children {
+        push_events(child, events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn leaf(name: &str, open: u64, close: u64) -> SpanNode {
+        SpanNode {
+            name: name.to_string(),
+            seq_open: open,
+            seq_close: close,
+            flops: 0,
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_span_list_is_a_valid_empty_trace() {
+        let trace = chrome_trace(&[]);
+        let text = serde_json::to_string(&trace).expect("serialise");
+        let back: Value = serde_json::from_str(&text).expect("parse");
+        match &back {
+            Value::Object(entries) => {
+                let events = entries
+                    .iter()
+                    .find(|(k, _)| k == "traceEvents")
+                    .map(|(_, v)| v)
+                    .expect("traceEvents present");
+                assert_eq!(events, &Value::Array(Vec::new()));
+            }
+            other => panic!("trace root must be an object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_spans_flatten_depth_first_with_logical_times() {
+        let mut root = SpanNode {
+            name: "outer".to_string(),
+            seq_open: 0,
+            seq_close: 5,
+            flops: 640,
+            attrs: [("device_seconds".to_string(), 0.25)].into_iter().collect(),
+            children: vec![leaf("inner", 1, 2), leaf("second", 3, 4)],
+        };
+        root.children[0].flops = 64;
+        let trace = chrome_trace(&[root]);
+        let text = serde_json::to_string(&trace).expect("serialise");
+        let back: Value = serde_json::from_str(&text).expect("round trip");
+        let events = match &back {
+            Value::Object(entries) => match entries.iter().find(|(k, _)| k == "traceEvents") {
+                Some((_, Value::Array(events))) => events,
+                other => panic!("traceEvents must be an array, got {other:?}"),
+            },
+            other => panic!("trace root must be an object, got {other:?}"),
+        };
+        assert_eq!(events.len(), 3, "parent + two children");
+        let field = |event: &Value, key: &str| -> Value {
+            match event {
+                Value::Object(entries) => entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| panic!("event field {key} missing")),
+                other => panic!("event must be an object, got {other:?}"),
+            }
+        };
+        assert_eq!(field(&events[0], "name"), json!("outer"));
+        assert_eq!(field(&events[1], "name"), json!("inner"));
+        assert_eq!(field(&events[2], "name"), json!("second"));
+        assert_eq!(field(&events[0], "ts"), json!(0u64));
+        assert_eq!(field(&events[0], "dur"), json!(5u64));
+        assert_eq!(field(&events[1], "dur"), json!(1u64));
+        assert_eq!(field(&events[0], "ph"), json!("X"));
+        let args = field(&events[0], "args");
+        match &args {
+            Value::Object(entries) => {
+                assert!(entries.iter().any(|(k, v)| k == "flops" && *v == json!(640u64)));
+                assert!(
+                    entries.iter().any(|(k, v)| k == "device_seconds" && *v == json!(0.25)),
+                    "span attrs must ride along in args"
+                );
+            }
+            other => panic!("args must be an object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic_for_identical_spans() {
+        let spans = vec![leaf("a", 0, 1), leaf("b", 2, 3)];
+        let once = serde_json::to_string(&chrome_trace(&spans)).expect("serialise");
+        let twice = serde_json::to_string(&chrome_trace(&spans)).expect("serialise");
+        assert_eq!(once, twice, "same spans must export byte-identically");
+    }
+}

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod export;
 pub mod registry;
 pub mod span;
 pub mod work;

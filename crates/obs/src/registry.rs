@@ -99,6 +99,20 @@ struct HistogramState {
     bounds: Vec<f64>,
     /// One count per bound, plus the trailing overflow bucket.
     counts: Vec<AtomicU64>,
+    /// NaN observations, counted separately: a poisoned value must never
+    /// masquerade as a large one in the overflow bucket.
+    nan: AtomicU64,
+}
+
+/// Bucket index for `value` under `bounds` (the overflow bucket is
+/// `bounds.len()`), or `None` for NaN — NaN compares false against every
+/// bound, so without the explicit check it would silently land in the
+/// overflow bucket.
+fn bucket_index(bounds: &[f64], value: f64) -> Option<usize> {
+    if value.is_nan() {
+        return None;
+    }
+    Some(bounds.iter().position(|&b| value <= b).unwrap_or(bounds.len()))
 }
 
 /// A fixed-bucket histogram: bucket bounds are set at creation and never
@@ -108,13 +122,17 @@ struct HistogramState {
 pub struct Histogram(Arc<HistogramState>);
 
 impl Histogram {
-    /// Records one observation. A no-op when telemetry is disabled.
+    /// Records one observation. A no-op when telemetry is disabled. NaN
+    /// observations are counted in the dedicated `nan` field of the
+    /// snapshot, never in a value bucket.
     pub fn observe(&self, value: f64) {
         if !crate::enabled() {
             return;
         }
-        let idx = self.0.bounds.iter().position(|&b| value <= b).unwrap_or(self.0.bounds.len());
-        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        match bucket_index(&self.0.bounds, value) {
+            Some(idx) => self.0.counts[idx].fetch_add(1, Ordering::Relaxed),
+            None => self.0.nan.fetch_add(1, Ordering::Relaxed),
+        };
     }
 
     /// Current state as a serialisable snapshot.
@@ -122,6 +140,7 @@ impl Histogram {
         HistogramSnapshot {
             bounds: self.0.bounds.clone(),
             counts: self.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            nan: self.0.nan.load(Ordering::Relaxed),
         }
     }
 }
@@ -134,12 +153,65 @@ pub struct HistogramSnapshot {
     /// Per-bucket counts; one entry per bound plus a trailing overflow
     /// bucket.
     pub counts: Vec<u64>,
+    /// NaN observations (kept out of the value buckets — see
+    /// [`Histogram::observe`]).
+    pub nan: u64,
 }
 
 impl HistogramSnapshot {
-    /// Total observations across all buckets.
+    /// Empty snapshot with the given ascending upper bucket `bounds`.
+    /// Usable as a standalone per-entity accumulator (e.g. a per-device
+    /// margin histogram) outside the process-global registry.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is not strictly ascending.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        HistogramSnapshot {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            nan: 0,
+        }
+    }
+
+    /// Records one observation directly into the snapshot (same bucket
+    /// rule as [`Histogram::observe`], including the NaN field). Not gated
+    /// on the kill switch — callers own that decision.
+    pub fn record(&mut self, value: f64) {
+        match bucket_index(&self.bounds, value) {
+            Some(idx) => self.counts[idx] += 1,
+            None => self.nan += 1,
+        }
+    }
+
+    /// Total observations across all buckets (NaN observations included).
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts.iter().sum::<u64>() + self.nan
+    }
+
+    /// Bucket-wise merge with another snapshot of the **same bounds**:
+    /// counts and NaN totals add element-wise. Returns `None` when the
+    /// bounds differ (merging histograms of different shapes would silently
+    /// misfile counts). Commutative and associative — the fleet rollup
+    /// depends on both.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> Option<HistogramSnapshot> {
+        if self.bounds != other.bounds || self.counts.len() != other.counts.len() {
+            return None;
+        }
+        Some(HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            nan: self.nan + other.nan,
+        })
     }
 }
 
@@ -189,7 +261,7 @@ pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
     let mut reg = registry().lock().expect("registry lock poisoned");
     let cell = reg.histograms.entry(name.to_string()).or_insert_with(|| {
         let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
-        Arc::new(HistogramState { bounds: bounds.to_vec(), counts })
+        Arc::new(HistogramState { bounds: bounds.to_vec(), counts, nan: AtomicU64::new(0) })
     });
     Histogram(Arc::clone(cell))
 }
@@ -258,6 +330,7 @@ pub fn snapshot() -> Snapshot {
                 HistogramSnapshot {
                     bounds: v.bounds.clone(),
                     counts: v.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                    nan: v.nan.load(Ordering::Relaxed),
                 },
             )
         })
@@ -396,6 +469,73 @@ pub(crate) mod tests {
     #[should_panic(expected = "ascending")]
     fn histogram_rejects_unsorted_bounds() {
         histogram("t.bad", &[2.0, 1.0]);
+    }
+
+    /// Regression: NaN used to compare false against every bound and land
+    /// in the overflow bucket, indistinguishable from a huge value.
+    #[test]
+    fn histogram_counts_nan_separately_from_overflow() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let saved = crate::enabled();
+        crate::set_enabled(true);
+        reset();
+        let h = histogram("t.nan", &[1.0, 10.0]);
+        h.observe(f64::NAN);
+        h.observe(99.0); // genuine overflow
+        h.observe(f64::INFINITY); // also genuine overflow — +Inf is a value
+        h.observe(f64::NAN);
+        let s = h.read();
+        assert_eq!(s.counts, vec![0, 0, 2], "NaN must not inflate the overflow bucket");
+        assert_eq!(s.nan, 2);
+        assert_eq!(s.total(), 4);
+        let snap = snapshot();
+        assert_eq!(snap.histograms["t.nan"].nan, 2, "nan field must survive snapshot()");
+        reset();
+        crate::set_enabled(saved);
+    }
+
+    #[test]
+    fn standalone_snapshot_records_like_a_histogram() {
+        let mut h = HistogramSnapshot::with_bounds(&[1.0, 10.0]);
+        h.record(0.5);
+        h.record(1.0);
+        h.record(5.0);
+        h.record(99.0);
+        h.record(f64::NAN);
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.nan, 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative_and_associative() {
+        let mut a = HistogramSnapshot::with_bounds(&[1.0, 10.0]);
+        let mut b = HistogramSnapshot::with_bounds(&[1.0, 10.0]);
+        let mut c = HistogramSnapshot::with_bounds(&[1.0, 10.0]);
+        for v in [0.5, 3.0, 99.0, f64::NAN] {
+            a.record(v);
+        }
+        for v in [1.0, 1.0, 42.0] {
+            b.record(v);
+        }
+        for v in [f64::NAN, 0.25] {
+            c.record(v);
+        }
+        let ab = a.merge(&b).expect("same bounds");
+        let ba = b.merge(&a).expect("same bounds");
+        assert_eq!(ab, ba, "merge must be commutative");
+        let ab_c = ab.merge(&c).expect("same bounds");
+        let a_bc = a.merge(&b.merge(&c).expect("same bounds")).expect("same bounds");
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+        assert_eq!(ab_c.total(), a.total() + b.total() + c.total());
+        assert_eq!(ab_c.nan, 2);
+    }
+
+    #[test]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let a = HistogramSnapshot::with_bounds(&[1.0, 10.0]);
+        let b = HistogramSnapshot::with_bounds(&[1.0, 20.0]);
+        assert!(a.merge(&b).is_none(), "different bounds must not merge");
     }
 
     #[test]

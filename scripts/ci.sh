@@ -15,6 +15,11 @@
 #      PILOTE_THREADS 1 vs 4, and a PILOTE_OBS=0 kill-switch run
 #   8. the fleet gate (docs/FLEET.md): `repro fleet` run twice plus once
 #      at PILOTE_THREADS=4, all three JSON outputs byte-compared
+#   9. the quality gate (docs/QUALITY.md): `repro quality` run twice plus
+#      once at PILOTE_THREADS=4, BENCH_quality.json and
+#      trace_quality.json byte-compared; the trace must parse as JSON
+#      with a non-empty traceEvents array and the A/B demo must show the
+#      re-trained arm alerting while the PILOTE arm does not
 #
 # Usage: ./scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -82,5 +87,40 @@ PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
   fleet --quick --out "$obs_dir/f4"
 cmp "$obs_dir/f1/BENCH_fleet.json" "$obs_dir/f2/BENCH_fleet.json"
 cmp "$obs_dir/f1/BENCH_fleet.json" "$obs_dir/f4/BENCH_fleet.json"
+
+# --- quality gate (docs/QUALITY.md) ---------------------------------------
+
+step "quality: repro quality byte-identical across runs and at PILOTE_THREADS=4"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  quality --quick --out "$obs_dir/q1"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  quality --quick --out "$obs_dir/q2"
+PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
+  quality --quick --out "$obs_dir/q4"
+cmp "$obs_dir/q1/BENCH_quality.json" "$obs_dir/q2/BENCH_quality.json"
+cmp "$obs_dir/q1/BENCH_quality.json" "$obs_dir/q4/BENCH_quality.json"
+cmp "$obs_dir/q1/trace_quality.json" "$obs_dir/q2/trace_quality.json"
+cmp "$obs_dir/q1/trace_quality.json" "$obs_dir/q4/trace_quality.json"
+
+step "quality: trace integrity + A/B alert split"
+python3 - "$obs_dir/q1" << 'EOF'
+import json, sys
+out = sys.argv[1]
+trace = json.load(open(f"{out}/trace_quality.json"))
+events = trace["traceEvents"]
+assert events, "trace_quality.json: traceEvents must be non-empty"
+names = {e["name"] for e in events}
+for phase in ("fleet.deploy", "fleet.session", "edge.update",
+              "fleet.federated_round", "edge.quality_sample",
+              "fleet.telemetry_rollup"):
+    assert phase in names, f"trace missing a {phase} span"
+bench = json.load(open(f"{out}/BENCH_quality.json"))
+ab = bench["ab_demo"]
+assert ab["pilote"]["alerts"] == 0, f"PILOTE arm must not alert: {ab}"
+assert ab["retrained"]["alerts"] >= 1, f"re-trained arm must alert: {ab}"
+print(f"quality gate: {len(events)} trace events, "
+      f"A/B alerts pilote={ab['pilote']['alerts']} "
+      f"retrained={ab['retrained']['alerts']}")
+EOF
 
 printf '\nci.sh: all gates passed\n'

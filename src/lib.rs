@@ -52,6 +52,7 @@
 pub use pilote_core as core;
 pub use pilote_edge_sim as edge_sim;
 pub use pilote_magneto as magneto;
+pub use pilote_obs as obs;
 pub use pilote_har_data as har_data;
 pub use pilote_nn as nn;
 pub use pilote_tensor as tensor;
@@ -63,7 +64,8 @@ pub mod prelude {
     pub use pilote_core::strategies::{run_strategy, Strategy};
     pub use pilote_core::{
         accuracy, select_exemplars, ConfusionMatrix, EmbeddingNet, NcmClassifier, NetConfig,
-        Pilote, PiloteConfig, SelectionStrategy, SupportSet,
+        Pilote, PiloteConfig, QualityMonitor, QualityReport, QualityThresholds,
+        SelectionStrategy, SupportSet,
     };
     pub use pilote_edge_sim::{
         CrashPlan, DeviceProfile, FaultPlan, FlakyLink, LatencyMeter, LinkFaultRates, LinkModel,
@@ -71,7 +73,7 @@ pub mod prelude {
     };
     pub use pilote_magneto::{
         CloudServer, EdgeDevice, EdgeError, FederatedCoordinator, FederatedError, Fleet,
-        FleetConfig, FleetStats, UpdateStatus,
+        FleetConfig, FleetStats, TelemetryRollup, UpdateStatus,
     };
     pub use pilote_har_data::dataset::generate_features;
     pub use pilote_har_data::{Activity, Dataset, Simulator, SimulatorConfig, FEATURE_DIM};

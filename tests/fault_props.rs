@@ -140,6 +140,29 @@ proptest! {
         prop_assert_eq!(assembler.emitted(), total as u64 - spiked);
     }
 
+    /// Saturation clamping can never mask a spike, even when both fire on
+    /// the same window: the saturation rail is computed with a
+    /// NaN-skipping `f32::max` fold, so a NaN spike survives `clamp`
+    /// unchanged and an Inf spike yields an Inf rail (a clamp no-op).
+    /// Every spiked window therefore keeps at least one non-finite value
+    /// for the quarantine check to catch.
+    #[test]
+    fn saturation_cannot_mask_spikes(seed in 0u64..10_000) {
+        let mut rng = Rng64::new(seed.wrapping_mul(77));
+        let mut w = Tensor::randn([30, 4], 0.0, 1.0, &mut rng);
+        let mut injector = SensorFaultInjector::new(
+            seed,
+            SensorFaultRates { dropout: 0.0, stuck: 0.0, spike: 1.0, saturation: 1.0 },
+        );
+        let kinds = injector.corrupt_window(&mut w);
+        prop_assert!(kinds.contains(&SensorFaultKind::Spike), "spike rate 1.0 must spike");
+        prop_assert!(kinds.contains(&SensorFaultKind::Saturation), "saturation rate 1.0 must clamp");
+        prop_assert!(
+            w.as_slice().iter().any(|v| !v.is_finite()),
+            "saturation clamp erased the spike's non-finite marker"
+        );
+    }
+
     /// One seed → one link-fault schedule, including per-attempt costs.
     #[test]
     fn link_schedule_is_seed_deterministic(

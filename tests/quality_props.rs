@@ -1,0 +1,272 @@
+//! Property and integration tests for the model-quality observability
+//! layer (`docs/QUALITY.md`):
+//!
+//! * **rollup conservation**: [`TelemetryRollup`] counter totals equal the
+//!   sum of the per-device snapshot counters, for any set of devices;
+//! * **merge algebra**: [`HistogramSnapshot::merge`] is commutative and
+//!   associative (so the rollup result is independent of upload order),
+//!   and totals are conserved — NaN observations included;
+//! * **prefix queries**: [`Snapshot::counters_with_prefix`] selects
+//!   exactly the namespaced counters a real edge workload produces;
+//! * **kill switch**: with telemetry disabled, device snapshots collapse
+//!   to [`Snapshot::default()`] while standalone histogram accumulators
+//!   (device behaviour, not telemetry) keep recording.
+//!
+//! The registry and the `PILOTE_OBS` switch are process-global, so the
+//! tests that touch them serialise on [`OBS_LOCK`], same pattern as
+//! `tests/parallel_props.rs` uses for [`ThreadConfig`].
+
+use pilote::magneto::{Deployment, TelemetryRollup};
+use pilote::obs::{HistogramSnapshot, Snapshot};
+use pilote::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Small fixed name pool so generated devices share counter names (the
+/// interesting case for summation).
+const NAMES: [&str; 4] = [
+    "edge.inference",
+    "edge.batch_served",
+    "edge.update_committed",
+    "fleet.session",
+];
+
+const BOUNDS: [f64; 4] = [0.1, 1.0, 10.0, 100.0];
+
+/// Decodes one generated `u64` into a (counter name, increment) pair:
+/// low bits pick the name, the rest is the count.
+fn decode_counter(word: u64) -> (&'static str, u64) {
+    (NAMES[(word % NAMES.len() as u64) as usize], word / NAMES.len() as u64)
+}
+
+/// Maps the tails of the generated float range onto the special values
+/// the histogram must keep honest books for (the vendored proptest
+/// stand-in has no `prop_oneof`, so specials are encoded in-band).
+fn decode_margin(value: f64) -> f64 {
+    if value > 450.0 {
+        f64::NAN
+    } else if value < -40.0 {
+        f64::INFINITY
+    } else {
+        value
+    }
+}
+
+fn snapshot_from(counter_words: &[u64], hist_values: &[f64]) -> Snapshot {
+    let mut snap = Snapshot {
+        enabled: true,
+        ..Snapshot::default()
+    };
+    for &word in counter_words {
+        let (name, value) = decode_counter(word);
+        *snap.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+    let mut hist = HistogramSnapshot::with_bounds(&BOUNDS);
+    for &v in hist_values {
+        hist.record(decode_margin(v));
+    }
+    snap.histograms.insert("quality.margins".to_string(), hist);
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Rollup counters are exactly the per-device sums, and histogram
+    /// totals (NaN included) are conserved across the merge.
+    #[test]
+    fn rollup_counter_totals_equal_per_device_sums(
+        device_counters in prop::collection::vec(
+            prop::collection::vec(0u64..4000, 0..6),
+            1..8,
+        ),
+        device_margins in prop::collection::vec(
+            prop::collection::vec(-50.0f64..500.0, 0..8),
+            1..8,
+        ),
+    ) {
+        let empty: Vec<f64> = Vec::new();
+        let snapshots: Vec<Snapshot> = device_counters
+            .iter()
+            .enumerate()
+            .map(|(i, counters)| {
+                snapshot_from(counters, device_margins.get(i).unwrap_or(&empty))
+            })
+            .collect();
+
+        let mut rollup = TelemetryRollup::new();
+        for snap in &snapshots {
+            rollup.merge_snapshot(snap).expect("bounds all match");
+        }
+        prop_assert_eq!(rollup.devices, snapshots.len());
+
+        let mut expected: BTreeMap<String, u64> = BTreeMap::new();
+        for snap in &snapshots {
+            for (name, value) in &snap.counters {
+                *expected.entry(name.clone()).or_insert(0) += value;
+            }
+        }
+        prop_assert_eq!(&rollup.counters, &expected);
+
+        let merged = &rollup.histograms["quality.margins"];
+        let expected_total: u64 = snapshots
+            .iter()
+            .map(|s| s.histograms["quality.margins"].total())
+            .sum();
+        prop_assert_eq!(merged.total(), expected_total);
+        let expected_nan: u64 = snapshots
+            .iter()
+            .map(|s| s.histograms["quality.margins"].nan)
+            .sum();
+        prop_assert_eq!(merged.nan, expected_nan);
+    }
+
+    /// Histogram merge is commutative and associative, so the rollup is
+    /// independent of device upload order.
+    #[test]
+    fn histogram_merge_is_commutative_and_associative(
+        a_vals in prop::collection::vec(-50.0f64..500.0, 0..10),
+        b_vals in prop::collection::vec(-50.0f64..500.0, 0..10),
+        c_vals in prop::collection::vec(-50.0f64..500.0, 0..10),
+    ) {
+        let build = |values: &[f64]| {
+            let mut h = HistogramSnapshot::with_bounds(&BOUNDS);
+            for &v in values {
+                h.record(decode_margin(v));
+            }
+            h
+        };
+        let (a, b, c) = (&build(&a_vals), &build(&b_vals), &build(&c_vals));
+
+        let ab = a.merge(b).expect("same bounds");
+        let ba = b.merge(a).expect("same bounds");
+        prop_assert_eq!(&ab, &ba);
+
+        let ab_c = ab.merge(c).expect("same bounds");
+        let bc = b.merge(c).expect("same bounds");
+        let a_bc = a.merge(&bc).expect("same bounds");
+        prop_assert_eq!(&ab_c, &a_bc);
+    }
+}
+
+/// Mismatched bucket bounds must surface as an error, never silently
+/// mis-merge — both directly and through the rollup.
+#[test]
+fn mismatched_bounds_are_rejected() {
+    let a = HistogramSnapshot::with_bounds(&BOUNDS);
+    let b = HistogramSnapshot::with_bounds(&[1.0, 2.0]);
+    assert!(a.merge(&b).is_none());
+
+    let mut snap_a = Snapshot {
+        enabled: true,
+        ..Snapshot::default()
+    };
+    snap_a.histograms.insert("quality.margins".into(), a);
+    let mut snap_b = Snapshot {
+        enabled: true,
+        ..Snapshot::default()
+    };
+    snap_b.histograms.insert("quality.margins".into(), b);
+
+    let mut rollup = TelemetryRollup::new();
+    rollup.merge_snapshot(&snap_a).expect("first merge sets bounds");
+    let err = rollup.merge_snapshot(&snap_b).expect_err("bounds differ");
+    assert!(err.to_string().contains("quality.margins"));
+}
+
+/// A pre-trained deployment for the device-level tests, kept tiny: the
+/// telemetry path under test is the same at any model size.
+fn deployment() -> (Deployment, Simulator, pilote::har_data::preprocess::Normalizer) {
+    let mut sim = Simulator::with_seed(1203);
+    let (corpus, norm) = generate_features(
+        &mut sim,
+        &[(Activity::Still, 40), (Activity::Walk, 40)],
+    )
+    .expect("simulate");
+    let server = CloudServer::new(corpus, norm.clone(), PiloteConfig::fast_test(1203));
+    let old = [Activity::Still.label(), Activity::Walk.label()];
+    let (deployment, _) = server.pretrain_and_package(&old, 10).expect("package");
+    (deployment, sim, norm)
+}
+
+/// `counters_with_prefix` over a real edge workload: the `edge.`
+/// namespace holds exactly the device-side counters and nothing else.
+#[test]
+fn counters_with_prefix_selects_edge_namespace_of_a_real_workload() {
+    let _guard = OBS_LOCK.lock().expect("obs lock");
+    let was = pilote::obs::enabled();
+    pilote::obs::set_enabled(true);
+
+    let (deployment, mut sim, _) = deployment();
+    let mut device = EdgeDevice::install(
+        DeviceProfile::flagship_phone(),
+        &deployment,
+        &LinkModel::wifi(),
+    )
+    .expect("install");
+    let session = sim.session(Activity::Walk, 4);
+    device.stream(&session).expect("stream");
+
+    let snap = device.telemetry_snapshot();
+    let edge: Vec<(&str, u64)> = snap.counters_with_prefix("edge.").collect();
+    assert!(
+        edge.iter().any(|&(name, count)| name == "edge.inference" && count == 4),
+        "edge namespace must hold the inference counter: {edge:?}"
+    );
+    assert!(
+        edge.iter().all(|&(name, _)| name.starts_with("edge.")),
+        "prefix query leaked foreign names: {edge:?}"
+    );
+    assert_eq!(
+        edge.len(),
+        snap.counters.len(),
+        "a device snapshot is all edge-namespaced"
+    );
+    assert_eq!(snap.counters_with_prefix("fleet.").count(), 0);
+
+    pilote::obs::set_enabled(was);
+}
+
+/// Kill switch: device telemetry collapses to `Snapshot::default()`, but
+/// standalone histogram accumulators — device behaviour, not telemetry —
+/// keep recording, and gauges/counters silently no-op instead of
+/// poisoning later reads.
+#[test]
+fn kill_switch_yields_default_snapshots_but_not_dead_devices() {
+    let _guard = OBS_LOCK.lock().expect("obs lock");
+    let was = pilote::obs::enabled();
+    pilote::obs::set_enabled(false);
+
+    let (deployment, mut sim, _) = deployment();
+    let mut device = EdgeDevice::install(
+        DeviceProfile::flagship_phone(),
+        &deployment,
+        &LinkModel::wifi(),
+    )
+    .expect("install");
+    let session = sim.session(Activity::Still, 3);
+    let outcomes = device.stream(&session).expect("stream");
+    assert_eq!(outcomes.len(), 3, "inference must not depend on telemetry");
+
+    let snap = device.telemetry_snapshot();
+    assert_eq!(snap, Snapshot::default(), "disabled telemetry must be empty");
+    assert!(!snap.enabled);
+
+    // Standalone accumulators are not registry-gated.
+    let mut hist = HistogramSnapshot::with_bounds(&BOUNDS);
+    hist.record(0.5);
+    hist.record(f64::NAN);
+    assert_eq!(hist.total(), 2);
+    assert_eq!(hist.nan, 1);
+
+    // Registry handles no-op cleanly while disabled.
+    pilote::obs::counter("quality_props.noop").inc();
+    let global = pilote::obs::snapshot();
+    assert!(!global.enabled);
+    assert!(global.counters.is_empty());
+
+    pilote::obs::set_enabled(was);
+}
