@@ -1,8 +1,8 @@
 //! `repro` — regenerates every table and figure of the PILOTE paper.
 //!
 //! ```text
-//! repro <experiment> [--quick] [--rounds N] [--per-activity N]
-//!                    [--seed N] [--out DIR]
+//! repro <experiment> [--quick] [--scale quick|default|large] [--rounds N]
+//!                    [--per-activity N] [--devices N] [--seed N] [--out DIR]
 //!
 //! experiments: all, table2, fig4, fig5, fig6, fig7, timing,
 //!              ablate-alpha, ablate-margin, ablate-pairs,
@@ -27,16 +27,24 @@ use std::process::ExitCode;
 struct Args {
     experiment: String,
     scale: Scale,
+    /// `--scale large`: run the large-scale variant of an experiment
+    /// (currently `fleet` only).
+    large: bool,
+    /// `--devices N`: device count for the large-scale fleet run.
+    devices: Option<usize>,
     seed: u64,
     out: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <experiment> [--quick] [--rounds N] [--per-activity N] [--seed N] [--out DIR]\n\
+        "usage: repro <experiment> [--quick] [--scale quick|default|large] [--rounds N]\n\
+         \x20                  [--per-activity N] [--devices N] [--seed N] [--out DIR]\n\
          experiments: all, table2, fig4, fig5, fig6, fig7, timing,\n\
                       ablate-alpha, ablate-margin, ablate-pairs, ablate-strategies,\n\
-                      cloud-vs-edge, kernels, faults, obs, fleet, quality"
+                      cloud-vs-edge, kernels, faults, obs, fleet, quality\n\
+         --scale large runs the ~10k-device sharded fleet benchmark (fleet only);\n\
+         --devices N overrides its device count"
     );
     ExitCode::from(2)
 }
@@ -47,11 +55,33 @@ fn parse() -> Result<Args, ExitCode> {
         return Err(usage());
     };
     let mut scale = Scale::default();
+    let mut large = false;
+    let mut devices = None;
     let mut seed = 20230328; // EDBT 2023 opening day
     let mut out = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => scale = Scale::quick(),
+            "--scale" => match args.next().as_deref() {
+                Some("quick") => {
+                    scale = Scale::quick();
+                    large = false;
+                }
+                Some("default") => {
+                    scale = Scale::default();
+                    large = false;
+                }
+                // The large fleet run pre-trains at quick scale: the model
+                // under deployment is not what the benchmark measures.
+                Some("large") => {
+                    scale = Scale::quick();
+                    large = true;
+                }
+                _ => return Err(usage()),
+            },
+            "--devices" => {
+                devices = Some(args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?);
+            }
             "--rounds" => {
                 scale.rounds = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
             }
@@ -70,19 +100,19 @@ fn parse() -> Result<Args, ExitCode> {
             }
         }
     }
-    Ok(Args { experiment, scale, seed, out })
+    Ok(Args { experiment, scale, large, devices, seed, out })
 }
 
 /// Runs one named experiment. Returns `None` for an unknown name; a
 /// [`ReportError`] (a result file could not be written) propagates so
 /// `main` can exit non-zero with the failing path in the message.
 fn dispatch(
-    experiment: &str,
+    args: &Args,
     scale: &Scale,
     seed: u64,
     out: &Path,
 ) -> Option<Result<(), ReportError>> {
-    let result = match experiment {
+    let result = match args.experiment.as_str() {
         "table2" => exp_table2::run(scale, seed, out).map(drop),
         "fig4" => exp_fig4::run(scale, seed, out).map(drop),
         "fig5" => exp_fig5::run(scale, seed, out).map(drop),
@@ -97,6 +127,10 @@ fn dispatch(
         "kernels" => exp_kernels::run(out).map(drop),
         "faults" => exp_faults::run(scale, seed, out).map(drop),
         "obs" => exp_obs::run(scale, seed, out).map(drop),
+        "fleet" if args.large => {
+            let devices = args.devices.unwrap_or(exp_fleet::LARGE_DEVICES);
+            exp_fleet::run_large(scale, seed, out, devices)
+        }
         "fleet" => exp_fleet::run(scale, seed, out).map(drop),
         "quality" => exp_quality::run(scale, seed, out).map(drop),
         "all" => (|| {
@@ -143,7 +177,7 @@ fn main() -> ExitCode {
     );
 
     let started = std::time::Instant::now();
-    match dispatch(&args.experiment, &scale, seed, &out) {
+    match dispatch(&args, &scale, seed, &out) {
         None => return usage(),
         Some(Err(e)) => {
             eprintln!("[repro] error: {e}");

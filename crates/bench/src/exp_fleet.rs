@@ -24,7 +24,7 @@ use crate::scale::Scale;
 use crate::scenario::pretrain_base;
 use pilote_edge_sim::{DeviceProfile, LinkModel};
 use pilote_har_data::dataset::Dataset;
-use pilote_magneto::{Deployment, EdgeDevice, Fleet, FleetConfig, FleetStats};
+use pilote_magneto::{Deployment, EdgeDevice, Fleet, FleetConfig, FleetStats, TelemetryRollup};
 use pilote_nn::Checkpoint;
 use pilote_tensor::{Rng64, Tensor};
 use serde_json::json;
@@ -86,6 +86,7 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<FleetStats, ReportErr
         federated_every: FEDERATED_EVERY,
         update_threshold: LABELS_PER_USER,
         exemplar_budget: scale.exemplars_per_class,
+    ..FleetConfig::default()
     };
     let mut fleet = Fleet::deploy(slots, &deployment, config).expect("fleet deploy");
     // Reference device for the batched-vs-per-window assertion: same
@@ -202,12 +203,194 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<FleetStats, ReportErr
 /// Next deterministic `[WINDOWS_PER_SESSION, 28]` slice of the eval pool,
 /// wrapping at the end.
 fn session_slice(eval: &Dataset, cursor: &mut usize) -> Tensor {
+    session_slice_of(eval, cursor, WINDOWS_PER_SESSION)
+}
+
+/// Next deterministic `[windows, 28]` slice of the eval pool, wrapping at
+/// the end.
+fn session_slice_of(eval: &Dataset, cursor: &mut usize, windows: usize) -> Tensor {
     let rows = eval.features.rows();
-    let start = *cursor % rows.saturating_sub(WINDOWS_PER_SESSION).max(1);
-    *cursor += WINDOWS_PER_SESSION;
+    let start = *cursor % rows.saturating_sub(windows).max(1);
+    *cursor += windows;
     eval.features
-        .slice_rows(start, (start + WINDOWS_PER_SESSION).min(rows))
+        .slice_rows(start, (start + windows).min(rows))
         .expect("eval slice in range")
+}
+
+/// Default device count for `repro fleet --scale large`.
+pub const LARGE_DEVICES: usize = 10_000;
+
+/// Feature windows per served session in the large-scale run.
+pub const LARGE_WINDOWS_PER_SESSION: usize = 8;
+
+/// Serve-chunk in the large-scale run — small on purpose, so every session
+/// emits several `BatchServed` events and the bounded logs actually evict.
+pub const LARGE_SERVE_CHUNK: usize = 4;
+
+/// Per-device event-log ring capacity in the large-scale run — far below
+/// the event volume, so retained memory stays bounded while the running
+/// totals keep every count.
+pub const LARGE_EVENT_CAPACITY: usize = 8;
+
+/// Sessions served between delta telemetry uploads in the large-scale run.
+pub const LARGE_UPLOAD_EVERY: usize = 2048;
+
+/// Runs the large-scale fleet benchmark (`repro fleet --scale large`) and
+/// writes `BENCH_fleet_large.json`: `devices` devices deployed via the
+/// sharded installer, one 8-window session per device-count of users
+/// served through [`Fleet::serve_sessions`], bounded event logs
+/// ([`LARGE_EVENT_CAPACITY`] retained events per device), and windowed
+/// **delta** telemetry uploads every [`LARGE_UPLOAD_EVERY`] sessions
+/// summed into one cloud rollup.
+///
+/// Host wall-clock throughput (windows/sec) goes to **stderr only**; the
+/// JSON contains virtual-time and conservation results exclusively, so it
+/// is byte-identical across runs and `PILOTE_THREADS` settings
+/// (`scripts/ci.sh` diffs a reduced-device smoke both ways).
+pub fn run_large(
+    scale: &Scale,
+    seed: u64,
+    out: &Path,
+    devices: usize,
+) -> Result<(), ReportError> {
+    assert!(devices > 0, "--devices must be positive");
+    eprintln!(
+        "[fleet-large] {devices} devices, {devices} sessions × {LARGE_WINDOWS_PER_SESSION} windows, \
+         event ring {LARGE_EVENT_CAPACITY}, delta upload every {LARGE_UPLOAD_EVERY} sessions"
+    );
+    let was_enabled = pilote_obs::enabled();
+    pilote_obs::reset();
+    pilote_obs::set_enabled(true);
+
+    // --- cloud: pre-train once, package once --------------------------
+    let (scenario, norm, _sim) = faulted_scenario(scale, seed);
+    let mut base = pretrain_base(scenario, scale, seed);
+    let deployment = Deployment {
+        checkpoint: Checkpoint::capture(base.model.net_mut().layers_mut()),
+        support: base.model.support().clone(),
+        normalizer: norm,
+        config: base.model.config().clone(),
+    };
+
+    // --- fleet: sharded install over the standard link mix -------------
+    let links = [LinkModel::wifi(), LinkModel::cellular_4g(), LinkModel::weak_cellular()];
+    let slots: Vec<(DeviceProfile, LinkModel)> = DeviceProfile::roster(devices)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, links[i % links.len()]))
+        .collect();
+    let config = FleetConfig {
+        seed: seed ^ 0xf1ee7,
+        serve_chunk: LARGE_SERVE_CHUNK,
+        federated_every: 0,
+        event_capacity: LARGE_EVENT_CAPACITY,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::deploy_sharded(slots, &deployment, config).expect("fleet deploy");
+
+    // --- the schedule: one session per user, users = devices -----------
+    let eval = &base.scenario.test;
+    let mut cursor = 0usize;
+    let sessions: Vec<(u64, Tensor)> = (0..devices as u64)
+        .map(|user| (user, session_slice_of(eval, &mut cursor, LARGE_WINDOWS_PER_SESSION)))
+        .collect();
+
+    let mut rollup = TelemetryRollup::new();
+    let mut delta_uploads = 0usize;
+    let mut served_windows = 0u64;
+    let started = std::time::Instant::now();
+    for chunk in sessions.chunks(LARGE_UPLOAD_EVERY) {
+        let outcomes = fleet.serve_sessions(chunk).expect("serve sessions");
+        served_windows += outcomes.iter().map(|o| o.len() as u64).sum::<u64>();
+        fleet.upload_telemetry_deltas(&mut rollup).expect("delta upload");
+        delta_uploads += 1;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    // Host wall-clock throughput: stderr only, never in the JSON.
+    eprintln!(
+        "[fleet-large] host throughput: {:.0} windows/sec ({} windows in {:.2}s wall)",
+        served_windows as f64 / elapsed.max(1e-9),
+        served_windows,
+        elapsed
+    );
+
+    // --- conservation + aggregates (virtual time only) ------------------
+    let stats = fleet.stats();
+    let rollup_windows = rollup.counter("edge.batch_served");
+    let conserved = rollup_windows == served_windows;
+    let mut events_retained = 0u64;
+    let mut events_evicted = 0u64;
+    let mut max_retained = 0usize;
+    for i in 0..fleet.len() {
+        let log = fleet.device(i).log();
+        events_retained += log.events().len() as u64;
+        events_evicted += log.evicted();
+        max_retained = max_retained.max(log.events().len());
+    }
+    let devices_serving = stats.devices.iter().filter(|d| d.windows_served > 0).count();
+    let clock_sum: f64 = stats.devices.iter().map(|d| d.clock_seconds).sum();
+    let clock_max = stats.devices.iter().map(|d| d.clock_seconds).fold(0.0f64, f64::max);
+    pilote_obs::set_enabled(was_enabled);
+
+    println!(
+        "fleet-large: {} devices ({} serving), {} sessions, {} windows, {} delta uploads",
+        stats.devices.len(),
+        devices_serving,
+        stats.sessions,
+        stats.windows,
+        delta_uploads
+    );
+    println!(
+        "fleet-large: rollup conserves windows: {} ({} retained events, {} evicted, ring ≤ {})",
+        if conserved { "yes" } else { "NO — CONTRACT VIOLATED" },
+        events_retained,
+        events_evicted,
+        max_retained
+    );
+    assert!(conserved, "delta rollup lost windows: {rollup_windows} != {served_windows}");
+    assert!(
+        max_retained <= LARGE_EVENT_CAPACITY,
+        "a device exceeded its event ring capacity"
+    );
+
+    write_json(
+        out,
+        "BENCH_fleet_large.json",
+        &json!({
+            "seed": seed,
+            "schedule": {
+                "devices": devices,
+                "sessions": devices,
+                "windows_per_session": LARGE_WINDOWS_PER_SESSION,
+                "serve_chunk": LARGE_SERVE_CHUNK,
+                "federated_every": 0,
+                "event_capacity": LARGE_EVENT_CAPACITY,
+                "delta_upload_every_sessions": LARGE_UPLOAD_EVERY,
+                "delta_uploads": delta_uploads,
+            },
+            "determinism": "sharded deploy + bulk serving merge in device-index order; no host wall-clock fields (throughput goes to stderr) — byte-identical for a fixed seed at any PILOTE_THREADS",
+            "conservation": {
+                "rollup_batch_served_equals_windows": conserved,
+                "events_retained": events_retained,
+                "events_evicted": events_evicted,
+                "max_retained_per_device": max_retained,
+            },
+            "rollup": {
+                "merged_uploads": rollup.devices,
+                "counters": rollup.counters,
+            },
+            "totals": {
+                "sessions": stats.sessions,
+                "windows": stats.windows,
+                "devices": stats.devices.len(),
+                "devices_serving": devices_serving,
+                "degraded": stats.devices.iter().filter(|d| d.degraded).count(),
+                "clock_seconds_sum": clock_sum,
+                "clock_seconds_max": clock_max,
+            },
+        }),
+    )?;
+    Ok(())
 }
 
 /// Replays a served session window-by-window on the reference device and

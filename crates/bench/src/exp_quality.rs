@@ -179,6 +179,7 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<serde_json::Value, Re
         federated_every: 0, // rounds run explicitly after each increment
         update_threshold: LABELS_PER_INCREMENT,
         exemplar_budget: budget,
+    ..FleetConfig::default()
     };
     let mut fleet = Fleet::deploy(slots, &deployment, config).expect("fleet deploy");
     fleet.arm_quality_monitors(&probe, &base_labels, thresholds).expect("arm fleet");

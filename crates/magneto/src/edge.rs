@@ -169,6 +169,10 @@ pub struct EdgeDevice {
     /// [`EdgeDevice::arm_quality_monitor`]. Sampled at every generation
     /// bump; fired rules surface as [`EventKind::AlertRaised`].
     quality: Option<QualityMonitor>,
+    /// Telemetry state as of the last delta upload
+    /// ([`EdgeDevice::telemetry_delta`]); the next delta ships only what
+    /// accumulated since.
+    telemetry_baseline: pilote_obs::Snapshot,
 }
 
 /// The cached classifier snapshot behind [`EdgeDevice::serve_batch`].
@@ -187,9 +191,26 @@ impl EdgeDevice {
         deployment: &Deployment,
         link: &LinkModel,
     ) -> Result<EdgeDevice, EdgeError> {
+        Self::install_presized(profile, deployment, link, deployment.wire_bytes()?)
+    }
+
+    /// [`EdgeDevice::install`] with the deployment's wire size computed
+    /// once by the caller. `payload_bytes` must equal
+    /// [`Deployment::wire_bytes`] for this deployment — the value feeds
+    /// the link transfer charge and the `Deployed` event, so a wrong size
+    /// corrupts the device's virtual clock. Fleet installs amortize one
+    /// serialization across the whole roster this way: the package is
+    /// identical for every device, and re-serializing it per install
+    /// dominates large-roster deploy time.
+    pub fn install_presized(
+        profile: DeviceProfile,
+        deployment: &Deployment,
+        link: &LinkModel,
+        payload_bytes: u64,
+    ) -> Result<EdgeDevice, EdgeError> {
         let mut log = EventLog::new();
-        log.advance(link.transfer_seconds(deployment.wire_bytes()?));
-        Self::build(profile, deployment, log)
+        log.advance(link.transfer_seconds(payload_bytes));
+        Self::build(profile, deployment, log, payload_bytes)
     }
 
     /// Installs over a flaky link, retrying failed transfer attempts with
@@ -216,7 +237,7 @@ impl EdgeDevice {
             let (cost, result) = flaky.attempt(payload);
             log.advance(cost);
             match result {
-                Ok(()) => return Self::build(profile, deployment, log),
+                Ok(()) => return Self::build(profile, deployment, log, payload),
                 Err(fault) => {
                     last = Some(fault);
                     log.record(EventKind::TransferRetried {
@@ -241,8 +262,8 @@ impl EdgeDevice {
         profile: DeviceProfile,
         deployment: &Deployment,
         mut log: EventLog,
+        payload_bytes: u64,
     ) -> Result<EdgeDevice, EdgeError> {
-        let payload = deployment.wire_bytes()?;
         let mut rng = Rng64::new(deployment.config.seed ^ 0xed6e);
         let mut net = EmbeddingNet::new(deployment.config.net.clone(), &mut rng);
         deployment.checkpoint.restore(net.layers_mut())?;
@@ -254,7 +275,7 @@ impl EdgeDevice {
         )?;
         let assembler = WindowAssembler::new(WINDOW_LEN, WINDOW_LEN, 1)
             .with_normalizer(deployment.normalizer.clone());
-        log.record(EventKind::Deployed { payload_bytes: payload });
+        log.record(EventKind::Deployed { payload_bytes });
         let baseline = (deployment.checkpoint.clone(), deployment.support.clone());
         Ok(EdgeDevice {
             profile,
@@ -269,6 +290,7 @@ impl EdgeDevice {
             serve_cache: None,
             cache_rebuilds: 0,
             quality: None,
+            telemetry_baseline: pilote_obs::Snapshot::default(),
         })
     }
 
@@ -633,28 +655,29 @@ impl EdgeDevice {
         self.log.advance(seconds);
     }
 
+    /// Re-bounds this device's event-log ring buffer (`0` = unbounded; see
+    /// [`crate::events::EventLog::set_capacity`]). Running totals — and
+    /// therefore telemetry snapshots — are unaffected by the bound.
+    pub fn set_event_capacity(&mut self, capacity: usize) {
+        self.log.set_capacity(capacity);
+    }
+
     /// A per-device telemetry snapshot assembled from **device-local**
-    /// state: the event log (counters, matching the
+    /// state: the event log's running per-metric totals (matching the
     /// [`EventKind::metric_name`] bridge — window events add their window
-    /// counts), the virtual clock and model generation (gauges), and the
-    /// quality monitor's accumulated margin histogram. The process-global
-    /// `pilote_obs` registry is deliberately not consulted: it sums over
-    /// every device in the process and cannot be attributed back to one
-    /// fleet member. Returns `Snapshot::default()` (all empty,
-    /// `enabled: false`) under the `PILOTE_OBS` kill switch.
+    /// counts, and totals survive ring-buffer eviction), the virtual clock
+    /// and model generation (gauges), and the quality monitor's
+    /// accumulated margin histogram. The process-global `pilote_obs`
+    /// registry is deliberately not consulted: it sums over every device
+    /// in the process and cannot be attributed back to one fleet member.
+    /// Returns `Snapshot::default()` (all empty, `enabled: false`) under
+    /// the `PILOTE_OBS` kill switch.
     pub fn telemetry_snapshot(&self) -> pilote_obs::Snapshot {
         if !pilote_obs::enabled() {
             return pilote_obs::Snapshot::default();
         }
         let mut snapshot = pilote_obs::Snapshot { enabled: true, ..Default::default() };
-        for event in self.log.events() {
-            let add = match &event.kind {
-                EventKind::WindowsQuarantined { windows }
-                | EventKind::BatchServed { windows, .. } => *windows,
-                _ => 1,
-            };
-            *snapshot.counters.entry(event.kind.metric_name().to_string()).or_insert(0) += add;
-        }
+        snapshot.counters = self.log.totals().clone();
         let point = |v: f64| pilote_obs::GaugeSnapshot { last: v, min: v, max: v, count: 1 };
         snapshot.gauges.insert("edge.clock_seconds".to_string(), point(self.log.now()));
         snapshot
@@ -680,6 +703,26 @@ impl EdgeDevice {
             }
         }
         snapshot
+    }
+
+    /// The **windowed** telemetry upload: everything that accumulated
+    /// since the previous `telemetry_delta` call (or since install, for
+    /// the first call), as a [`pilote_obs::Snapshot::delta_since`] payload
+    /// — counter/histogram increments plus current gauge readings. Ships
+    /// far fewer bytes than a whole-life [`EdgeDevice::telemetry_snapshot`]
+    /// on a long-running device, and summing every delta at the cloud
+    /// reproduces the full-snapshot rollup exactly (see `docs/SCALING.md`).
+    ///
+    /// Advances the upload baseline; under the `PILOTE_OBS` kill switch
+    /// the delta is empty and the baseline does not move.
+    pub fn telemetry_delta(&mut self) -> pilote_obs::Snapshot {
+        if !pilote_obs::enabled() {
+            return pilote_obs::Snapshot::default();
+        }
+        let full = self.telemetry_snapshot();
+        let delta = full.delta_since(&self.telemetry_baseline);
+        self.telemetry_baseline = full;
+        delta
     }
 }
 
@@ -860,6 +903,78 @@ mod tests {
         let (mut other, mut sim2, _) = deployed_device();
         other.stream(&sim2.session(Activity::Walk, 9)).expect("stream");
         assert_eq!(device.telemetry_snapshot().counters.get("edge.inference").copied(), Some(6));
+    }
+
+    #[test]
+    fn telemetry_deltas_sum_to_the_full_snapshot() {
+        let (mut device, mut sim, _) = deployed_device();
+        if !pilote_obs::enabled() {
+            return; // kill switch: deltas are empty by contract
+        }
+        let mut summed = crate::cloud::TelemetryRollup::new();
+        // Window 1: install + a short stream.
+        device.stream(&sim.session(Activity::Still, 4)).expect("stream");
+        summed.merge_snapshot(&device.telemetry_delta()).expect("merge w1");
+        // Window 2: more streaming.
+        device.stream(&sim.session(Activity::Walk, 5)).expect("stream");
+        summed.merge_snapshot(&device.telemetry_delta()).expect("merge w2");
+        // An idle window ships no counters at all.
+        let idle = device.telemetry_delta();
+        assert!(idle.counters.is_empty(), "idle delta must be counter-free");
+        summed.merge_snapshot(&idle).expect("merge idle");
+        // Conservation: the summed deltas equal the whole-life snapshot.
+        let full = device.telemetry_snapshot();
+        assert_eq!(summed.counters, full.counters);
+        assert_eq!(summed.counter("edge.inference"), 9);
+        assert_eq!(summed.gauges["edge.clock_seconds"].last, device.log().now());
+        // Deltas are the point: window 2's payload excludes window 1's
+        // history (9 lifetime inferences, only 5 in the second window).
+        let mut fresh = crate::cloud::TelemetryRollup::new();
+        let (mut device2, mut sim2, _) = deployed_device();
+        device2.stream(&sim2.session(Activity::Still, 4)).expect("stream");
+        device2.telemetry_delta();
+        device2.stream(&sim2.session(Activity::Walk, 5)).expect("stream");
+        fresh.merge_snapshot(&device2.telemetry_delta()).expect("merge");
+        assert_eq!(fresh.counter("edge.inference"), 5);
+        assert_eq!(fresh.counter("edge.deployed"), 0, "install predates the window");
+    }
+
+    #[test]
+    fn bounded_event_log_does_not_change_telemetry() {
+        let (mut bounded, mut sim_a, _) = deployed_device();
+        let (mut unbounded, mut sim_b, _) = deployed_device();
+        bounded.set_event_capacity(3);
+        let a = sim_a.session(Activity::Still, 8);
+        let b = sim_b.session(Activity::Still, 8);
+        assert_eq!(a, b);
+        bounded.stream(&a).expect("stream");
+        unbounded.stream(&b).expect("stream");
+        assert!(bounded.log().evicted() > 0, "the bound must actually evict");
+        assert_eq!(bounded.log().events().len(), 3);
+        // Same totals, same derived counts, same telemetry snapshot.
+        assert_eq!(bounded.log().totals(), unbounded.log().totals());
+        assert_eq!(bounded.log().inference_count(), unbounded.log().inference_count());
+        assert_eq!(bounded.telemetry_snapshot(), unbounded.telemetry_snapshot());
+    }
+
+    #[test]
+    fn install_presized_matches_install() {
+        let (deployment, _, _) = deployment();
+        let link = LinkModel::cellular_4g();
+        let a = EdgeDevice::install(DeviceProfile::wearable(), &deployment, &link)
+            .expect("install");
+        let b = EdgeDevice::install_presized(
+            DeviceProfile::wearable(),
+            &deployment,
+            &link,
+            deployment.wire_bytes().expect("wire bytes"),
+        )
+        .expect("install presized");
+        assert_eq!(
+            serde_json::to_string(a.log().events()).expect("json"),
+            serde_json::to_string(b.log().events()).expect("json"),
+        );
+        assert_eq!(a.log().now().to_bits(), b.log().now().to_bits());
     }
 
     fn deployment() -> (crate::cloud::Deployment, Simulator, Normalizer) {

@@ -1,6 +1,17 @@
 //! Typed, virtually-clocked event log for edge deployments.
+//!
+//! The log is a **fixed-capacity ring buffer** (see `docs/SCALING.md`):
+//! an unbounded stream of events would grow per-device memory without
+//! bound, so once [`EventLog::capacity`] events are retained the oldest
+//! event is evicted to make room. Nothing observable is lost to eviction:
+//! every `record` also folds the event into a running per-metric total
+//! ([`EventLog::totals`], keyed by [`EventKind::metric_name`]), and every
+//! derived count ([`EventLog::served_count`] etc.) and telemetry snapshot
+//! reads those totals — so they are conserved exactly whether the ring
+//! holds every event or none of them.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// What happened on the device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -134,17 +145,87 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-/// An append-only event log with a virtual clock.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Metric contribution of one event, matching the `pilote-obs` counter
+/// bridge: window events add their window count, everything else counts
+/// one occurrence.
+fn metric_weight(kind: &EventKind) -> u64 {
+    match kind {
+        EventKind::WindowsQuarantined { windows } | EventKind::BatchServed { windows, .. } => {
+            *windows
+        }
+        _ => 1,
+    }
+}
+
+/// Default number of events an [`EventLog`] retains before evicting the
+/// oldest. Generous enough that the benchmark schedules never evict; the
+/// large-scale fleet runner lowers it (see `docs/SCALING.md`).
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// A bounded event log with a virtual clock.
+///
+/// Retains at most [`EventLog::capacity`] recent events; older events are
+/// evicted but stay folded into the running [`EventLog::totals`], which
+/// every derived count and telemetry snapshot reads — eviction never
+/// changes an observable total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EventLog {
     clock_seconds: f64,
+    /// Maximum retained events; `0` means unbounded.
+    capacity: usize,
+    /// Events evicted from the ring so far.
+    evicted: u64,
+    /// Running per-metric totals over **every** event ever recorded
+    /// (retained or evicted), keyed by [`EventKind::metric_name`].
+    totals: BTreeMap<String, u64>,
     events: Vec<Event>,
 }
 
+impl Default for EventLog {
+    /// Same as [`EventLog::new`].
+    fn default() -> Self {
+        EventLog::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
 impl EventLog {
-    /// Empty log at virtual time zero.
+    /// Empty log at virtual time zero with the default retention
+    /// ([`DEFAULT_EVENT_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty log retaining at most `capacity` events (`0` = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            clock_seconds: 0.0,
+            capacity,
+            evicted: 0,
+            totals: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Maximum retained events (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Re-bounds the ring to `capacity` (`0` = unbounded), evicting the
+    /// oldest retained events immediately if the log is already over the
+    /// new bound. Totals are unaffected — they cover evicted events.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        if capacity > 0 && self.events.len() > capacity {
+            let excess = self.events.len() - capacity;
+            self.events.drain(..excess);
+            self.evicted += excess as u64;
+        }
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Advances the virtual clock.
@@ -158,60 +239,61 @@ impl EventLog {
         self.clock_seconds
     }
 
-    /// Appends an event at the current virtual time, bridging it into the
-    /// `pilote-obs` registry as an `edge.*` counter (quarantine events add
-    /// their window count; every other kind counts occurrences).
+    /// Appends an event at the current virtual time, folding it into the
+    /// running totals and bridging it into the `pilote-obs` registry as an
+    /// `edge.*` counter (window events add their window count; every other
+    /// kind counts occurrences). When the ring is at capacity the oldest
+    /// retained event is evicted — its totals contribution is already
+    /// banked, so no observable count changes.
     pub fn record(&mut self, kind: EventKind) {
+        let weight = metric_weight(&kind);
         if pilote_obs::enabled() {
-            match &kind {
-                EventKind::WindowsQuarantined { windows }
-                | EventKind::BatchServed { windows, .. } => {
-                    pilote_obs::counter(kind.metric_name()).add(*windows);
-                }
-                _ => pilote_obs::counter(kind.metric_name()).inc(),
-            }
+            pilote_obs::counter(kind.metric_name()).add(weight);
+        }
+        *self.totals.entry(kind.metric_name().to_string()).or_insert(0) += weight;
+        if self.capacity > 0 && self.events.len() == self.capacity {
+            self.events.remove(0);
+            self.evicted += 1;
         }
         self.events.push(Event { at_seconds: self.clock_seconds, kind });
     }
 
-    /// All events in order.
+    /// Retained events in order (the newest [`EventLog::capacity`] when
+    /// bounded; everything ever recorded when unbounded).
     pub fn events(&self) -> &[Event] {
         &self.events
     }
 
-    /// Number of inference events.
+    /// Running per-metric totals over every event ever recorded, keyed by
+    /// [`EventKind::metric_name`] — conserved under ring eviction.
+    pub fn totals(&self) -> &BTreeMap<String, u64> {
+        &self.totals
+    }
+
+    /// Running total for one metric name, 0 when never recorded.
+    pub fn total(&self, metric_name: &str) -> u64 {
+        self.totals.get(metric_name).copied().unwrap_or(0)
+    }
+
+    /// Number of inference events (conserved under eviction).
     pub fn inference_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::Inference { .. }))
-            .count()
+        self.total("edge.inference") as usize
     }
 
-    /// Total windows classified through the batched serving path.
+    /// Total windows classified through the batched serving path
+    /// (conserved under eviction).
     pub fn served_count(&self) -> u64 {
-        self.events
-            .iter()
-            .map(|e| match e.kind {
-                EventKind::BatchServed { windows, .. } => windows,
-                _ => 0,
-            })
-            .sum()
+        self.total("edge.batch_served")
     }
 
-    /// Number of quality alerts raised.
+    /// Number of quality alerts raised (conserved under eviction).
     pub fn alert_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::AlertRaised { .. }))
-            .count()
+        self.total("edge.alert_raised") as usize
     }
 
-    /// Number of completed updates.
+    /// Number of completed updates (conserved under eviction).
     pub fn update_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::UpdateFinished { .. }))
-            .count()
+        self.total("edge.update_finished") as usize
     }
 }
 
@@ -318,6 +400,65 @@ mod tests {
         log.record(EventKind::BatchServed { windows: 3, cache_rebuilt: false });
         assert_eq!(log.served_count(), 8);
         assert_eq!(log.inference_count(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_conserves_totals() {
+        let mut bounded = EventLog::with_capacity(3);
+        let mut unbounded = EventLog::with_capacity(0);
+        for i in 0..10 {
+            let kind = if i % 2 == 0 {
+                EventKind::Inference { predicted: i }
+            } else {
+                EventKind::BatchServed { windows: 4, cache_rebuilt: false }
+            };
+            bounded.record(kind.clone());
+            unbounded.record(kind);
+        }
+        // The ring holds only the newest 3 events…
+        assert_eq!(bounded.events().len(), 3);
+        assert_eq!(bounded.evicted(), 7);
+        assert_eq!(unbounded.events().len(), 10);
+        assert_eq!(unbounded.evicted(), 0);
+        // …but every observable total is conserved exactly.
+        assert_eq!(bounded.totals(), unbounded.totals());
+        assert_eq!(bounded.inference_count(), 5);
+        assert_eq!(bounded.served_count(), 20);
+        // The retained tail is the newest events, oldest first.
+        assert_eq!(bounded.events()[0].kind, unbounded.events()[7].kind);
+        assert_eq!(bounded.events()[2].kind, unbounded.events()[9].kind);
+    }
+
+    #[test]
+    fn set_capacity_rebounds_and_evicts_immediately() {
+        let mut log = EventLog::with_capacity(0);
+        for i in 0..6 {
+            log.record(EventKind::Inference { predicted: i });
+        }
+        log.set_capacity(2);
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.evicted(), 4);
+        assert_eq!(log.inference_count(), 6, "totals survive re-bounding");
+        // Recording at the new bound keeps evicting one-for-one.
+        log.record(EventKind::Inference { predicted: 6 });
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.evicted(), 5);
+        assert_eq!(log.inference_count(), 7);
+    }
+
+    #[test]
+    fn bounded_log_serde_round_trip() {
+        let mut log = EventLog::with_capacity(2);
+        log.record(EventKind::Inference { predicted: 0 });
+        log.advance(1.5);
+        log.record(EventKind::BatchServed { windows: 3, cache_rebuilt: true });
+        log.record(EventKind::AlertRaised { rule: "forgetting".into(), generation: 1 });
+        let json = serde_json::to_string(&log).unwrap();
+        let back: EventLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.evicted(), 1);
+        assert_eq!(back.capacity(), 2);
+        assert_eq!(back.inference_count(), 1, "evicted totals survive the wire");
     }
 
     #[test]

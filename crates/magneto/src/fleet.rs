@@ -15,16 +15,27 @@
 //! - **Federated rounds** fire on a session-count schedule
 //!   ([`FleetConfig::federated_every`]), charging each participant's link
 //!   with the parameter upload/download before averaging.
+//!
+//! At scale (10k+ devices — see `docs/SCALING.md`) the roster is
+//! **sharded** across worker threads: [`Fleet::deploy_sharded`] installs
+//! contiguous device-index bands in parallel, [`Fleet::serve_sessions`]
+//! serves a whole batch of routed sessions with each device's work
+//! executed on the shard that owns it, and the telemetry/federated wire
+//! serialisation fans out per band. Every sharded path merges its per-band
+//! results back in **device-index order**, so rollups, event ordering and
+//! stats are byte-identical to the serial walk at any `PILOTE_THREADS`
+//! setting.
 
 use crate::cloud::{Deployment, PackageError, TelemetryRollup};
 use crate::edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus};
+use crate::events::DEFAULT_EVENT_CAPACITY;
 use crate::federated::FederatedCoordinator;
 use pilote_core::QualityThresholds;
 use pilote_edge_sim::{DeviceProfile, LinkModel};
 use pilote_har_data::Dataset;
 use pilote_nn::Checkpoint;
 use pilote_obs::Snapshot;
-use pilote_tensor::Tensor;
+use pilote_tensor::{parallel, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Tuning knobs for a [`Fleet`].
@@ -44,6 +55,11 @@ pub struct FleetConfig {
     pub update_threshold: usize,
     /// Exemplar budget per class handed to incremental updates.
     pub exemplar_budget: usize,
+    /// Per-device event-log ring-buffer bound (`0` = unbounded). Evicted
+    /// events stay folded into the log's running totals, so telemetry and
+    /// derived counts are unaffected by the bound — see
+    /// [`crate::events::EventLog`].
+    pub event_capacity: usize,
 }
 
 impl Default for FleetConfig {
@@ -54,6 +70,7 @@ impl Default for FleetConfig {
             federated_every: 8,
             update_threshold: 20,
             exemplar_budget: 20,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
         }
     }
 }
@@ -135,6 +152,86 @@ fn snapshot_wire_bytes(snapshot: &Snapshot) -> Result<u64, PackageError> {
         .map_err(|e| PackageError { detail: e.to_string() })
 }
 
+/// Serves one feature matrix on a device through the batched
+/// prototype-cache path, `serve_chunk` windows at a time. This is the
+/// single serving loop shared by [`Fleet::serve_session`] (serial) and
+/// [`Fleet::serve_sessions`] (sharded), so both paths are bitwise
+/// identical by construction.
+fn serve_chunked(
+    device: &mut EdgeDevice,
+    features: &Tensor,
+    serve_chunk: usize,
+) -> Result<Vec<InferenceOutcome>, EdgeError> {
+    let mut outcomes = Vec::with_capacity(features.rows());
+    let mut row = 0;
+    while row < features.rows() {
+        let end = (row + serve_chunk).min(features.rows());
+        let chunk = features.slice_rows(row, end)?;
+        outcomes.extend(device.serve_batch(&chunk)?);
+        row = end;
+    }
+    Ok(outcomes)
+}
+
+/// Runs `f(device_index, member)` over every member, fanning contiguous
+/// device-index **bands** out across worker threads (the same
+/// `PILOTE_THREADS` band machinery the kernels use), and returns the
+/// per-member results in device-index order regardless of thread count or
+/// timing. With one thread (or one member) this is exactly the serial
+/// in-order walk.
+///
+/// Callers must only hand this closures whose work is confined to the
+/// member itself plus commutative global state (flop atomics, obs
+/// counters): per-device flop deltas are measured on the executing
+/// thread's local counter, so modeled clocks come out identical to the
+/// serial walk, and the band merge restores device-index order for
+/// everything else. Closures must not open observability spans — worker
+/// spans would finish in nondeterministic order (see `docs/SCALING.md`).
+fn map_member_bands<R: Send>(
+    members: &mut [FleetMember],
+    f: &(impl Fn(usize, &mut FleetMember) -> R + Sync),
+) -> Vec<R> {
+    // Members are coarse-grained work units (a device's whole serving or
+    // wire workload), so the kernel layer's scalar-op threshold
+    // (`min_parallel_len`) does not apply — only the configured thread
+    // count gates the fan-out.
+    let threads = parallel::current().num_threads.max(1).min(members.len());
+    if threads <= 1 || members.len() <= 1 {
+        return members.iter_mut().enumerate().map(|(i, m)| f(i, m)).collect();
+    }
+    let ranges = parallel::band_ranges(members.len(), threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len().saturating_sub(1));
+        let mut rest = members;
+        let mut first_band = None;
+        for (band_index, range) in ranges.iter().enumerate() {
+            let (band, tail) = rest.split_at_mut(range.end - range.start);
+            rest = tail;
+            let base = range.start;
+            if band_index == 0 {
+                first_band = Some((base, band));
+            } else {
+                handles.push(scope.spawn(move || {
+                    band.iter_mut()
+                        .enumerate()
+                        .map(|(j, m)| f(base + j, m))
+                        .collect::<Vec<R>>()
+                }));
+            }
+        }
+        let (base, band) = first_band.expect("band_ranges returns at least one band");
+        let mut out: Vec<R> = band
+            .iter_mut()
+            .enumerate()
+            .map(|(j, m)| f(base + j, m))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("fleet shard worker panicked"));
+        }
+        out
+    })
+}
+
 impl Fleet {
     /// Deploys the same cloud package onto every `(profile, link)` slot,
     /// charging each device's install download on its own link.
@@ -147,14 +244,71 @@ impl Fleet {
         assert!(config.serve_chunk > 0, "serve_chunk must be positive");
         let span = pilote_obs::span("fleet.deploy");
         span.annotate("devices", slots.len() as f64);
+        // The package is identical for every device: size its wire form
+        // once and let every install reuse the value.
+        let wire = deployment.wire_bytes()?;
         let members = slots
             .into_iter()
             .map(|(profile, link)| {
-                let device = EdgeDevice::install(profile, deployment, &link)?;
+                let mut device =
+                    EdgeDevice::install_presized(profile, deployment, &link, wire)?;
+                device.set_event_capacity(config.event_capacity);
                 Ok(FleetMember { device, link, updates_completed: 0 })
             })
             .collect::<Result<Vec<_>, EdgeError>>()?;
         drop(span);
+        Ok(Fleet {
+            members,
+            coordinator: FederatedCoordinator::new(),
+            config,
+            sessions_served: 0,
+            windows_served: 0,
+        })
+    }
+
+    /// [`Fleet::deploy`] with the install fan-out sharded across worker
+    /// threads: contiguous device-index bands install in parallel and the
+    /// roster is reassembled in band order, so the resulting fleet —
+    /// device order, per-device clocks, logs, routing — is byte-identical
+    /// to a serial [`Fleet::deploy`] at any `PILOTE_THREADS` setting.
+    ///
+    /// Unlike [`Fleet::deploy`] this opens **no** `fleet.deploy` span:
+    /// install dispatches prototype-refresh kernel work, and attributing
+    /// worker-thread flops to an orchestrator-side span would make trace
+    /// contents depend on the thread count. Use this for large rosters
+    /// where install wall-time matters and the serial variant when the
+    /// deploy must appear in an exported trace.
+    pub fn deploy_sharded(
+        slots: Vec<(DeviceProfile, LinkModel)>,
+        deployment: &Deployment,
+        config: FleetConfig,
+    ) -> Result<Fleet, EdgeError> {
+        assert!(!slots.is_empty(), "a fleet needs at least one device");
+        assert!(config.serve_chunk > 0, "serve_chunk must be positive");
+        // Installs are coarse-grained; gate only on the configured thread
+        // count, not the kernel layer's scalar-op threshold.
+        let threads = parallel::current().num_threads.max(1).min(slots.len());
+        // One wire sizing for the whole roster — the package is shared.
+        let wire = deployment.wire_bytes()?;
+        let bands = parallel::map_bands(slots.len(), threads, |range| {
+            slots[range]
+                .iter()
+                .map(|(profile, link)| {
+                    let mut device = EdgeDevice::install_presized(
+                        profile.clone(),
+                        deployment,
+                        link,
+                        wire,
+                    )?;
+                    device.set_event_capacity(config.event_capacity);
+                    Ok(FleetMember { device, link: *link, updates_completed: 0 })
+                })
+                .collect::<Result<Vec<_>, EdgeError>>()
+        });
+        let mut members = Vec::with_capacity(slots.len());
+        for band in bands {
+            members.extend(band?);
+        }
         Ok(Fleet {
             members,
             coordinator: FederatedCoordinator::new(),
@@ -208,14 +362,8 @@ impl Fleet {
         let span = pilote_obs::span("fleet.session");
         span.annotate("device", index as f64);
         span.annotate("windows", features.rows() as f64);
-        let mut outcomes = Vec::with_capacity(features.rows());
-        let mut row = 0;
-        while row < features.rows() {
-            let end = (row + self.config.serve_chunk).min(features.rows());
-            let chunk = features.slice_rows(row, end)?;
-            outcomes.extend(self.members[index].device.serve_batch(&chunk)?);
-            row = end;
-        }
+        let outcomes =
+            serve_chunked(&mut self.members[index].device, features, self.config.serve_chunk)?;
         drop(span);
         self.sessions_served += 1;
         self.windows_served += features.rows() as u64;
@@ -229,6 +377,83 @@ impl Fleet {
             self.federated_round()?;
         }
         Ok(outcomes)
+    }
+
+    /// Serves a batch of `(user_id, features)` sessions with the roster
+    /// **sharded** across worker threads: sessions are routed up front,
+    /// each device serves its own sessions in input order on the shard
+    /// that owns it, and outcomes are returned in input order.
+    ///
+    /// Semantics match calling [`Fleet::serve_session`] once per entry, in
+    /// order — same outcomes, device clocks, event logs, counters and
+    /// federated schedule (the batch is cut at every
+    /// [`FleetConfig::federated_every`] boundary so rounds fire between
+    /// exactly the same sessions) — with one deliberate exception: no
+    /// per-session `fleet.session` span is opened, because worker-side
+    /// spans would finish in thread-timing order and their flop
+    /// attribution would vary with the thread count. Bulk serving is for
+    /// scale runs whose traces are not exported per session.
+    ///
+    /// # Errors
+    /// Any serving error from the underlying devices. When an error is
+    /// returned, sessions before the failing federated boundary have still
+    /// been served and counted.
+    pub fn serve_sessions(
+        &mut self,
+        sessions: &[(u64, Tensor)],
+    ) -> Result<Vec<Vec<InferenceOutcome>>, EdgeError> {
+        let mut results: Vec<Option<Vec<InferenceOutcome>>> = Vec::new();
+        results.resize_with(sessions.len(), || None);
+        let mut next = 0usize;
+        while next < sessions.len() {
+            let remaining = sessions.len() - next;
+            let group = if self.config.federated_every > 0 {
+                let every = self.config.federated_every as u64;
+                let until_round = every - (self.sessions_served % every);
+                remaining.min(until_round as usize)
+            } else {
+                remaining
+            };
+            // Route the whole group first; each device then serves its own
+            // sessions in input order, so per-device event order matches
+            // the serial walk exactly.
+            let mut per_device: Vec<Vec<usize>> = vec![Vec::new(); self.members.len()];
+            for (offset, (user_id, _)) in sessions[next..next + group].iter().enumerate() {
+                per_device[self.route(*user_id)].push(next + offset);
+            }
+            let serve_chunk = self.config.serve_chunk;
+            let served = map_member_bands(&mut self.members, &|index, member| {
+                per_device[index]
+                    .iter()
+                    .map(|&pos| {
+                        (pos, serve_chunked(&mut member.device, &sessions[pos].1, serve_chunk))
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for (pos, outcome) in served.into_iter().flatten() {
+                results[pos] = Some(outcome?);
+            }
+            let group_windows: u64 = sessions[next..next + group]
+                .iter()
+                .map(|(_, features)| features.rows() as u64)
+                .sum();
+            self.sessions_served += group as u64;
+            self.windows_served += group_windows;
+            if pilote_obs::enabled() {
+                pilote_obs::counter("fleet.sessions").add(group as u64);
+                pilote_obs::counter("fleet.windows_served").add(group_windows);
+            }
+            if self.config.federated_every > 0
+                && self.sessions_served.is_multiple_of(self.config.federated_every as u64)
+            {
+                self.federated_round()?;
+            }
+            next += group;
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every session is served by its routed device"))
+            .collect())
     }
 
     /// Buffers one labelled feature vector on the user's routed device
@@ -273,15 +498,21 @@ impl Fleet {
         // Charge link time first: upload for contributors, download for
         // everyone. The merged checkpoint has the same parameter structure
         // as each contribution, so its wire size is modeled as the
-        // device's own snapshot size.
-        for member in &mut self.members {
+        // device's own snapshot size. Wire sizing (capture + JSON
+        // serialisation) fans out across shards — it dispatches no kernel
+        // flops, so the open span and every device clock are unaffected —
+        // while the clock charges land serially in device-index order.
+        let payloads = map_member_bands(&mut self.members, &|_, member| {
             let ckpt = Checkpoint::capture(member.device.model_mut().net_mut().layers_mut());
-            let bytes = checkpoint_wire_bytes(&ckpt)?;
+            let bytes = checkpoint_wire_bytes(&ckpt);
             let contributes = !member.device.model_mut().support().is_empty();
+            (bytes, contributes)
+        });
+        for (member, (bytes, contributes)) in self.members.iter_mut().zip(payloads) {
             let transfers = if contributes { 2 } else { 1 };
             member
                 .device
-                .advance_clock(member.link.repeated_transfer_seconds(bytes, transfers));
+                .advance_clock(member.link.repeated_transfer_seconds(bytes?, transfers));
         }
         let mut devices: Vec<&mut EdgeDevice> =
             self.members.iter_mut().map(|m| &mut m.device).collect();
@@ -334,11 +565,19 @@ impl Fleet {
     pub fn telemetry_rollup(&mut self) -> Result<TelemetryRollup, EdgeError> {
         let span = pilote_obs::span("fleet.telemetry_rollup");
         span.annotate("devices", self.members.len() as f64);
-        let mut rollup = TelemetryRollup::new();
-        for member in &mut self.members {
+        // Snapshot + wire sizing fan out across shards (no kernel flops,
+        // so neither the span nor any clock changes); the clock charges
+        // and the rollup merge run serially in device-index order, which
+        // keeps gauge last-write-wins and histogram-bounds errors
+        // identical to the serial walk.
+        let payloads = map_member_bands(&mut self.members, &|_, member| {
             let snapshot = member.device.telemetry_snapshot();
-            let bytes = snapshot_wire_bytes(&snapshot)?;
-            member.device.advance_clock(member.link.transfer_seconds(bytes));
+            let bytes = snapshot_wire_bytes(&snapshot);
+            (snapshot, bytes)
+        });
+        let mut rollup = TelemetryRollup::new();
+        for (member, (snapshot, bytes)) in self.members.iter_mut().zip(payloads) {
+            member.device.advance_clock(member.link.transfer_seconds(bytes?));
             rollup.merge_snapshot(&snapshot)?;
         }
         drop(span);
@@ -346,6 +585,44 @@ impl Fleet {
             pilote_obs::counter("fleet.telemetry_rollups").inc();
         }
         Ok(rollup)
+    }
+
+    /// Collects every device's **delta** telemetry — the increment since
+    /// that device's previous upload ([`EdgeDevice::telemetry_delta`]) —
+    /// charges each link with the (much smaller) delta payload, and merges
+    /// the deltas into `rollup` in device-index order.
+    ///
+    /// Summing delta uploads at the cloud reproduces the full-snapshot
+    /// rollup exactly: counter and histogram merges are commutative
+    /// associative sums, and gauges ship their current value every upload
+    /// so last-write-wins lands on the same device either way. See
+    /// `docs/SCALING.md` for the wire protocol; the conservation property
+    /// is tested in `tests/fleet_props.rs`.
+    ///
+    /// Under `PILOTE_OBS=0` each device ships an empty snapshot and keeps
+    /// its baseline untouched.
+    ///
+    /// # Errors
+    /// [`EdgeError::Package`] when a delta cannot be serialised for the
+    /// wire; [`EdgeError::Rollup`] when two devices disagree on histogram
+    /// bucket bounds.
+    pub fn upload_telemetry_deltas(
+        &mut self,
+        rollup: &mut TelemetryRollup,
+    ) -> Result<(), EdgeError> {
+        let payloads = map_member_bands(&mut self.members, &|_, member| {
+            let delta = member.device.telemetry_delta();
+            let bytes = snapshot_wire_bytes(&delta);
+            (delta, bytes)
+        });
+        for (member, (delta, bytes)) in self.members.iter_mut().zip(payloads) {
+            member.device.advance_clock(member.link.transfer_seconds(bytes?));
+            rollup.merge_snapshot(&delta)?;
+        }
+        if pilote_obs::enabled() {
+            pilote_obs::counter("fleet.telemetry_uploads").inc();
+        }
+        Ok(())
     }
 
     /// Fleet-wide summary.
@@ -648,5 +925,130 @@ mod tests {
         let json = serde_json::to_string(&stats).expect("serialise");
         let back: FleetStats = serde_json::from_str(&json).expect("deserialise");
         assert_eq!(back, stats);
+    }
+
+    /// Runs `f` under an `n`-thread zero-threshold config, restoring the
+    /// previous config afterwards. Kernel results are thread-count
+    /// invariant, so a concurrent test observing the temporary config can
+    /// only change scheduling, never outcomes.
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let prev = parallel::current();
+        parallel::configure(parallel::ThreadConfig { num_threads: n, min_parallel_len: 1 });
+        let out = f();
+        parallel::configure(prev);
+        out
+    }
+
+    fn log_json(fleet: &Fleet, index: usize) -> String {
+        serde_json::to_string(fleet.device(index).log()).expect("log json")
+    }
+
+    #[test]
+    fn deploy_sharded_matches_serial_deploy_at_any_thread_count() {
+        let (deployment, _, _) = deployment();
+        let serial =
+            Fleet::deploy(slots(8), &deployment, FleetConfig::default()).expect("deploy");
+        for n in [1usize, 4] {
+            let sharded = with_threads(n, || {
+                Fleet::deploy_sharded(slots(8), &deployment, FleetConfig::default())
+                    .expect("deploy")
+            });
+            assert_eq!(sharded.len(), serial.len());
+            for i in 0..serial.len() {
+                assert_eq!(
+                    log_json(&sharded, i),
+                    log_json(&serial, i),
+                    "device {i} log at {n} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_serving_matches_serial_sessions_at_any_thread_count() {
+        let cfg = FleetConfig { federated_every: 3, ..FleetConfig::default() };
+        let (mut serial, mut sim, norm) = fleet(4, cfg.clone());
+        let sessions: Vec<(u64, Tensor)> = (0..7u64)
+            .map(|u| (u, session_features(&mut sim, &norm, Activity::Walk, 4)))
+            .collect();
+        let mut expected = Vec::new();
+        for (user, features) in &sessions {
+            expected.push(serial.serve_session(*user, features).expect("serve"));
+        }
+        for n in [1usize, 4] {
+            let (mut sharded, _, _) = fleet(4, cfg.clone());
+            let got = with_threads(n, || sharded.serve_sessions(&sessions).expect("serve"));
+            assert_eq!(got.len(), expected.len());
+            for (a, b) in got.iter().flatten().zip(expected.iter().flatten()) {
+                assert_eq!(a.predicted, b.predicted);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+            assert_eq!(sharded.federated_rounds(), serial.federated_rounds(), "{n} threads");
+            assert_eq!(
+                serde_json::to_string(&sharded.stats()).expect("stats json"),
+                serde_json::to_string(&serial.stats()).expect("stats json"),
+                "{n} threads"
+            );
+            for i in 0..serial.len() {
+                assert_eq!(
+                    log_json(&sharded, i),
+                    log_json(&serial, i),
+                    "device {i} log at {n} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_uploads_sum_to_the_full_snapshot_rollup() {
+        let cfg = FleetConfig { federated_every: 0, ..FleetConfig::default() };
+        let (mut fleet_delta, mut sim, norm) = fleet(3, cfg.clone());
+        let (mut fleet_full, _, _) = fleet(3, cfg);
+        let still = session_features(&mut sim, &norm, Activity::Still, 5);
+        let walk = session_features(&mut sim, &norm, Activity::Walk, 6);
+        let mut delta_rollup = TelemetryRollup::new();
+        // Two upload windows for the delta fleet, one whole-life snapshot
+        // upload for the reference fleet — same served schedule.
+        for features in [&still, &walk] {
+            for user in 0..4u64 {
+                fleet_delta.serve_session(user, features).expect("serve");
+                fleet_full.serve_session(user, features).expect("serve");
+            }
+            fleet_delta.upload_telemetry_deltas(&mut delta_rollup).expect("upload");
+        }
+        let full_rollup = fleet_full.telemetry_rollup().expect("rollup");
+        if !pilote_obs::enabled() {
+            assert!(delta_rollup.counters.is_empty(), "kill switch ships empty deltas");
+            return;
+        }
+        // Counters and histograms are conserved exactly; gauges are
+        // point-in-time (the delta fleet's clocks include an extra upload
+        // charge) and device counts differ (one merge per upload), so
+        // neither is compared.
+        assert_eq!(delta_rollup.counters, full_rollup.counters);
+        assert_eq!(delta_rollup.histograms, full_rollup.histograms);
+    }
+
+    #[test]
+    fn deploy_applies_the_configured_event_capacity() {
+        // serve_chunk 2 → a 6-window session emits 3 BatchServed events,
+        // overflowing the 2-slot ring on top of the install event.
+        let cfg = FleetConfig {
+            event_capacity: 2,
+            serve_chunk: 2,
+            federated_every: 0,
+            ..FleetConfig::default()
+        };
+        let (mut fleet, mut sim, norm) = fleet(2, cfg);
+        assert_eq!(fleet.device(0).log().capacity(), 2);
+        let features = session_features(&mut sim, &norm, Activity::Still, 6);
+        let user = 0u64;
+        let index = fleet.route(user);
+        fleet.serve_session(user, &features).expect("serve");
+        assert!(fleet.device(index).log().events().len() <= 2, "ring must stay bounded");
+        assert!(fleet.device(index).log().evicted() > 0, "schedule must overflow the ring");
+        // Derived counts read the running totals, not the retained window.
+        assert_eq!(fleet.device(index).log().served_count(), 6);
+        assert_eq!(fleet.stats().devices[index].windows_served, 6);
     }
 }

@@ -22,6 +22,7 @@
 //! interleaves incremental updates with scheduled federated rounds (see
 //! `docs/FLEET.md`).
 
+#![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cloud;

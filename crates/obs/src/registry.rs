@@ -213,6 +213,31 @@ impl HistogramSnapshot {
             nan: self.nan + other.nan,
         })
     }
+
+    /// Bucket-wise difference against an earlier `baseline` of the **same
+    /// bounds**: the observations recorded since the baseline was taken.
+    /// The inverse of [`HistogramSnapshot::merge`] —
+    /// `baseline.merge(&current.diff(&baseline)?) == current` — which is
+    /// what makes windowed delta uploads sum back to the full-history
+    /// rollup (see `docs/SCALING.md`). Returns `None` when the bounds
+    /// differ or any baseline bucket exceeds the current one (the
+    /// "baseline" is not actually a prefix of this history).
+    #[must_use]
+    pub fn diff(&self, baseline: &HistogramSnapshot) -> Option<HistogramSnapshot> {
+        if self.bounds != baseline.bounds
+            || self.counts.len() != baseline.counts.len()
+            || self.nan < baseline.nan
+        {
+            return None;
+        }
+        let counts = self
+            .counts
+            .iter()
+            .zip(&baseline.counts)
+            .map(|(a, b)| a.checked_sub(*b))
+            .collect::<Option<Vec<u64>>>()?;
+        Some(HistogramSnapshot { bounds: self.bounds.clone(), counts, nan: self.nan - baseline.nan })
+    }
 }
 
 /// Per-kernel dispatch statistics (from [`crate::work`]).
@@ -297,6 +322,51 @@ impl Snapshot {
             .range(prefix.to_string()..)
             .take_while(move |(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The increment recorded since an earlier `baseline` snapshot of the
+    /// same source — the payload of a **windowed telemetry upload** (see
+    /// `docs/SCALING.md`):
+    ///
+    /// * **counters** — current minus baseline; unchanged counters are
+    ///   omitted entirely, which is what makes deltas small on the wire.
+    ///   Counters are monotone, so the subtraction never wraps (a counter
+    ///   below its baseline would mean the snapshots came from different
+    ///   sources; the delta clamps at 0 rather than panicking mid-upload);
+    /// * **histograms** — bucket-wise [`HistogramSnapshot::diff`];
+    ///   unchanged histograms are omitted, and a bounds mismatch falls
+    ///   back to shipping the current histogram whole;
+    /// * **gauges** — shipped as-is (a gauge is a point-in-time value, not
+    ///   an accumulator: the rollup's last-write-wins merge needs the
+    ///   current reading, and "current minus baseline" would be
+    ///   meaningless);
+    /// * **kernels / spans** — not included; per-entity snapshots (e.g.
+    ///   per-device telemetry) never populate them.
+    ///
+    /// Summing every delta of a source at the receiver reproduces the
+    /// source's full-history counters and histograms exactly — the
+    /// conservation property `tests/fleet_props.rs` checks.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &Snapshot) -> Snapshot {
+        let mut delta = Snapshot { enabled: self.enabled, ..Default::default() };
+        for (name, value) in &self.counters {
+            let before = baseline.counters.get(name).copied().unwrap_or(0);
+            let inc = value.saturating_sub(before);
+            if inc > 0 {
+                delta.counters.insert(name.clone(), inc);
+            }
+        }
+        for (name, histogram) in &self.histograms {
+            let inc = match baseline.histograms.get(name) {
+                Some(before) => histogram.diff(before).unwrap_or_else(|| histogram.clone()),
+                None => histogram.clone(),
+            };
+            if inc.total() > 0 {
+                delta.histograms.insert(name.clone(), inc);
+            }
+        }
+        delta.gauges = self.gauges.clone();
+        delta
     }
 }
 
@@ -536,6 +606,60 @@ pub(crate) mod tests {
         let a = HistogramSnapshot::with_bounds(&[1.0, 10.0]);
         let b = HistogramSnapshot::with_bounds(&[1.0, 20.0]);
         assert!(a.merge(&b).is_none(), "different bounds must not merge");
+    }
+
+    #[test]
+    fn histogram_diff_inverts_merge() {
+        let mut baseline = HistogramSnapshot::with_bounds(&[1.0, 10.0]);
+        for v in [0.5, 3.0, f64::NAN] {
+            baseline.record(v);
+        }
+        let mut current = baseline.clone();
+        for v in [0.25, 42.0, f64::NAN] {
+            current.record(v);
+        }
+        let delta = current.diff(&baseline).expect("same bounds, monotone");
+        assert_eq!(delta.counts, vec![1, 0, 1]);
+        assert_eq!(delta.nan, 1);
+        assert_eq!(baseline.merge(&delta).expect("merge"), current, "merge must invert diff");
+        // Rejections: mismatched bounds, or a "baseline" that is ahead.
+        assert!(current.diff(&HistogramSnapshot::with_bounds(&[2.0])).is_none());
+        assert!(baseline.diff(&current).is_none(), "baseline ahead of current must not diff");
+    }
+
+    #[test]
+    fn snapshot_delta_since_ships_increments_only() {
+        let mut before = Snapshot { enabled: true, ..Default::default() };
+        before.counters.insert("edge.inference".into(), 5);
+        before.counters.insert("edge.deployed".into(), 1);
+        let mut h0 = HistogramSnapshot::with_bounds(&[1.0]);
+        h0.record(0.5);
+        before.histograms.insert("quality.margins".into(), h0);
+        before
+            .gauges
+            .insert("edge.clock_seconds".into(), GaugeSnapshot { last: 1.0, min: 1.0, max: 1.0, count: 1 });
+
+        let mut after = before.clone();
+        after.counters.insert("edge.inference".into(), 9);
+        after.counters.insert("edge.alert_raised".into(), 2);
+        let mut h1 = after.histograms["quality.margins"].clone();
+        h1.record(7.0);
+        after.histograms.insert("quality.margins".into(), h1);
+        after
+            .gauges
+            .insert("edge.clock_seconds".into(), GaugeSnapshot { last: 4.0, min: 1.0, max: 4.0, count: 2 });
+
+        let delta = after.delta_since(&before);
+        // Unchanged counters/histograms are omitted; increments survive.
+        assert_eq!(delta.counters.get("edge.inference").copied(), Some(4));
+        assert_eq!(delta.counters.get("edge.alert_raised").copied(), Some(2));
+        assert!(!delta.counters.contains_key("edge.deployed"), "unchanged counter must be omitted");
+        assert_eq!(delta.histograms["quality.margins"].counts, vec![0, 1]);
+        // Gauges ship the current reading.
+        assert_eq!(delta.gauges["edge.clock_seconds"].last, 4.0);
+        // A no-op window ships an empty (counter/histogram-free) delta.
+        let idle = after.delta_since(&after);
+        assert!(idle.counters.is_empty() && idle.histograms.is_empty());
     }
 
     #[test]

@@ -20,6 +20,12 @@
 #      trace_quality.json byte-compared; the trace must parse as JSON
 #      with a non-empty traceEvents array and the A/B demo must show the
 #      re-trained arm alerting while the PILOTE arm does not
+#  10. the docs gate: every relative markdown link in README/DESIGN/
+#      EXPERIMENTS/docs resolves, and every docs/*.md is reachable from
+#      README.md by following links
+#  11. the scaling gate (docs/SCALING.md): `repro fleet --scale large`
+#      at a reduced device count, run twice plus once at
+#      PILOTE_THREADS=4, BENCH_fleet_large.json byte-compared
 #
 # Usage: ./scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -122,5 +128,61 @@ print(f"quality gate: {len(events)} trace events, "
       f"A/B alerts pilote={ab['pilote']['alerts']} "
       f"retrained={ab['retrained']['alerts']}")
 EOF
+
+# --- docs gate ------------------------------------------------------------
+
+step "docs: relative links resolve; every docs/*.md reachable from README.md"
+python3 - << 'EOF'
+import os, re, sys
+from collections import deque
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+roots = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "PAPER.md"]
+pages = [p for p in roots if os.path.exists(p)]
+pages += sorted(f"docs/{f}" for f in os.listdir("docs") if f.endswith(".md"))
+
+def links(page):
+    out = []
+    for target in LINK.findall(open(page).read()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        out.append(os.path.normpath(
+            os.path.join(os.path.dirname(page), target.split("#")[0])))
+    return out
+
+dangling = [(page, t) for page in pages for t in links(page)
+            if not os.path.exists(t)]
+for page, target in dangling:
+    print(f"docs gate: {page} links to missing path {target}", file=sys.stderr)
+if dangling:
+    sys.exit(1)
+
+seen, queue = {"README.md"}, deque(["README.md"])
+while queue:
+    page = queue.popleft()
+    for target in links(page):
+        if target.endswith(".md") and target not in seen:
+            seen.add(target)
+            queue.append(target)
+unreachable = [p for p in pages if p.startswith("docs/") and p not in seen]
+for page in unreachable:
+    print(f"docs gate: {page} is not reachable from README.md", file=sys.stderr)
+if unreachable:
+    sys.exit(1)
+print(f"docs gate: {len(pages)} pages checked, "
+      f"{len(seen)} reachable from README.md")
+EOF
+
+# --- scaling gate (docs/SCALING.md) ---------------------------------------
+
+step "scaling: reduced-roster fleet --scale large byte-identical across runs and threads"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  fleet --scale large --devices 96 --out "$obs_dir/l1"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  fleet --scale large --devices 96 --out "$obs_dir/l2"
+PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
+  fleet --scale large --devices 96 --out "$obs_dir/l4"
+cmp "$obs_dir/l1/BENCH_fleet_large.json" "$obs_dir/l2/BENCH_fleet_large.json"
+cmp "$obs_dir/l1/BENCH_fleet_large.json" "$obs_dir/l4/BENCH_fleet_large.json"
 
 printf '\nci.sh: all gates passed\n'

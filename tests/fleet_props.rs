@@ -8,13 +8,20 @@
 //!   never stale — serve outcomes always match an uncached classification
 //!   of the live model, bitwise;
 //! * **schedule determinism**: an identical fleet schedule produces
-//!   identical stats and per-device event logs at any thread count.
+//!   identical stats and per-device event logs at any thread count;
+//! * **ring-buffer conservation**: bounding the per-device event log never
+//!   changes telemetry snapshots or derived counts vs. an unbounded log
+//!   (evicted events fold into the running totals — `docs/SCALING.md`);
+//! * **delta conservation**: windowed delta telemetry uploads summed at
+//!   the cloud equal the whole-life full-snapshot rollup;
+//! * **sharded serving**: [`pilote::magneto::Fleet::serve_sessions`] is
+//!   bitwise identical to the serial session walk at any thread count.
 //!
 //! The global [`ThreadConfig`] is process-wide, so the thread-variance
-//! test serialises on [`CONFIG_LOCK`], same as `tests/parallel_props.rs`.
+//! tests serialise on [`CONFIG_LOCK`], same as `tests/parallel_props.rs`.
 
 use pilote::har_data::features::extract_batch;
-use pilote::magneto::Deployment;
+use pilote::magneto::{Deployment, TelemetryRollup};
 use pilote::prelude::*;
 use pilote::tensor::parallel::{self, ThreadConfig};
 use proptest::prelude::*;
@@ -89,8 +96,9 @@ fn assert_cache_coherent(dev: &mut EdgeDevice, features: &Tensor) {
     }
 }
 
-/// A fresh 4-device fleet over mixed links from the shared deployment.
-fn fleet(federated_every: usize) -> pilote::magneto::Fleet {
+/// A fresh 4-device fleet over mixed links from the shared deployment,
+/// with an explicit per-device event-log bound (`0` = unbounded).
+fn fleet_bounded(federated_every: usize, event_capacity: usize) -> pilote::magneto::Fleet {
     let links = [LinkModel::wifi(), LinkModel::cellular_4g(), LinkModel::weak_cellular()];
     let slots: Vec<(DeviceProfile, LinkModel)> = DeviceProfile::roster(4)
         .into_iter()
@@ -103,8 +111,14 @@ fn fleet(federated_every: usize) -> pilote::magneto::Fleet {
         federated_every,
         update_threshold: 8,
         exemplar_budget: 15,
+        event_capacity,
     };
     Fleet::deploy(slots, &fixture().deployment, config).expect("deploy")
+}
+
+/// A fresh 4-device fleet with the default (never-evicting here) log bound.
+fn fleet(federated_every: usize) -> pilote::magneto::Fleet {
+    fleet_bounded(federated_every, pilote::magneto::events::DEFAULT_EVENT_CAPACITY)
 }
 
 /// Runs a small but complete fleet schedule — serves, labels that trigger
@@ -126,11 +140,36 @@ fn run_schedule(federated_every: usize) -> String {
         let session = eval.slice_rows(0, 4).expect("session");
         f.serve_session(user, &session).expect("serve");
     }
+    fleet_trace(&f)
+}
+
+/// Canonical trace of a fleet: the stats JSON plus every device's
+/// event-log JSON, in device-index order.
+fn fleet_trace(f: &pilote::magneto::Fleet) -> String {
     let stats = serde_json::to_string(&f.stats()).expect("stats json");
     let logs: Vec<String> = (0..f.len())
         .map(|i| serde_json::to_string(f.device(i).log()).expect("log json"))
         .collect();
     format!("{stats}\n{}", logs.join("\n"))
+}
+
+/// Serves a fixed mixed schedule — sessions, then labels that trigger one
+/// incremental update, then more sessions — on `f`.
+fn serve_mixed_schedule(f: &mut pilote::magneto::Fleet) {
+    let eval = &fixture().eval_features;
+    for user in 0..6u64 {
+        let start = (user as usize * 3) % (eval.rows() - 4);
+        let session = eval.slice_rows(start, start + 4).expect("session");
+        f.serve_session(user, &session).expect("serve");
+    }
+    let run = &fixture().run_features;
+    for i in 0..8 {
+        f.label_sample(2, Activity::Run.label(), Tensor::vector(run.row(i))).expect("label");
+    }
+    for user in 0..4u64 {
+        let session = eval.slice_rows(0, 4).expect("session");
+        f.serve_session(user, &session).expect("serve");
+    }
 }
 
 proptest! {
@@ -184,6 +223,41 @@ proptest! {
             assert_cache_coherent(&mut dev, eval);
         }
     }
+
+    /// Bounding the event log to any ring capacity changes **nothing**
+    /// observable except the retained-event window: telemetry snapshots
+    /// (whose counters read the running totals) and every derived count
+    /// are identical to an unbounded log over the same schedule.
+    #[test]
+    fn bounded_event_logs_conserve_telemetry(capacity in 1usize..4) {
+        let mut bounded = fleet_bounded(0, capacity);
+        let mut unbounded = fleet_bounded(0, 0);
+        serve_mixed_schedule(&mut bounded);
+        serve_mixed_schedule(&mut unbounded);
+        prop_assert_eq!(
+            serde_json::to_string(&bounded.stats()).expect("stats json"),
+            serde_json::to_string(&unbounded.stats()).expect("stats json")
+        );
+        let mut evicted = 0u64;
+        for i in 0..bounded.len() {
+            let b = bounded.device(i).log();
+            let u = unbounded.device(i).log();
+            prop_assert!(b.events().len() <= capacity, "device {} over capacity", i);
+            prop_assert_eq!(b.totals(), u.totals(), "device {} totals diverged", i);
+            prop_assert_eq!(b.served_count(), u.served_count());
+            prop_assert_eq!(b.inference_count(), u.inference_count());
+            prop_assert_eq!(b.update_count(), u.update_count());
+            prop_assert_eq!(
+                serde_json::to_string(&bounded.device(i).telemetry_snapshot()).expect("snap"),
+                serde_json::to_string(&unbounded.device(i).telemetry_snapshot()).expect("snap"),
+                "device {} telemetry diverged", i
+            );
+            evicted += b.evicted();
+        }
+        // The schedule produces more events per routed device than any
+        // capacity in range, so eviction genuinely happened.
+        prop_assert!(evicted > 0, "schedule never overflowed a {}-slot ring", capacity);
+    }
 }
 
 /// A federated install rewrites every device's parameters in place; the
@@ -223,4 +297,76 @@ fn fleet_schedule_is_thread_invariant() {
     let threaded = run_schedule(4);
     parallel::configure(saved);
     assert_eq!(serial, threaded, "fleet schedule diverged between 1 and 4 threads");
+}
+
+/// Windowed delta uploads summed at the cloud equal the whole-life
+/// full-snapshot rollup for the same schedule: counters and histograms are
+/// conserved exactly (gauges are point-in-time and the delta fleet's
+/// clocks carry extra upload charges, so they are not compared).
+#[test]
+fn delta_uploads_sum_to_full_snapshot_rollup() {
+    let mut delta_fleet = fleet(3);
+    let mut full_fleet = fleet(3);
+    let mut delta_rollup = TelemetryRollup::new();
+    let eval = &fixture().eval_features;
+    for window in 0..3 {
+        for user in 0..4u64 {
+            let start = ((window * 4 + user as usize) * 3) % (eval.rows() - 4);
+            let session = eval.slice_rows(start, start + 4).expect("session");
+            delta_fleet.serve_session(user, &session).expect("serve");
+            full_fleet.serve_session(user, &session).expect("serve");
+        }
+        delta_fleet.upload_telemetry_deltas(&mut delta_rollup).expect("delta upload");
+    }
+    let full_rollup = full_fleet.telemetry_rollup().expect("rollup");
+    if !pilote::obs::enabled() {
+        assert!(delta_rollup.counters.is_empty(), "kill switch ships empty deltas");
+        return;
+    }
+    assert_eq!(delta_rollup.counters, full_rollup.counters, "delta sums lost counter increments");
+    assert_eq!(delta_rollup.histograms, full_rollup.histograms, "delta sums lost histogram buckets");
+}
+
+/// Bulk sharded serving ([`pilote::magneto::Fleet::serve_sessions`]) is
+/// bitwise identical — outcomes, stats, per-device event logs, federated
+/// schedule — to the serial per-session walk, at 1 and 4 threads.
+#[test]
+fn bulk_serving_matches_serial_walk_at_any_thread_count() {
+    let _guard = CONFIG_LOCK.lock().unwrap();
+    let saved = parallel::current();
+    let eval = &fixture().eval_features;
+    let sessions: Vec<(u64, Tensor)> = (0..10u64)
+        .map(|user| {
+            let start = (user as usize * 3) % (eval.rows() - 4);
+            (user, eval.slice_rows(start, start + 4).expect("session"))
+        })
+        .collect();
+    parallel::configure(ThreadConfig::serial());
+    let mut reference = fleet(3);
+    let mut expected = Vec::new();
+    for (user, session) in &sessions {
+        expected.extend(reference.serve_session(*user, session).expect("serve"));
+    }
+    let reference_trace = fleet_trace(&reference);
+    for threads in [1usize, 4] {
+        parallel::configure(ThreadConfig { num_threads: threads, min_parallel_len: 0 });
+        let mut f = fleet(3);
+        let outcomes: Vec<_> =
+            f.serve_sessions(&sessions).expect("bulk serve").into_iter().flatten().collect();
+        assert_eq!(outcomes.len(), expected.len());
+        for (i, (a, b)) in outcomes.iter().zip(&expected).enumerate() {
+            assert_eq!(a.predicted, b.predicted, "window {i} at {threads} threads");
+            assert_eq!(
+                a.distance.to_bits(),
+                b.distance.to_bits(),
+                "window {i} at {threads} threads"
+            );
+        }
+        assert_eq!(
+            fleet_trace(&f),
+            reference_trace,
+            "bulk serving diverged from the serial walk at {threads} threads"
+        );
+    }
+    parallel::configure(saved);
 }
