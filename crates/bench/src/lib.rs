@@ -25,6 +25,7 @@
 //! repro obs            # deterministic telemetry snapshot (BENCH_obs.json)
 //! repro fleet          # multi-device fleet orchestration (BENCH_fleet.json)
 //! repro quality        # quality monitors + fleet telemetry rollup (BENCH_quality.json)
+//! repro policy         # self-healing fleet policy A/B (BENCH_policy.json)
 //! ```
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -39,6 +40,7 @@ pub mod exp_fig7;
 pub mod exp_fleet;
 pub mod exp_kernels;
 pub mod exp_obs;
+pub mod exp_policy;
 pub mod exp_quality;
 pub mod exp_table2;
 pub mod exp_timing;

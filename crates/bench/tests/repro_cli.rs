@@ -10,7 +10,10 @@ fn repro() -> Command {
 
 /// Every runner the usage message must enumerate.
 const RUNNERS: &[&str] =
-    &["all", "table2", "kernels", "faults", "obs", "fleet", "quality", "timing", "cloud-vs-edge"];
+    &[
+        "all", "table2", "kernels", "faults", "obs", "fleet", "quality", "policy", "timing",
+        "cloud-vs-edge",
+    ];
 
 #[test]
 fn unknown_experiment_prints_usage_and_exits_nonzero() {

@@ -62,5 +62,6 @@ pub use knn::KnnClassifier;
 pub use ncm::NcmClassifier;
 pub use pilote::{Pilote, SupportSet, TrainReport, UpdateOutcome, UpdateStage};
 pub use quality::{
-    AlertRule, ClassQuality, QualityAlert, QualityMonitor, QualityReport, QualityThresholds,
+    AdaptiveThresholds, AlertRule, ClassQuality, QualityAlert, QualityMonitor, QualityReport,
+    QualityThresholds,
 };

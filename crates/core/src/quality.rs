@@ -30,6 +30,12 @@
 //! | [`AlertRule::MarginCollapse`] | mean margin < `margin_collapse_ratio` × the baseline mean margin (default ¼) |
 //! | [`AlertRule::DriftSpike`] | any class drift ratio > `drift_spike_ratio` (default ½ of the prototype norm) |
 //!
+//! With [`AdaptiveThresholds`] enabled the forgetting and drift
+//! thresholds are re-derived per observation from the device's own probe
+//! history instead of the shared constants (clamped to stay within 2× of
+//! the base either way); the margin rule is already baseline-relative and
+//! never adapts.
+//!
 //! The margin and drift rules only compare observations with the **same
 //! class set**: adding a class redefines the margin (nearest vs
 //! second-nearest over more prototypes) and legitimately moves old
@@ -86,6 +92,58 @@ impl Default for QualityThresholds {
             margin_collapse_ratio: 0.25,
             drift_spike_ratio: 0.5,
         }
+    }
+}
+
+/// Derives per-device thresholds from the device's own probe history
+/// instead of fleet-wide constants. Adaimi & Thomaz's lifelong-learning
+/// study (PAPERS.md) shows per-user baselines diverge enough that shared
+/// alert constants misfire: a device whose forgetting score naturally
+/// jitters by 5 pts needs more headroom than one that sits at 0.
+///
+/// The effective threshold for a rule is `headroom ×` the standard
+/// deviation of that rule's measured value over the last `window`
+/// observations, clamped to `[0.5, 2.0] ×` the configured base so a
+/// pathological history can never disable the rule or make it
+/// hair-trigger. Until `min_history` observations exist the base
+/// threshold applies unchanged. Only the **forgetting** and **drift**
+/// rules adapt — the margin rule is already relative to the device's own
+/// baseline margin.
+///
+/// Everything is a deterministic fold over the report history, so
+/// adaptation preserves the byte-identical-across-runs contract.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveThresholds {
+    /// How many most-recent prior observations feed the derivation.
+    pub window: usize,
+    /// Minimum prior observations before adaptation kicks in; below this
+    /// the base threshold applies.
+    pub min_history: usize,
+    /// Multiplier on the history's standard deviation (a 3-sigma band by
+    /// default).
+    pub headroom: f64,
+}
+
+impl Default for AdaptiveThresholds {
+    fn default() -> Self {
+        AdaptiveThresholds { window: 4, min_history: 3, headroom: 3.0 }
+    }
+}
+
+impl AdaptiveThresholds {
+    /// The effective threshold given a `base` constant and the rule's
+    /// measured `history` (oldest first): `headroom × std(last window)`,
+    /// clamped to `[0.5 × base, 2.0 × base]`. Returns `base` while the
+    /// history is shorter than `min_history`.
+    pub fn effective(&self, base: f64, history: &[f64]) -> f64 {
+        if history.len() < self.min_history {
+            return base;
+        }
+        let tail = &history[history.len().saturating_sub(self.window.max(1))..];
+        let n = tail.len() as f64;
+        let mean = tail.iter().sum::<f64>() / n;
+        let var = tail.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        (self.headroom * var.sqrt()).clamp(0.5 * base, 2.0 * base)
     }
 }
 
@@ -178,6 +236,9 @@ pub struct QualityMonitor {
     /// Sorted class labels of the previous observation — margin and drift
     /// rules only fire when the class set is unchanged (see module docs).
     prev_known: Vec<usize>,
+    /// When set, forgetting/drift thresholds are derived per observation
+    /// from this monitor's own report history (see [`AdaptiveThresholds`]).
+    adaptive: Option<AdaptiveThresholds>,
     reports: Vec<QualityReport>,
 }
 
@@ -198,8 +259,25 @@ impl QualityMonitor {
             prev_old_accuracy: None,
             baseline_mean_margin: None,
             prev_known: Vec::new(),
+            adaptive: None,
             reports: Vec::new(),
         }
+    }
+
+    /// Enables per-device adaptive threshold derivation (builder form).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveThresholds) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Enables or disables adaptive threshold derivation in place.
+    pub fn set_adaptive(&mut self, adaptive: Option<AdaptiveThresholds>) {
+        self.adaptive = adaptive;
+    }
+
+    /// The adaptive derivation config, if enabled.
+    pub fn adaptive(&self) -> Option<&AdaptiveThresholds> {
+        self.adaptive.as_ref()
     }
 
     /// The monitored old-class labels, sorted.
@@ -226,6 +304,29 @@ impl QualityMonitor {
     /// Total alerts raised across all observations.
     pub fn alert_count(&self) -> usize {
         self.reports.iter().map(|r| r.alerts.len()).sum()
+    }
+
+    /// The thresholds in force for the *next* observation: the configured
+    /// base values when adaptation is off or the history is still short,
+    /// otherwise the per-device derived forgetting/drift thresholds (the
+    /// margin ratio never adapts — it is already baseline-relative).
+    pub fn effective_thresholds(&self) -> QualityThresholds {
+        let mut t = self.thresholds;
+        let Some(adaptive) = self.adaptive else { return t };
+        let forgetting_history: Vec<f64> =
+            self.reports.iter().map(|r| f64::from(r.forgetting)).collect();
+        let drift_history: Vec<f64> = self
+            .reports
+            .iter()
+            .map(|r| {
+                r.per_class.iter().map(|c| f64::from(c.drift_ratio)).fold(0.0, f64::max)
+            })
+            .collect();
+        t.forgetting =
+            adaptive.effective(f64::from(t.forgetting), &forgetting_history) as f32;
+        t.drift_spike_ratio =
+            adaptive.effective(f64::from(t.drift_spike_ratio), &drift_history) as f32;
+        t
     }
 
     /// Samples the model if its generation moved since the last
@@ -340,14 +441,18 @@ impl QualityMonitor {
             _ => 0.0,
         };
 
-        // Threshold rules.
+        // Threshold rules. Forgetting/drift thresholds may be adapted from
+        // this monitor's own history; `self.reports` still holds only the
+        // *prior* observations here, so a measurement never feeds its own
+        // threshold.
+        let effective = self.effective_thresholds();
         let mut alerts = Vec::new();
-        if forgetting > self.thresholds.forgetting {
+        if forgetting > effective.forgetting {
             alerts.push(QualityAlert {
                 rule: AlertRule::Forgetting,
                 generation,
                 value: f64::from(forgetting),
-                threshold: f64::from(self.thresholds.forgetting),
+                threshold: f64::from(effective.forgetting),
             });
         }
         if let (true, Some(baseline)) = (same_class_set, self.baseline_mean_margin) {
@@ -361,12 +466,12 @@ impl QualityMonitor {
                 });
             }
         }
-        if same_class_set && worst_drift_ratio > self.thresholds.drift_spike_ratio {
+        if same_class_set && worst_drift_ratio > effective.drift_spike_ratio {
             alerts.push(QualityAlert {
                 rule: AlertRule::DriftSpike,
                 generation,
                 value: f64::from(worst_drift_ratio),
-                threshold: f64::from(self.thresholds.drift_spike_ratio),
+                threshold: f64::from(effective.drift_spike_ratio),
             });
         }
 
@@ -554,6 +659,67 @@ mod tests {
             report.per_class.iter().any(|c| c.drift > 0.0),
             "drift must still be reported: {report:?}"
         );
+    }
+
+    #[test]
+    fn adaptive_effective_threshold_derivation() {
+        let a = AdaptiveThresholds::default(); // window 4, min_history 3, headroom 3.0
+        let base = 0.10;
+        // Short history: base applies unchanged.
+        assert_eq!(a.effective(base, &[0.0, 0.01]), base);
+        // Perfectly stable history: 3σ = 0, clamped up to 0.5 × base — a
+        // quiet device gets a tighter trigger, never a disabled rule.
+        assert_eq!(a.effective(base, &[0.02, 0.02, 0.02, 0.02]), 0.5 * base);
+        // Noisy history: 3σ blows past the cap, clamped to 2 × base.
+        assert_eq!(a.effective(base, &[0.0, 0.4, 0.0, 0.4]), 2.0 * base);
+        // Mild jitter lands between the clamps: σ(±0.02 around mean) =
+        // 0.02, so 3σ = 0.06 ∈ [0.05, 0.20].
+        let mid = a.effective(base, &[0.00, 0.04, 0.00, 0.04]);
+        assert!((mid - 0.06).abs() < 1e-12, "got {mid}");
+        // Only the last `window` observations count: the wild early value
+        // falls outside the window and must not raise the threshold.
+        assert_eq!(a.effective(base, &[9.0, 0.02, 0.02, 0.02, 0.02]), 0.5 * base);
+    }
+
+    #[test]
+    fn monitor_adapts_thresholds_from_its_own_history() {
+        let (mut model, _, probe) = fixture(3);
+        let base = QualityThresholds::default();
+        let mut monitor = QualityMonitor::new(probe, &old_labels(), base)
+            .with_adaptive(AdaptiveThresholds::default());
+        assert_eq!(
+            monitor.effective_thresholds(),
+            base,
+            "no history yet: base thresholds apply"
+        );
+        // Three stable observations of an untouched model (generation
+        // bumped by prototype refreshes): forgetting history is all-zero,
+        // so the derived threshold clamps down to 0.5 × base.
+        monitor.observe(&mut model).unwrap().expect("baseline");
+        for _ in 0..2 {
+            model.refresh_prototypes().unwrap();
+            monitor.observe(&mut model).unwrap().expect("sample");
+        }
+        let eff = monitor.effective_thresholds();
+        assert_eq!(eff.forgetting, 0.5 * base.forgetting);
+        assert_eq!(eff.drift_spike_ratio, 0.5 * base.drift_spike_ratio);
+        assert_eq!(
+            eff.margin_collapse_ratio, base.margin_collapse_ratio,
+            "the margin rule never adapts"
+        );
+        // The alert's recorded threshold must carry the effective value:
+        // teleport a prototype and check the drift alert's threshold.
+        let label = Activity::Still.label();
+        let moved = model.support().class(label).unwrap().add_scalar(100.0);
+        model.support_mut().put_class(label, moved);
+        model.refresh_prototypes().unwrap();
+        let report = monitor.observe(&mut model).unwrap().expect("post-jump");
+        let drift = report
+            .alerts
+            .iter()
+            .find(|a| a.rule == AlertRule::DriftSpike)
+            .expect("teleported prototype must still alert");
+        assert_eq!(drift.threshold, f64::from(eff.drift_spike_ratio));
     }
 
     #[test]

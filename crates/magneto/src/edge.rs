@@ -11,8 +11,8 @@ use crate::cloud::{Deployment, PackageError, RollupError};
 use crate::events::{EventKind, EventLog};
 use crate::federated::FederatedError;
 use pilote_core::{
-    EmbeddingNet, NcmClassifier, Pilote, QualityMonitor, QualityReport, QualityThresholds,
-    SupportSet, UpdateOutcome,
+    AdaptiveThresholds, EmbeddingNet, NcmClassifier, Pilote, QualityMonitor, QualityReport,
+    QualityThresholds, SupportSet, UpdateOutcome,
 };
 use pilote_edge_sim::faults::{FlakyLink, LinkFault, RetryPolicy};
 use pilote_edge_sim::{DeviceProfile, LinkModel};
@@ -154,6 +154,10 @@ pub struct EdgeDevice {
     /// The as-installed deployment (parameters + exemplars) — the frozen
     /// pre-trained state the device degrades to under persistent faults.
     baseline: (Checkpoint, SupportSet),
+    /// The most recent model state whose quality sample raised no alerts
+    /// (parameters + exemplars; starts at the installed baseline). The
+    /// fleet policy's strike-1 repair restores this snapshot.
+    last_good: (Checkpoint, SupportSet),
     /// Consecutive failed incremental updates.
     update_failures: u32,
     degraded: bool,
@@ -173,6 +177,17 @@ pub struct EdgeDevice {
     /// ([`EdgeDevice::telemetry_delta`]); the next delta ships only what
     /// accumulated since.
     telemetry_baseline: pilote_obs::Snapshot,
+}
+
+/// Pre-install device state captured by [`EdgeDevice::policy_snapshot`]
+/// so a halted staged rollout can restore the device exactly.
+pub(crate) struct PolicySnapshot {
+    checkpoint: Checkpoint,
+    support: SupportSet,
+    baseline: (Checkpoint, SupportSet),
+    last_good: (Checkpoint, SupportSet),
+    update_failures: u32,
+    degraded: bool,
 }
 
 /// The cached classifier snapshot behind [`EdgeDevice::serve_batch`].
@@ -284,6 +299,7 @@ impl EdgeDevice {
             drift: None,
             log,
             pending: Vec::new(),
+            last_good: baseline.clone(),
             baseline,
             update_failures: 0,
             degraded: false,
@@ -369,7 +385,17 @@ impl EdgeDevice {
                 self.log.record(EventKind::AlertRaised {
                     rule: alert.rule.name().to_string(),
                     generation: alert.generation,
+                    value: alert.value,
+                    threshold: alert.threshold,
                 });
+            }
+            if report.alerts.is_empty() {
+                // An alert-free sample certifies the current state: make
+                // it the rollback target for the policy's strike-1 repair.
+                self.last_good = (
+                    Checkpoint::capture(self.model.net_mut().layers_mut()),
+                    self.model.support().clone(),
+                );
             }
         }
         Ok(report)
@@ -379,6 +405,98 @@ impl EdgeDevice {
     /// curve), or an empty slice when no monitor is armed.
     pub fn quality_reports(&self) -> &[QualityReport] {
         self.quality.as_ref().map(|m| m.reports()).unwrap_or(&[])
+    }
+
+    /// Enables (or disables, with `None`) per-device adaptive threshold
+    /// derivation on the armed quality monitor — the forgetting/drift
+    /// thresholds then track this device's own probe history instead of
+    /// the shared constants (see [`pilote_core::AdaptiveThresholds`]).
+    /// No-op when no monitor is armed.
+    pub fn set_adaptive_thresholds(&mut self, adaptive: Option<AdaptiveThresholds>) {
+        if let Some(monitor) = &mut self.quality {
+            monitor.set_adaptive(adaptive);
+        }
+    }
+
+    /// Restores the device's last alert-free state (the policy's strike-1
+    /// repair), charging the prototype refresh to the virtual clock and
+    /// recording [`EventKind::RepairRollback`].
+    pub fn repair_rollback(&mut self, strike: u32) -> Result<(), EdgeError> {
+        let (ckpt, support) = self.last_good.clone();
+        let flops_before = work::thread_flops();
+        ckpt.restore(self.model.net_mut().layers_mut())?;
+        *self.model.support_mut() = support;
+        self.model.refresh_prototypes()?;
+        let flops = work::thread_flops().wrapping_sub(flops_before);
+        self.log.advance(self.profile.seconds_for_flops(flops));
+        self.log.record(EventKind::RepairRollback { strike });
+        Ok(())
+    }
+
+    /// Installs a cloud package **in place** (the policy's strike-2
+    /// re-anchor, or a staged deployment rollout): restores the package's
+    /// parameters + exemplars, refreshes prototypes, resets the
+    /// degradation ladder, and re-bases both the degradation baseline and
+    /// the last-good snapshot on the package. The caller charges the
+    /// download on the device's link.
+    pub fn adopt_deployment(&mut self, deployment: &Deployment) -> Result<(), EdgeError> {
+        let flops_before = work::thread_flops();
+        deployment.checkpoint.restore(self.model.net_mut().layers_mut())?;
+        *self.model.support_mut() = deployment.support.clone();
+        self.model.refresh_prototypes()?;
+        let flops = work::thread_flops().wrapping_sub(flops_before);
+        self.log.advance(self.profile.seconds_for_flops(flops));
+        self.baseline = (deployment.checkpoint.clone(), deployment.support.clone());
+        self.last_good = self.baseline.clone();
+        self.update_failures = 0;
+        self.degraded = false;
+        Ok(())
+    }
+
+    /// Freezes the device on its pre-trained baseline (the policy's
+    /// strike-3 repair — same terminal state as [`MAX_UPDATE_FAILURES`]
+    /// crash failures, but driven by model quality).
+    pub fn policy_degrade(&mut self, strike: u32) -> Result<(), EdgeError> {
+        let flops_before = work::thread_flops();
+        self.baseline.0.restore(self.model.net_mut().layers_mut())?;
+        *self.model.support_mut() = self.baseline.1.clone();
+        self.model.refresh_prototypes()?;
+        let flops = work::thread_flops().wrapping_sub(flops_before);
+        self.log.advance(self.profile.seconds_for_flops(flops));
+        self.pending.clear();
+        self.degraded = true;
+        self.log.record(EventKind::DegradedToPretrained { failures: strike });
+        Ok(())
+    }
+
+    /// Captures the full policy-relevant state before a staged install so
+    /// a halted rollout can restore it exactly.
+    pub(crate) fn policy_snapshot(&mut self) -> PolicySnapshot {
+        PolicySnapshot {
+            checkpoint: Checkpoint::capture(self.model.net_mut().layers_mut()),
+            support: self.model.support().clone(),
+            baseline: self.baseline.clone(),
+            last_good: self.last_good.clone(),
+            update_failures: self.update_failures,
+            degraded: self.degraded,
+        }
+    }
+
+    /// Restores a [`EdgeDevice::policy_snapshot`] exactly (parameters,
+    /// exemplars, ladder state), charging the prototype refresh to the
+    /// virtual clock.
+    pub(crate) fn policy_restore(&mut self, snap: PolicySnapshot) -> Result<(), EdgeError> {
+        let flops_before = work::thread_flops();
+        snap.checkpoint.restore(self.model.net_mut().layers_mut())?;
+        *self.model.support_mut() = snap.support;
+        self.model.refresh_prototypes()?;
+        let flops = work::thread_flops().wrapping_sub(flops_before);
+        self.log.advance(self.profile.seconds_for_flops(flops));
+        self.baseline = snap.baseline;
+        self.last_good = snap.last_good;
+        self.update_failures = snap.update_failures;
+        self.degraded = snap.degraded;
+        Ok(())
     }
 
     /// Feeds a block of raw sensor samples (`[n, 22]`), classifying every

@@ -13,6 +13,18 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Why a device was excluded from a federated round's average (it still
+/// received the merged model either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExclusionReason {
+    /// The device held no support exemplars — a zero-sample model must not
+    /// out-vote devices that actually hold data.
+    ZeroSupport,
+    /// The fleet policy quarantined the device after a quality alert
+    /// (forgetting / margin collapse) — see `docs/POLICY.md`.
+    Quarantined,
+}
+
 /// What happened on the device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EventKind {
@@ -65,12 +77,15 @@ pub enum EventKind {
         /// Number of participating devices.
         participants: usize,
     },
-    /// This device was excluded from a federated round's average because
+    /// This device was excluded from a federated round's average — either
     /// it had no support exemplars (a zero-sample vote would previously be
-    /// inflated to weight 1). It still received the merged model.
+    /// inflated to weight 1) or the fleet policy quarantined it. It still
+    /// received the merged model.
     FederatedExcluded {
         /// Devices that did contribute to the round.
         participants: usize,
+        /// Why the device was left out of the average.
+        reason: ExclusionReason,
     },
     /// A cloud→edge transfer attempt failed and will be retried.
     TransferRetried {
@@ -111,6 +126,55 @@ pub enum EventKind {
         rule: String,
         /// Model generation the measurement was taken at.
         generation: u64,
+        /// The measured value that tripped the rule (forgetting score,
+        /// mean margin, or worst drift ratio, per rule) — kept in the
+        /// event so policy decisions are auditable from the log alone.
+        value: f64,
+        /// The effective threshold the value crossed (the *adapted*
+        /// per-device threshold when adaptive baselines are armed, not
+        /// the shared constant — see `docs/POLICY.md`).
+        threshold: f64,
+    },
+    /// The fleet policy quarantined this device: its parameters stay out
+    /// of federated averages for the next `rounds` rounds (see
+    /// `docs/POLICY.md`).
+    QuarantineEntered {
+        /// The triggering rule name (`forgetting` or `margin_collapse`).
+        rule: String,
+        /// Repair-ladder strike this quarantine escalated to (1-based).
+        strike: u32,
+        /// Federated rounds the device will sit out.
+        rounds: usize,
+    },
+    /// The policy released this device from quarantine after it served its
+    /// excluded rounds without a fresh alert.
+    QuarantineLifted {
+        /// Repair-ladder strikes accumulated while quarantined.
+        strikes: u32,
+    },
+    /// Repair step 1: the policy rolled the model back to the last
+    /// alert-free checkpoint + exemplar set.
+    RepairRollback {
+        /// Strike that triggered the rollback (always 1 on the ladder).
+        strike: u32,
+    },
+    /// Repair step 2: the policy reinstalled a fresh cloud deployment
+    /// (parameters + exemplars) over this device's model.
+    Reanchored {
+        /// Bytes downloaded for the re-anchor package.
+        payload_bytes: u64,
+        /// Strike that triggered the re-anchor.
+        strike: u32,
+    },
+    /// A staged rollout halted while this device held the new model; the
+    /// device was restored to its pre-install state.
+    RolloutHalted {
+        /// Stage name the halt fired in (`canary`, `cohort` or `fleet`).
+        stage: String,
+        /// Triggering alerts observed in the stage.
+        alerts: u64,
+        /// Devices in the stage.
+        stage_size: usize,
     },
 }
 
@@ -125,13 +189,26 @@ impl EventKind {
             EventKind::UpdateFinished { .. } => "edge.update_finished",
             EventKind::BatchServed { .. } => "edge.batch_served",
             EventKind::FederatedRound { .. } => "edge.federated_round",
-            EventKind::FederatedExcluded { .. } => "edge.federated_excluded",
+            // The exclusion reason is part of the bridged counter name so
+            // zero-support and policy-quarantine exclusions are separable
+            // in telemetry without reading event payloads.
+            EventKind::FederatedExcluded { reason: ExclusionReason::ZeroSupport, .. } => {
+                "edge.federated_excluded.zero_support"
+            }
+            EventKind::FederatedExcluded { reason: ExclusionReason::Quarantined, .. } => {
+                "edge.federated_excluded.quarantined"
+            }
             EventKind::TransferRetried { .. } => "edge.transfer_retried",
             EventKind::TransferAborted { .. } => "edge.transfer_aborted",
             EventKind::WindowsQuarantined { .. } => "edge.windows_quarantined",
             EventKind::UpdateRolledBack { .. } => "edge.update_rolled_back",
             EventKind::DegradedToPretrained { .. } => "edge.degraded_to_pretrained",
             EventKind::AlertRaised { .. } => "edge.alert_raised",
+            EventKind::QuarantineEntered { .. } => "edge.quarantine_entered",
+            EventKind::QuarantineLifted { .. } => "edge.quarantine_lifted",
+            EventKind::RepairRollback { .. } => "edge.repair_rollback",
+            EventKind::Reanchored { .. } => "edge.reanchored",
+            EventKind::RolloutHalted { .. } => "edge.rollout_halted",
         }
     }
 }
@@ -393,6 +470,71 @@ mod tests {
     }
 
     #[test]
+    fn policy_events_round_trip_and_split_exclusion_counters() {
+        let saved = pilote_obs::enabled();
+        pilote_obs::set_enabled(true);
+        let before = |name: &str| {
+            pilote_obs::snapshot().counters.get(name).copied().unwrap_or(0)
+        };
+        let zero_before = before("edge.federated_excluded.zero_support");
+        let quarantined_before = before("edge.federated_excluded.quarantined");
+
+        let mut log = EventLog::new();
+        log.record(EventKind::FederatedExcluded {
+            participants: 3,
+            reason: ExclusionReason::ZeroSupport,
+        });
+        log.record(EventKind::FederatedExcluded {
+            participants: 3,
+            reason: ExclusionReason::Quarantined,
+        });
+        log.record(EventKind::FederatedExcluded {
+            participants: 2,
+            reason: ExclusionReason::Quarantined,
+        });
+        log.record(EventKind::AlertRaised {
+            rule: "margin_collapse".into(),
+            generation: 4,
+            value: 0.01,
+            threshold: 0.05,
+        });
+        log.record(EventKind::QuarantineEntered {
+            rule: "margin_collapse".into(),
+            strike: 2,
+            rounds: 2,
+        });
+        log.record(EventKind::Reanchored { payload_bytes: 4096, strike: 2 });
+        log.record(EventKind::QuarantineLifted { strikes: 2 });
+        log.record(EventKind::RolloutHalted {
+            stage: "canary".into(),
+            alerts: 1,
+            stage_size: 2,
+        });
+
+        // Serde round-trip of every policy-facing event kind.
+        let json = serde_json::to_string(&log).unwrap();
+        let back: EventLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+
+        // The exclusion reason splits the running totals and the bridged
+        // counters by name.
+        assert_eq!(log.total("edge.federated_excluded.zero_support"), 1);
+        assert_eq!(log.total("edge.federated_excluded.quarantined"), 2);
+        let snap = pilote_obs::snapshot();
+        assert!(
+            snap.counters.get("edge.federated_excluded.zero_support").copied().unwrap_or(0)
+                - zero_before
+                >= 1
+        );
+        assert!(
+            snap.counters.get("edge.federated_excluded.quarantined").copied().unwrap_or(0)
+                - quarantined_before
+                >= 2
+        );
+        pilote_obs::set_enabled(saved);
+    }
+
+    #[test]
     fn served_count_sums_batch_windows() {
         let mut log = EventLog::new();
         log.record(EventKind::BatchServed { windows: 5, cache_rebuilt: true });
@@ -452,7 +594,12 @@ mod tests {
         log.record(EventKind::Inference { predicted: 0 });
         log.advance(1.5);
         log.record(EventKind::BatchServed { windows: 3, cache_rebuilt: true });
-        log.record(EventKind::AlertRaised { rule: "forgetting".into(), generation: 1 });
+        log.record(EventKind::AlertRaised {
+            rule: "forgetting".into(),
+            generation: 1,
+            value: 0.2,
+            threshold: 0.1,
+        });
         let json = serde_json::to_string(&log).unwrap();
         let back: EventLog = serde_json::from_str(&json).unwrap();
         assert_eq!(back, log);
@@ -471,13 +618,30 @@ mod tests {
             EventKind::UpdateFinished { new_label: 0, epochs: 1, seconds: 1.0 },
             EventKind::BatchServed { windows: 8, cache_rebuilt: true },
             EventKind::FederatedRound { participants: 2 },
-            EventKind::FederatedExcluded { participants: 2 },
+            EventKind::FederatedExcluded {
+                participants: 2,
+                reason: ExclusionReason::ZeroSupport,
+            },
+            EventKind::FederatedExcluded {
+                participants: 2,
+                reason: ExclusionReason::Quarantined,
+            },
             EventKind::TransferRetried { attempt: 1, backoff_seconds: 0.5 },
             EventKind::TransferAborted { attempts: 1 },
             EventKind::WindowsQuarantined { windows: 1 },
             EventKind::UpdateRolledBack { new_label: 0, failures: 1 },
             EventKind::DegradedToPretrained { failures: 3 },
-            EventKind::AlertRaised { rule: "forgetting".into(), generation: 2 },
+            EventKind::AlertRaised {
+                rule: "forgetting".into(),
+                generation: 2,
+                value: 0.2,
+                threshold: 0.1,
+            },
+            EventKind::QuarantineEntered { rule: "forgetting".into(), strike: 1, rounds: 2 },
+            EventKind::QuarantineLifted { strikes: 1 },
+            EventKind::RepairRollback { strike: 1 },
+            EventKind::Reanchored { payload_bytes: 1024, strike: 2 },
+            EventKind::RolloutHalted { stage: "canary".into(), alerts: 1, stage_size: 1 },
         ];
         let mut names: Vec<_> = kinds.iter().map(EventKind::metric_name).collect();
         assert!(names.iter().all(|n| n.starts_with("edge.")));

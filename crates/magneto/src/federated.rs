@@ -8,7 +8,7 @@
 //! are aggregated, not raw exemplars.
 
 use crate::edge::EdgeDevice;
-use crate::events::EventKind;
+use crate::events::{EventKind, ExclusionReason};
 use pilote_nn::Checkpoint;
 use pilote_tensor::{Tensor, TensorError};
 
@@ -147,6 +147,13 @@ impl FederatedCoordinator {
         self.rounds_completed
     }
 
+    /// Counts one completed round that an external orchestrator drove
+    /// itself (the staged fleet-policy path collects contributions,
+    /// averages and installs stage by stage — see `crate::policy`).
+    pub(crate) fn note_round(&mut self) {
+        self.rounds_completed += 1;
+    }
+
     /// Runs one FedAvg round: collects every device's parameters (weighted
     /// by its support-set size), averages, and installs the average back
     /// on every device, refreshing prototypes under the new weights.
@@ -179,7 +186,10 @@ impl FederatedCoordinator {
             averaged.restore(device.model_mut().net_mut().layers_mut())?;
             device.model_mut().refresh_prototypes()?;
             if !contributed {
-                device.record_event(EventKind::FederatedExcluded { participants });
+                device.record_event(EventKind::FederatedExcluded {
+                    participants,
+                    reason: ExclusionReason::ZeroSupport,
+                });
             }
             device.note_federated_round(participants);
         }

@@ -28,9 +28,10 @@
 
 use crate::cloud::{Deployment, PackageError, TelemetryRollup};
 use crate::edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus};
-use crate::events::DEFAULT_EVENT_CAPACITY;
-use crate::federated::FederatedCoordinator;
-use pilote_core::QualityThresholds;
+use crate::events::{EventKind, ExclusionReason, DEFAULT_EVENT_CAPACITY};
+use crate::federated::{federated_average, FederatedCoordinator};
+use crate::policy::{FleetPolicy, PolicyConfig, RepairAction, RolloutStage};
+use pilote_core::{AdaptiveThresholds, QualityThresholds};
 use pilote_edge_sim::{DeviceProfile, LinkModel};
 use pilote_har_data::Dataset;
 use pilote_nn::Checkpoint;
@@ -92,6 +93,19 @@ pub struct Fleet {
     config: FleetConfig,
     sessions_served: u64,
     windows_served: u64,
+    /// Self-healing control loop ([`crate::policy`]), armed via
+    /// [`Fleet::enable_policy`]. When present, federated rounds and
+    /// deployment rollouts run staged (canary → cohort → fleet) with
+    /// quarantine, repair escalation and halt-and-rollback.
+    policy: Option<PolicyState>,
+}
+
+/// The enabled policy plus the cloud anchor package its strike-2 repair
+/// re-installs.
+struct PolicyState {
+    policy: FleetPolicy,
+    anchor: Deployment,
+    anchor_bytes: u64,
 }
 
 /// Per-device summary for reports.
@@ -127,9 +141,10 @@ pub struct FleetStats {
     pub federated_rounds: usize,
 }
 
-/// SplitMix64 — the routing hash. Chosen for determinism and full-avalanche
-/// mixing, not cryptographic strength.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 — the routing hash (also the policy's stage-assignment
+/// hash). Chosen for determinism and full-avalanche mixing, not
+/// cryptographic strength.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -232,6 +247,66 @@ fn map_member_bands<R: Send>(
     })
 }
 
+/// One policy control step: inspects every device's not-yet-inspected
+/// quality reports (local update samples, prior install samples) in
+/// device-index order and escalates the repair ladder on any new
+/// triggering alert.
+fn control_step(members: &mut [FleetMember], state: &mut PolicyState) -> Result<(), EdgeError> {
+    for index in 0..members.len() {
+        let member = &mut members[index];
+        let reports = member.device.quality_reports();
+        let baseline = reports.first().map(|r| r.old_class_accuracy);
+        let trigger = state
+            .policy
+            .unseen_reports(index, reports)
+            .iter()
+            .find_map(|r| state.policy.judge(r, baseline));
+        let seen = member.device.quality_reports().len();
+        state.policy.mark_seen(index, seen);
+        if let Some(rule) = trigger {
+            apply_repair(member, state, index, &rule)?;
+        }
+    }
+    Ok(())
+}
+
+/// Escalates a device's strike and applies the prescribed repair —
+/// rollback → re-anchor → degrade, PR 2's resilience ladder driven by
+/// model quality. The repair bumps the model generation but is
+/// deliberately left unsampled: the device is quarantined (suspect
+/// screening never touches it), and its next staged install sample
+/// judges the repaired state.
+fn apply_repair(
+    member: &mut FleetMember,
+    state: &mut PolicyState,
+    index: usize,
+    rule: &str,
+) -> Result<(), EdgeError> {
+    let action = state.policy.escalate(index);
+    let strike = state.policy.strikes(index);
+    if action != RepairAction::Degrade {
+        member.device.record_event(EventKind::QuarantineEntered {
+            rule: rule.to_string(),
+            strike,
+            rounds: state.policy.config().quarantine_rounds,
+        });
+    }
+    match action {
+        RepairAction::Rollback => member.device.repair_rollback(strike)?,
+        RepairAction::Reanchor => {
+            member.device.advance_clock(member.link.transfer_seconds(state.anchor_bytes));
+            member.device.adopt_deployment(&state.anchor)?;
+            member.device.record_event(EventKind::Reanchored {
+                payload_bytes: state.anchor_bytes,
+                strike,
+            });
+        }
+        RepairAction::Degrade => member.device.policy_degrade(strike)?,
+    }
+    state.policy.mark_seen(index, member.device.quality_reports().len());
+    Ok(())
+}
+
 impl Fleet {
     /// Deploys the same cloud package onto every `(profile, link)` slot,
     /// charging each device's install download on its own link.
@@ -263,6 +338,7 @@ impl Fleet {
             config,
             sessions_served: 0,
             windows_served: 0,
+            policy: None,
         })
     }
 
@@ -315,6 +391,7 @@ impl Fleet {
             config,
             sessions_served: 0,
             windows_served: 0,
+            policy: None,
         })
     }
 
@@ -493,6 +570,9 @@ impl Fleet {
     /// still receive — and pay for — the download. Averaging itself is
     /// [`FederatedCoordinator::run_round`].
     pub fn federated_round(&mut self) -> Result<(), EdgeError> {
+        if self.policy.is_some() {
+            return self.staged_federated_round();
+        }
         let span = pilote_obs::span("fleet.federated_round");
         span.annotate("devices", self.members.len() as f64);
         // Charge link time first: upload for contributors, download for
@@ -527,6 +607,280 @@ impl Fleet {
             pilote_obs::counter("fleet.federated_rounds").inc();
         }
         Ok(())
+    }
+
+    /// Arms the self-healing control loop over this fleet
+    /// ([`crate::policy`]): stage plan derived from the fleet seed, every
+    /// device starting healthy, and `anchor` as the strike-2 re-anchor
+    /// package. Subsequent [`Fleet::federated_round`] calls run the
+    /// staged policied path and [`Fleet::rollout_deployment`] installs in
+    /// stages with halt-and-rollback.
+    pub fn enable_policy(
+        &mut self,
+        config: PolicyConfig,
+        anchor: Deployment,
+    ) -> Result<(), EdgeError> {
+        let anchor_bytes = anchor.wire_bytes()?;
+        self.policy = Some(PolicyState {
+            policy: FleetPolicy::new(config, self.members.len(), self.config.seed),
+            anchor,
+            anchor_bytes,
+        });
+        Ok(())
+    }
+
+    /// The enabled self-healing policy, if any.
+    pub fn policy(&self) -> Option<&FleetPolicy> {
+        self.policy.as_ref().map(|s| &s.policy)
+    }
+
+    /// Enables per-device adaptive threshold derivation on every armed
+    /// quality monitor: each device's forgetting/drift thresholds then
+    /// track its own probe history instead of the shared constants (see
+    /// [`pilote_core::AdaptiveThresholds`]).
+    pub fn set_adaptive_thresholds(&mut self, adaptive: AdaptiveThresholds) {
+        for member in &mut self.members {
+            member.device.set_adaptive_thresholds(Some(adaptive));
+        }
+    }
+
+    /// The policied [`Fleet::federated_round`]: one control step (acting
+    /// on alerts sampled since the last round), then healthy-only
+    /// contribution collection, then a staged canary → cohort → fleet
+    /// install of the merged model with halt-and-rollback and suspect
+    /// screening. See `docs/POLICY.md` for the full loop. Every step runs
+    /// in device-index order (wire sizing fans out per band but carries
+    /// no spans or kernel flops), so the round is byte-identical across
+    /// runs and `PILOTE_THREADS` settings.
+    fn staged_federated_round(&mut self) -> Result<(), EdgeError> {
+        let Fleet { members, coordinator, policy, .. } = self;
+        let state = policy.as_mut().expect("staged round requires an enabled policy");
+        let span = pilote_obs::span("fleet.staged_round");
+        span.annotate("devices", members.len() as f64);
+
+        // 1. Control step: quarantine/repair on any new triggering alert.
+        control_step(members, state)?;
+
+        // 2. Collect contributions — healthy devices with non-empty
+        //    support, captured BEFORE any install — and size everyone's
+        //    wire payload once (the merged model has the same parameter
+        //    structure, so the download is modeled at the same size).
+        let payloads = map_member_bands(members, &|_, member| {
+            let ckpt = Checkpoint::capture(member.device.model_mut().net_mut().layers_mut());
+            let bytes = checkpoint_wire_bytes(&ckpt);
+            let support = member.device.model_mut().support().len();
+            (ckpt, bytes, support)
+        });
+        let mut contributions = Vec::new();
+        let mut contributing = vec![false; members.len()];
+        let mut wire_bytes = Vec::with_capacity(members.len());
+        for (index, (ckpt, bytes, support)) in payloads.into_iter().enumerate() {
+            wire_bytes.push(bytes?);
+            if state.policy.contributes(index) && support > 0 {
+                contributing[index] = true;
+                contributions.push((ckpt, support));
+            }
+        }
+        let participants = contributions.len();
+        for (index, member) in members.iter_mut().enumerate() {
+            if contributing[index] {
+                member.device.advance_clock(member.link.transfer_seconds(wire_bytes[index]));
+            } else {
+                // Typed exclusion: a healthy-but-empty device skipped for
+                // zero support, everyone else because the policy holds it
+                // out (degraded devices are the ladder's terminal rung of
+                // the same quarantine story).
+                let reason = if state.policy.contributes(index) {
+                    ExclusionReason::ZeroSupport
+                } else {
+                    ExclusionReason::Quarantined
+                };
+                member.device.record_event(EventKind::FederatedExcluded { participants, reason });
+            }
+        }
+        let merged = federated_average(&contributions)?;
+
+        // 3. Staged install: canary → cohort → fleet, halting (and
+        //    restoring the stage) when the stage's triggering-alert rate
+        //    exceeds its historical baseline.
+        for stage in RolloutStage::ALL {
+            let indices: Vec<usize> = state
+                .policy
+                .plan()
+                .stage(stage)
+                .iter()
+                .copied()
+                .filter(|&i| state.policy.receives(i))
+                .collect();
+            if indices.is_empty() {
+                continue;
+            }
+            let mut snapshots = Vec::with_capacity(indices.len());
+            for &i in &indices {
+                let member = &mut members[i];
+                snapshots.push(member.device.policy_snapshot());
+                member.device.advance_clock(member.link.transfer_seconds(wire_bytes[i]));
+                merged.restore(member.device.model_mut().net_mut().layers_mut())?;
+                member.device.model_mut().refresh_prototypes()?;
+                member.device.note_federated_round(participants);
+            }
+            let mut alerts = 0u64;
+            for &i in &indices {
+                let before = members[i].device.quality_reports().len();
+                members[i].device.sample_quality()?;
+                let reports = members[i].device.quality_reports();
+                alerts += reports[before..]
+                    .iter()
+                    .filter(|r| FleetPolicy::triggering_alert(r).is_some())
+                    .count() as u64;
+            }
+            if state.policy.stage_completed(stage, indices.len(), alerts) {
+                // Halt: the stage's devices are install *victims* — put
+                // them back exactly and consume their reports so the next
+                // control step does not quarantine them for our mistake.
+                for (&i, snap) in indices.iter().zip(snapshots) {
+                    let member = &mut members[i];
+                    member.device.policy_restore(snap)?;
+                    member.device.record_event(EventKind::RolloutHalted {
+                        stage: stage.name().to_string(),
+                        alerts,
+                        stage_size: indices.len(),
+                    });
+                    let seen = member.device.quality_reports().len();
+                    state.policy.mark_seen(i, seen);
+                }
+                // Suspect screening: sample every contributor. The
+                // monitor gates on generation, so a healthy contributor
+                // (sampled at its last commit) yields nothing, while a
+                // silently poisoned one — generation moved without a
+                // sample — now gets judged and quarantined. Judging
+                // includes the absolute screening floor: a culprit that
+                // sat *inside* the halted stage was just restored to its
+                // own poisoned snapshot, so its incremental forgetting is
+                // zero, but its accuracy against the armed baseline is
+                // not.
+                for index in 0..members.len() {
+                    if !contributing[index] {
+                        continue;
+                    }
+                    members[index].device.sample_quality()?;
+                    let member = &mut members[index];
+                    let reports = member.device.quality_reports();
+                    let baseline = reports.first().map(|r| r.old_class_accuracy);
+                    let trigger = state
+                        .policy
+                        .unseen_reports(index, reports)
+                        .iter()
+                        .find_map(|r| state.policy.judge(r, baseline));
+                    let seen = member.device.quality_reports().len();
+                    state.policy.mark_seen(index, seen);
+                    if let Some(rule) = trigger {
+                        apply_repair(member, state, index, &rule)?;
+                    }
+                }
+                state.policy.note_halted_round();
+                drop(span);
+                if pilote_obs::enabled() {
+                    pilote_obs::counter("fleet.policy.halted_rounds").inc();
+                }
+                return Ok(());
+            }
+        }
+
+        // 4. All stages completed: count the round and serve quarantine
+        //    sentences.
+        coordinator.note_round();
+        for (index, strikes) in state.policy.finish_round() {
+            members[index].device.record_event(EventKind::QuarantineLifted { strikes });
+        }
+        drop(span);
+        if pilote_obs::enabled() {
+            pilote_obs::counter("fleet.federated_rounds").inc();
+            pilote_obs::counter("fleet.policy.staged_rounds").inc();
+        }
+        Ok(())
+    }
+
+    /// Installs a new cloud package across the fleet. Without a policy
+    /// this is a single wave: every device adopts the package, pays the
+    /// download on its link, and samples its quality monitor. With a
+    /// policy enabled the install runs canary → cohort → fleet with
+    /// halt-and-rollback, exactly like a staged federated round, and a
+    /// completed rollout re-bases the policy's re-anchor package on the
+    /// new deployment. Returns `true` when every stage completed, `false`
+    /// when a stage halted (its installs restored exactly).
+    pub fn rollout_deployment(&mut self, deployment: &Deployment) -> Result<bool, EdgeError> {
+        let wire = deployment.wire_bytes()?;
+        let Fleet { members, policy, .. } = self;
+        let Some(state) = policy.as_mut() else {
+            for member in members.iter_mut() {
+                member.device.advance_clock(member.link.transfer_seconds(wire));
+                member.device.adopt_deployment(deployment)?;
+                member.device.record_event(EventKind::Deployed { payload_bytes: wire });
+                member.device.sample_quality()?;
+            }
+            return Ok(true);
+        };
+        let span = pilote_obs::span("fleet.rollout");
+        span.annotate("devices", members.len() as f64);
+        for stage in RolloutStage::ALL {
+            let indices: Vec<usize> = state
+                .policy
+                .plan()
+                .stage(stage)
+                .iter()
+                .copied()
+                .filter(|&i| state.policy.receives(i))
+                .collect();
+            if indices.is_empty() {
+                continue;
+            }
+            let mut snapshots = Vec::with_capacity(indices.len());
+            for &i in &indices {
+                let member = &mut members[i];
+                snapshots.push(member.device.policy_snapshot());
+                member.device.advance_clock(member.link.transfer_seconds(wire));
+                member.device.adopt_deployment(deployment)?;
+                member.device.record_event(EventKind::Deployed { payload_bytes: wire });
+            }
+            let mut alerts = 0u64;
+            for &i in &indices {
+                let before = members[i].device.quality_reports().len();
+                members[i].device.sample_quality()?;
+                let reports = members[i].device.quality_reports();
+                alerts += reports[before..]
+                    .iter()
+                    .filter(|r| FleetPolicy::triggering_alert(r).is_some())
+                    .count() as u64;
+            }
+            if state.policy.stage_completed(stage, indices.len(), alerts) {
+                for (&i, snap) in indices.iter().zip(snapshots) {
+                    let member = &mut members[i];
+                    member.device.policy_restore(snap)?;
+                    member.device.record_event(EventKind::RolloutHalted {
+                        stage: stage.name().to_string(),
+                        alerts,
+                        stage_size: indices.len(),
+                    });
+                    let seen = member.device.quality_reports().len();
+                    state.policy.mark_seen(i, seen);
+                }
+                drop(span);
+                if pilote_obs::enabled() {
+                    pilote_obs::counter("fleet.policy.halted_rollouts").inc();
+                }
+                return Ok(false);
+            }
+        }
+        // The fleet now runs the new package everywhere: it becomes the
+        // re-anchor target too.
+        state.anchor = deployment.clone();
+        state.anchor_bytes = wire;
+        drop(span);
+        if pilote_obs::enabled() {
+            pilote_obs::counter("fleet.policy.rollouts").inc();
+        }
+        Ok(true)
     }
 
     /// Arms a [`pilote_core::QualityMonitor`] with the same probe set and
@@ -664,6 +1018,7 @@ mod tests {
     use super::*;
     use crate::cloud::CloudServer;
     use crate::events::EventKind;
+    use crate::policy::DeviceHealth;
     use pilote_core::PiloteConfig;
     use pilote_har_data::dataset::generate_features;
     use pilote_har_data::features::extract_batch;
@@ -1050,5 +1405,130 @@ mod tests {
         // Derived counts read the running totals, not the retained window.
         assert_eq!(fleet.device(index).log().served_count(), 6);
         assert_eq!(fleet.stats().devices[index].windows_served, 6);
+    }
+
+    /// A policied fleet: armed monitors (default thresholds) plus the
+    /// self-healing policy anchored on the original deployment.
+    fn policied_fleet(n: usize) -> (Fleet, Deployment) {
+        let (deployment, mut sim, norm) = deployment();
+        let cfg = FleetConfig { federated_every: 0, ..FleetConfig::default() };
+        let mut fleet = Fleet::deploy(slots(n), &deployment, cfg).expect("deploy");
+        let probe = probe_set(&mut sim, &norm);
+        let old = [Activity::Still.label(), Activity::Walk.label()];
+        fleet
+            .arm_quality_monitors(&probe, &old, QualityThresholds::default())
+            .expect("arm");
+        fleet.enable_policy(PolicyConfig::default(), deployment.clone()).expect("policy");
+        (fleet, deployment)
+    }
+
+    /// Overwrites a device's net parameters with a fixed junk pattern and
+    /// commits the damage (prototypes recomputed through the ruined net),
+    /// collapsing old-class probe accuracy.
+    fn poison(device: &mut EdgeDevice) {
+        use pilote_nn::Layer;
+        let model = device.model_mut();
+        for (p, _) in model.net_mut().layers_mut().params_and_grads() {
+            for (k, v) in p.as_mut_slice().iter_mut().enumerate() {
+                *v = ((k % 7) as f32 - 3.0) * 1.5;
+            }
+        }
+        model.refresh_prototypes().expect("refresh");
+    }
+
+    #[test]
+    fn policy_quarantines_alerting_device_and_completes_the_round() {
+        let (mut fleet, _) = policied_fleet(5);
+        let victim = 2usize;
+        poison(fleet.device_mut(victim));
+        let report =
+            fleet.device_mut(victim).sample_quality().expect("sample").expect("report");
+        assert!(FleetPolicy::triggering_alert(&report).is_some(), "poison must alert");
+
+        fleet.federated_round().expect("round");
+
+        // The control step quarantined and rolled the victim back before
+        // collection, so the merge stayed clean and every stage completed.
+        let policy = fleet.policy().expect("policy");
+        assert!(matches!(policy.health(victim), DeviceHealth::Quarantined { .. }));
+        assert_eq!(policy.strikes(victim), 1);
+        let summary = policy.summary();
+        assert_eq!(summary.quarantines, 1);
+        assert_eq!(summary.rollbacks, 1);
+        assert_eq!(summary.halts, 0);
+        assert_eq!(summary.rounds_completed, 1);
+        let events = fleet.device(victim).log().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::QuarantineEntered { strike: 1, .. })));
+        assert!(events.iter().any(|e| matches!(e.kind, EventKind::RepairRollback { strike: 1 })));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::FederatedExcluded { reason: ExclusionReason::Quarantined, .. }
+        )));
+        for i in (0..fleet.len()).filter(|&i| i != victim) {
+            assert!(
+                fleet
+                    .device(i)
+                    .log()
+                    .events()
+                    .iter()
+                    .any(|e| matches!(e.kind, EventKind::FederatedRound { .. })),
+                "healthy device {i} must finish the staged install"
+            );
+        }
+    }
+
+    #[test]
+    fn silent_poison_halts_the_canary_and_screening_catches_the_culprit() {
+        let (mut fleet, _) = policied_fleet(5);
+        // The culprit never samples its monitor: the bad weights enter
+        // the merge and only the canary stage can catch them.
+        let culprit = 2usize;
+        poison(fleet.device_mut(culprit));
+
+        fleet.federated_round().expect("round");
+
+        let policy = fleet.policy().expect("policy");
+        let summary = policy.summary();
+        assert_eq!(summary.halts, 1, "canary must halt on the poisoned merge");
+        assert_eq!(summary.rounds_halted, 1);
+        assert_eq!(summary.rounds_completed, 0);
+        assert_eq!(fleet.federated_rounds(), 0, "halted rounds don't count");
+        assert!(
+            matches!(policy.health(culprit), DeviceHealth::Quarantined { .. }),
+            "screening must quarantine the silent contributor"
+        );
+        // Canary devices were restored and told why; devices outside the
+        // canary never installed the poisoned merge.
+        let canary: std::collections::BTreeSet<usize> =
+            policy.plan().stage(RolloutStage::Canary).iter().copied().collect();
+        for i in 0..fleet.len() {
+            let halted = fleet
+                .device(i)
+                .log()
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::RolloutHalted { .. }));
+            assert_eq!(halted, canary.contains(&i), "device {i}");
+        }
+    }
+
+    #[test]
+    fn staged_rollout_completes_and_halted_rollout_restores_installs() {
+        let (mut fleet, deployment) = policied_fleet(4);
+        // A clean package clears every stage.
+        assert!(fleet.rollout_deployment(&deployment).expect("rollout"));
+        for i in 0..fleet.len() {
+            let installs = fleet
+                .device(i)
+                .log()
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Deployed { .. }))
+                .count();
+            assert_eq!(installs, 2, "device {i}: initial install + staged rollout");
+        }
+        assert_eq!(fleet.policy().expect("policy").summary().halts, 0);
     }
 }

@@ -20,7 +20,10 @@
 //! multi-device [`fleet::Fleet`] routes user sessions to heterogeneous
 //! devices, serves them through the batched prototype-cache path, and
 //! interleaves incremental updates with scheduled federated rounds (see
-//! `docs/FLEET.md`).
+//! `docs/FLEET.md`). The [`policy`] module closes the quality loop on
+//! top of it: quarantine, rollback → re-anchor → degrade repairs, and
+//! canary → cohort → fleet staged rollouts with auto halt (see
+//! `docs/POLICY.md`).
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -30,9 +33,13 @@ pub mod edge;
 pub mod events;
 pub mod federated;
 pub mod fleet;
+pub mod policy;
 
 pub use cloud::{CloudServer, Deployment, PackageError, RollupError, TelemetryRollup};
 pub use edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus, MAX_UPDATE_FAILURES};
-pub use events::{Event, EventKind, EventLog};
+pub use events::{Event, EventKind, EventLog, ExclusionReason};
 pub use federated::{federated_average, FederatedCoordinator, FederatedError};
 pub use fleet::{DeviceStats, Fleet, FleetConfig, FleetStats};
+pub use policy::{
+    DeviceHealth, FleetPolicy, PolicyConfig, PolicySummary, RepairAction, RolloutStage, StagePlan,
+};

@@ -129,6 +129,44 @@ print(f"quality gate: {len(events)} trace events, "
       f"retrained={ab['retrained']['alerts']}")
 EOF
 
+# --- policy gate (docs/POLICY.md) -----------------------------------------
+
+step "policy: repro policy byte-identical across runs and at PILOTE_THREADS=4"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  policy --quick --out "$obs_dir/p1"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  policy --quick --out "$obs_dir/p2"
+PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
+  policy --quick --out "$obs_dir/p4"
+cmp "$obs_dir/p1/BENCH_policy.json" "$obs_dir/p2/BENCH_policy.json"
+cmp "$obs_dir/p1/BENCH_policy.json" "$obs_dir/p4/BENCH_policy.json"
+
+step "policy: closed-loop A/B — canary halt, repair ladder, fewer alerts"
+python3 - "$obs_dir/p1" << 'EOF'
+import json, sys
+out = sys.argv[1]
+bench = json.load(open(f"{out}/BENCH_policy.json"))
+off, on = bench["policy_off"], bench["policy_on"]
+summary = on["policy"]["summary"]
+assert summary["halts"] >= 1, f"the poisoned canary must halt: {summary}"
+assert summary["quarantines"] >= 2, f"both offenders must be quarantined: {summary}"
+assert summary["degrades"] >= 1, f"the repeat offender must degrade: {summary}"
+assert summary["rounds_completed"] >= 1, f"clean rounds must reach the fleet stage: {summary}"
+assert on["forgetting_alerts"] < off["forgetting_alerts"], (
+    f"the closed loop must end with strictly fewer forgetting alerts: "
+    f"on={on['forgetting_alerts']} off={off['forgetting_alerts']}")
+assert on["mean_final_old_class_accuracy"] > off["mean_final_old_class_accuracy"], (
+    "self-healing must preserve fleet accuracy")
+plan = on["policy"]["stage_plan"]
+staged = sorted(plan["canary"] + plan["cohort"] + plan["fleet"])
+assert staged == list(range(bench["schedule"]["devices"])), (
+    f"stage plan must partition the roster exactly: {plan}")
+assert plan["canary"], f"the canary stage is never empty: {plan}"
+print(f"policy gate: halts={summary['halts']} quarantines={summary['quarantines']} "
+      f"degrades={summary['degrades']} alerts on/off="
+      f"{on['forgetting_alerts']}/{off['forgetting_alerts']}")
+EOF
+
 # --- docs gate ------------------------------------------------------------
 
 step "docs: relative links resolve; every docs/*.md reachable from README.md"

@@ -64,7 +64,8 @@ pub mod prelude {
     pub use pilote_core::strategies::{run_strategy, Strategy};
     pub use pilote_core::{
         accuracy, select_exemplars, ConfusionMatrix, EmbeddingNet, NcmClassifier, NetConfig,
-        Pilote, PiloteConfig, QualityMonitor, QualityReport, QualityThresholds,
+        AdaptiveThresholds, Pilote, PiloteConfig, QualityMonitor, QualityReport,
+        QualityThresholds,
         SelectionStrategy, SupportSet,
     };
     pub use pilote_edge_sim::{
@@ -73,7 +74,7 @@ pub mod prelude {
     };
     pub use pilote_magneto::{
         CloudServer, EdgeDevice, EdgeError, FederatedCoordinator, FederatedError, Fleet,
-        FleetConfig, FleetStats, TelemetryRollup, UpdateStatus,
+        FleetConfig, FleetPolicy, FleetStats, PolicyConfig, TelemetryRollup, UpdateStatus,
     };
     pub use pilote_har_data::dataset::generate_features;
     pub use pilote_har_data::{Activity, Dataset, Simulator, SimulatorConfig, FEATURE_DIM};
