@@ -103,6 +103,11 @@ impl NcmClassifier {
 
     /// Squared distances `[n, classes]` from each embedding row to each
     /// prototype.
+    ///
+    /// Rides the fused `pairwise_sq_dists` kernel: the `‖x‖² − 2x·μ + ‖μ‖²`
+    /// combine is an epilogue of the packed GEMM (`docs/KERNELS.md`), so
+    /// the whole NCM hot path is one kernel dispatch with no second sweep
+    /// over the `[n, classes]` output.
     pub fn distances(&self, embeddings: &Tensor) -> Result<Tensor, TensorError> {
         if self.n_classes() == 0 {
             return Err(TensorError::Empty { op: "NcmClassifier::distances" });

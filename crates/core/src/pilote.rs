@@ -588,7 +588,10 @@ impl Pilote {
     ///
     /// Bitwise-identical to classifying each row in its own `[1, d]` call
     /// (every kernel computes each output row independently of its batch
-    /// neighbours — see `docs/FLEET.md`).
+    /// neighbours — see `docs/FLEET.md`). The distance stage is the fused
+    /// packed-GEMM + squared-distance epilogue of `docs/KERNELS.md`, so
+    /// serving cost is one GEMM per batch, not a GEMM plus a full `[n,
+    /// classes]` combine sweep.
     pub fn classify_batch(&mut self, features: &Tensor) -> Result<Vec<(usize, f32)>, TensorError> {
         let embeddings = self.net.embed(features);
         self.classifier.classify_with_distances(&embeddings)

@@ -52,6 +52,13 @@
 //! runs regardless of the `PILOTE_OBS` kill switch (alerts are device
 //! *behaviour*, not telemetry); the margin histogram uses the standalone
 //! [`HistogramSnapshot`] accumulator, which is not registry-gated.
+//!
+//! Probe classification rides the same fused packed-GEMM serving kernel
+//! as live traffic (`docs/KERNELS.md`): the NCM distance matrix is one
+//! GEMM dispatch with the squared-distance combine applied as a per-tile
+//! epilogue, so quality sampling adds no second sweep over the probe's
+//! `[n, classes]` distance output and its flop charge (and therefore the
+//! virtual clock cost of every quality sample) is unchanged.
 
 use crate::metrics;
 use crate::pilote::Pilote;

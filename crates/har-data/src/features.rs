@@ -161,21 +161,27 @@ pub fn extract(window: &Tensor) -> Result<Tensor, TensorError> {
     Tensor::from_vec(out, [FEATURE_DIM])
 }
 
-/// Extracts features from every window of a raw dataset in parallel,
+/// Extracts features from a slice of `[time, 22]` windows in parallel,
 /// producing an `[n, 80]` feature matrix.
+///
+/// This is the batched feature front-end of the serving path: both offline
+/// dataset preparation ([`extract_batch`]) and the streaming assembler's
+/// block path (`WindowAssembler::push_block`) funnel their windows through
+/// it, so feature extraction is batch-shaped end to end before the
+/// GEMM-shaped embedding/classification stages take over.
 ///
 /// Windows are processed in contiguous bands via the `pilote-tensor`
 /// parallel layer (`docs/THREADING.md`); each window's feature vector is
 /// computed by exactly one thread with the serial [`extract`] kernel, so
 /// the matrix is bitwise-identical at any thread count. The first error
 /// encountered (in window order) is returned.
-pub fn extract_batch(raw: &RawDataset) -> Result<Tensor, TensorError> {
-    let n = raw.windows.len();
-    let work: usize = raw.windows.iter().map(Tensor::len).sum();
+pub fn extract_windows(windows: &[Tensor]) -> Result<Tensor, TensorError> {
+    let n = windows.len();
+    let work: usize = windows.iter().map(Tensor::len).sum();
     let threads = parallel::effective_threads(work);
     let bands = parallel::map_bands(n, threads, |range| {
         let mut data = Vec::with_capacity(range.len() * FEATURE_DIM);
-        for w in &raw.windows[range] {
+        for w in &windows[range] {
             data.extend_from_slice(extract(w)?.as_slice());
         }
         Ok::<Vec<f32>, TensorError>(data)
@@ -185,6 +191,12 @@ pub fn extract_batch(raw: &RawDataset) -> Result<Tensor, TensorError> {
         data.extend_from_slice(&band?);
     }
     Tensor::from_vec(data, [n, FEATURE_DIM])
+}
+
+/// Extracts features from every window of a raw dataset in parallel,
+/// producing an `[n, 80]` feature matrix. See [`extract_windows`].
+pub fn extract_batch(raw: &RawDataset) -> Result<Tensor, TensorError> {
+    extract_windows(&raw.windows)
 }
 
 /// Human-readable name of feature `index` (for reports and debugging).

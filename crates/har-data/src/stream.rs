@@ -9,7 +9,7 @@
 //! normaliser was fitted on — the trigger a deployment would use to decide
 //! that re-calibration (an incremental update) is needed.
 
-use crate::features::{extract, FEATURE_DIM};
+use crate::features::{extract, extract_windows, FEATURE_DIM};
 use crate::preprocess::{moving_average, Normalizer, PreprocessError};
 use crate::sensors::CHANNELS;
 use pilote_tensor::{Tensor, TensorError, Welford};
@@ -146,6 +146,16 @@ impl WindowAssembler {
 
     /// Feeds a `[n, 22]` block of samples, collecting every completed
     /// window's features.
+    ///
+    /// Unlike the per-sample [`WindowAssembler::push`] path, the block path
+    /// is batched: window assembly, taint screening, and denoising run
+    /// per window as the block is consumed, but feature extraction runs
+    /// once over *all* clean windows ([`crate::features::extract_windows`],
+    /// band-parallel) and normalisation is one batched
+    /// [`Normalizer::transform`] over the resulting `[n, 80]` matrix. Both
+    /// stages are row-local, so every emitted feature vector is
+    /// bitwise-identical to what the per-sample path would have produced —
+    /// including the quarantine/emit counters and their order.
     pub fn push_block(&mut self, block: &Tensor) -> Result<Vec<Tensor>, PreprocessError> {
         if block.rank() != 2 || block.cols() != CHANNELS {
             return Err(TensorError::ShapeMismatch {
@@ -155,13 +165,58 @@ impl WindowAssembler {
             }
             .into());
         }
-        let mut out = Vec::new();
+        // Pass 1: assemble candidate windows, quarantining tainted ones
+        // exactly as the per-sample path does.
+        let mut candidates = Vec::new();
         for i in 0..block.rows() {
+            let row = block.row(i);
+            self.valid.push(row.iter().all(|v| v.is_finite()));
             let mut sample = [0.0f32; CHANNELS];
-            sample.copy_from_slice(block.row(i));
-            if let Some(f) = self.push(sample)? {
-                out.push(f);
+            sample.copy_from_slice(row);
+            self.buffer.push(sample);
+            if self.buffer.len() < self.window_len {
+                continue;
             }
+            if self.valid.iter().any(|&ok| !ok) {
+                self.slide();
+                self.quarantined += 1;
+                pilote_obs::counter("stream.windows_quarantined").inc();
+                continue;
+            }
+            let mut flat = Vec::with_capacity(self.window_len * CHANNELS);
+            for row in &self.buffer {
+                flat.extend_from_slice(row);
+            }
+            let window = Tensor::from_vec(flat, [self.window_len, CHANNELS])?;
+            candidates.push(if self.denoise_width > 1 {
+                moving_average(&window, self.denoise_width)?
+            } else {
+                window
+            });
+            self.slide();
+        }
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Pass 2: one batched extraction + one batched normalisation over
+        // every clean window in the block.
+        let features = extract_windows(&candidates)?;
+        let features = match &self.normalizer {
+            Some(norm) => norm.transform(&features)?,
+            None => features,
+        };
+        // Pass 3: the same per-window finite screen as the streaming path.
+        let mut out = Vec::with_capacity(candidates.len());
+        for i in 0..candidates.len() {
+            let row = features.row(i);
+            if row.iter().any(|v| !v.is_finite()) {
+                self.quarantined += 1;
+                pilote_obs::counter("stream.windows_quarantined").inc();
+                continue;
+            }
+            self.emitted += 1;
+            pilote_obs::counter("stream.windows_emitted").inc();
+            out.push(Tensor::vector(row));
         }
         Ok(out)
     }
@@ -361,6 +416,46 @@ mod tests {
         let feats = asm.push_block(&session).unwrap();
         assert_eq!(asm.quarantined(), 1);
         assert_eq!(feats.len(), 1);
+    }
+
+    #[test]
+    fn batched_block_path_matches_per_sample_push_bitwise() {
+        // push_block batches extraction + normalisation; the per-sample
+        // path runs them window by window. Outputs and counters must be
+        // bitwise-identical, including around a quarantined window.
+        let mut sim = Simulator::with_seed(10);
+        let raw = sim.raw_dataset(&[(Activity::Walk, 30)]);
+        let features = crate::features::extract_batch(&raw).unwrap();
+        let (norm, _) = Normalizer::fit_transform(&features).unwrap();
+
+        let mut session = sim.session(Activity::Run, 5); // 600 samples
+        session.row_mut(150)[2] = f32::NAN; // taints windows 1 and 2 at stride 60
+
+        let mut batched = WindowAssembler::new(120, 60, 3).with_normalizer(norm.clone());
+        let block_out = batched.push_block(&session).unwrap();
+
+        let mut streamed = WindowAssembler::new(120, 60, 3).with_normalizer(norm);
+        let mut push_out = Vec::new();
+        for i in 0..session.rows() {
+            let mut sample = [0.0f32; CHANNELS];
+            sample.copy_from_slice(session.row(i));
+            if let Some(f) = streamed.push(sample).unwrap() {
+                push_out.push(f);
+            }
+        }
+
+        assert_eq!(batched.emitted(), streamed.emitted());
+        assert_eq!(batched.quarantined(), streamed.quarantined());
+        assert!(batched.quarantined() >= 1, "the NaN must quarantine at least one window");
+        assert_eq!(block_out.len(), push_out.len());
+        for (i, (a, b)) in block_out.iter().zip(&push_out).enumerate() {
+            let same = a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "window {i} diverged between block and per-sample paths");
+        }
     }
 
     #[test]

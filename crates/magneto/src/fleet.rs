@@ -252,8 +252,7 @@ fn map_member_bands<R: Send>(
 /// device-index order and escalates the repair ladder on any new
 /// triggering alert.
 fn control_step(members: &mut [FleetMember], state: &mut PolicyState) -> Result<(), EdgeError> {
-    for index in 0..members.len() {
-        let member = &mut members[index];
+    for (index, member) in members.iter_mut().enumerate() {
         let reports = member.device.quality_reports();
         let baseline = reports.first().map(|r| r.old_class_accuracy);
         let trigger = state

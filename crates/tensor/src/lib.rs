@@ -9,11 +9,14 @@
 //! * [`Tensor`] — a contiguous, row-major, heap-allocated `f32` tensor with
 //!   rank 1/2 fast paths (the workloads here are batches of feature vectors
 //!   and weight matrices).
-//! * Element-wise and broadcast arithmetic ([`ops`]), blocked matrix
-//!   multiplication ([`matmul`]), reductions ([`reduce`]) and small
-//!   linear-algebra routines ([`linalg`]) such as pairwise squared
-//!   Euclidean distances (the workhorse of both the contrastive loss and the
-//!   nearest-class-mean classifier).
+//! * Element-wise and broadcast arithmetic ([`ops`]), matrix
+//!   multiplication ([`matmul`]) backed by the packed, register-tiled
+//!   microkernel in [`pack`] (panel packing, runtime SIMD-tier dispatch,
+//!   fused epilogues — contract in `docs/KERNELS.md`), reductions
+//!   ([`reduce`]) and small linear-algebra routines ([`linalg`]) such as
+//!   pairwise squared Euclidean distances (the workhorse of both the
+//!   contrastive loss and the nearest-class-mean classifier, fused into
+//!   the GEMM epilogue).
 //! * A small deterministic RNG ([`rng`]) (SplitMix64-seeded xoshiro256++
 //!   with a Box–Muller normal sampler) so that every experiment in the
 //!   benchmark harness is reproducible from a single `u64` seed.
@@ -39,6 +42,7 @@ pub mod init;
 pub mod linalg;
 pub mod matmul;
 pub mod ops;
+pub mod pack;
 pub mod parallel;
 pub mod reduce;
 pub mod rng;

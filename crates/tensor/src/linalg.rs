@@ -6,6 +6,7 @@
 //! defined on it, and the herding selector evaluates it thousands of times.
 
 use crate::error::TensorError;
+use crate::pack::{self, Epilogue, Operand};
 use crate::parallel;
 use crate::reduce::Axis;
 use crate::tensor::Tensor;
@@ -30,9 +31,14 @@ impl Tensor {
     /// Pairwise squared Euclidean distances between the rows of `self`
     /// (`[m, d]`) and the rows of `other` (`[n, d]`), producing `[m, n]`.
     ///
-    /// Uses the expansion `‖x−y‖² = ‖x‖² + ‖y‖² − 2·x·y` so the bulk of the
-    /// work is a single `matmul_t`. Tiny negative values from cancellation
-    /// are clamped to zero.
+    /// Uses the expansion `‖x−y‖² = ‖x‖² + ‖y‖² − 2·x·y`, fused into the
+    /// packed GEMM: the combine/clamp is applied per register tile as an
+    /// epilogue of `self @ otherᵀ` while the tile is still hot, so there is
+    /// no second full sweep over the `[m, n]` output (docs/KERNELS.md).
+    /// Tiny negative values from cancellation are clamped to zero.
+    ///
+    /// This is the NCM serving kernel: `Pilote::classify_batch` and the
+    /// `QualityMonitor` probes both ride it.
     pub fn pairwise_sq_dists(&self, other: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 || other.rank() != 2 || self.cols() != other.cols() {
             return Err(TensorError::ShapeMismatch {
@@ -41,15 +47,59 @@ impl Tensor {
                 op: "pairwise_sq_dists",
             });
         }
-        // Work beyond the inner `matmul_t` (which records itself): the two
-        // row-norm passes plus the combine/clamp sweep over [m, n].
+        // The fused kernel records *all* of its work under PairwiseDist:
+        // the 2mnd GEMM (previously recorded by the inner `matmul_t`) plus
+        // the two row-norm passes and the combine/clamp epilogue. The total
+        // flops charged per call are unchanged from the unfused form, so
+        // virtual device clocks are unaffected (docs/OBSERVABILITY.md).
         let (mm, nn, dd) = (self.rows() as u64, other.rows() as u64, self.cols() as u64);
-        work::record(KernelKind::PairwiseDist, 2 * (mm + nn) * dd + 3 * mm * nn);
-        let cross = self.matmul_t(other)?; // [m, n]
-        let x_sq = row_sq_norms(self.as_slice(), self.rows(), self.cols());
-        let y_sq = row_sq_norms(other.as_slice(), other.rows(), other.cols());
-        let (m, n) = (self.rows(), other.rows());
-        let mut out = cross.into_vec();
+        work::record(
+            KernelKind::PairwiseDist,
+            2 * mm * nn * dd + 2 * (mm + nn) * dd + 3 * mm * nn,
+        );
+        let (m, d, n) = (self.rows(), self.cols(), other.rows());
+        let x_sq = row_sq_norms(self.as_slice(), m, d);
+        let y_sq = row_sq_norms(other.as_slice(), n, d);
+        let mut out = vec![0.0f32; m * n];
+        let threads = parallel::effective_threads(m * n * d);
+        pack::gemm(
+            Operand::plain(self.as_slice(), d),
+            Operand::transposed(other.as_slice(), d),
+            (m, d, n),
+            threads,
+            Epilogue::SqDist { x_sq: &x_sq, y_sq: &y_sq },
+            &mut out,
+        );
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// The unfused two-pass form of [`Tensor::pairwise_sq_dists`] — packed
+    /// GEMM into a materialised `[m, n]` cross-product, then a separate
+    /// combine/clamp sweep. Kept as the byte-identity reference for the
+    /// fused epilogue (`repro kernels` and the kernel property suite assert
+    /// the two forms agree bit for bit); records no flops.
+    #[doc(hidden)]
+    pub fn pairwise_sq_dists_unfused(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || other.rank() != 2 || self.cols() != other.cols() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape().dims().to_vec(),
+                right: other.shape().dims().to_vec(),
+                op: "pairwise_sq_dists_unfused",
+            });
+        }
+        let (m, d, n) = (self.rows(), self.cols(), other.rows());
+        let x_sq = row_sq_norms(self.as_slice(), m, d);
+        let y_sq = row_sq_norms(other.as_slice(), n, d);
+        let mut out = vec![0.0f32; m * n];
+        let threads = parallel::effective_threads(m * n * d);
+        pack::gemm(
+            Operand::plain(self.as_slice(), d),
+            Operand::transposed(other.as_slice(), d),
+            (m, d, n),
+            threads,
+            Epilogue::None,
+            &mut out,
+        );
         if n > 0 {
             let threads = parallel::effective_threads(m * n);
             parallel::for_each_band(&mut out, n, threads, |i0, bandslice| {
@@ -247,6 +297,31 @@ mod tests {
             parallel::configure(ThreadConfig { num_threads: threads, min_parallel_len: 0 });
             assert_eq!(x.pairwise_sq_dists(&y).unwrap(), serial.0);
             assert_eq!(x.normalize_rows(1e-9).unwrap(), serial.1);
+        }
+        parallel::configure(saved);
+    }
+
+    #[test]
+    fn fused_epilogue_is_byte_identical_to_unfused() {
+        use crate::parallel::{self, ThreadConfig};
+        let _guard = parallel::TEST_CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = Rng64::new(33);
+        let x = Tensor::from_vec((0..45 * 80).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [45, 80])
+            .unwrap();
+        let y = Tensor::from_vec((0..12 * 80).map(|_| rng.normal_f32(0.0, 1.0)).collect(), [12, 80])
+            .unwrap();
+        let saved = parallel::current();
+        parallel::configure(ThreadConfig::serial());
+        let baseline = x.pairwise_sq_dists_unfused(&y).unwrap();
+        for threads in [1usize, 4] {
+            parallel::configure(ThreadConfig { num_threads: threads, min_parallel_len: 0 });
+            let fused = x.pairwise_sq_dists(&y).unwrap();
+            let unfused = x.pairwise_sq_dists_unfused(&y).unwrap();
+            let same = |t: &Tensor| {
+                t.as_slice().iter().zip(baseline.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits())
+            };
+            assert!(same(&fused), "fused diverged at {threads} threads");
+            assert!(same(&unfused), "unfused diverged at {threads} threads");
         }
         parallel::configure(saved);
     }

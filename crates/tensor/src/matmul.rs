@@ -1,50 +1,63 @@
 //! Matrix multiplication.
 //!
-//! A straightforward `i-k-j` loop ordering with a fixed-size `k` blocking:
-//! the inner loop walks both the output row and the right-hand-side row
-//! contiguously, which autovectorises well. For the matrix sizes in this
-//! workspace (batch × layer-width GEMMs up to roughly `256 × 1024 × 512`)
-//! this stays within a few × of an optimised BLAS, which is plenty — the
-//! experiment wall-clocks in the paper are sub-second per epoch.
+//! All three matrix–matrix products (`matmul`, `matmul_t`, `t_matmul`) are
+//! thin shape-checking wrappers around the one packed, register-tiled
+//! kernel in [`crate::pack`]: operands are packed into contiguous panels
+//! (a transposed operand is just a different packing gather, not a separate
+//! loop nest) and each `MR × NR` output tile is accumulated in registers
+//! over the full `k` extent in fixed ascending-`k` order. Layout details
+//! and the performance model live in `docs/KERNELS.md`.
 //!
-//! All four kernels are parallelised over contiguous bands of *output rows*
-//! via [`crate::parallel`]. Each output element is accumulated in ascending
-//! `k` order by exactly one thread, so results are bitwise-identical at
-//! every thread count (see `docs/THREADING.md`).
+//! All kernels are parallelised over contiguous bands of *output rows* via
+//! [`crate::parallel`]. Each output element is accumulated in ascending `k`
+//! order by exactly one thread, so results are bitwise-identical at every
+//! thread count (see `docs/THREADING.md`).
+//!
+//! Zeros in either operand are **not** skipped: `0 · NaN` must stay `NaN`
+//! and `0 · ∞` must stay `NaN`, so a non-finite value planted in one
+//! operand propagates to the product no matter what the other operand
+//! holds (regression-tested below).
 
 use crate::error::TensorError;
+use crate::pack::{self, Epilogue, Operand};
 use crate::parallel;
 use crate::tensor::Tensor;
 use crate::Result;
 use pilote_obs::work::{self, KernelKind};
 
-/// `k`-blocking factor: the live `KB × n` slice of the right-hand side
-/// stays resident in L1/L2 across a band of output rows.
-const KB: usize = 64;
-
-/// The original blocked `matmul` loop, restricted to the output-row band
-/// starting at `row0`. Called once per thread; with one thread this is the
-/// exact serial kernel.
-fn matmul_band(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, band: &mut [f32]) {
-    let rows = band.len() / n;
+/// The pre-PR serial `i-k-j` loop (KB=64 k-blocking, zero-skip removed),
+/// kept as the measurement baseline for `repro kernels` and the ci.sh
+/// kernels gate: the packed kernel must never be slower than this loop on
+/// the committed reference shape. Serial, unrecorded (no flop accounting),
+/// not part of the public API.
+#[doc(hidden)]
+pub fn matmul_unpacked_reference(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 || a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().dims().to_vec(),
+            right: b.shape().dims().to_vec(),
+            op: "matmul_unpacked_reference",
+        });
+    }
+    const KB: usize = 64;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
     for k0 in (0..k).step_by(KB) {
         let k1 = (k0 + KB).min(k);
-        for bi in 0..rows {
-            let i = row0 + bi;
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut band[bi * n..(bi + 1) * n];
+        for i in 0..m {
+            let a_row = &av[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
             for kk in k0..k1 {
                 let aik = a_row[kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
+                let b_row = &bv[kk * n..(kk + 1) * n];
+                for (o, &bvj) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bvj;
                 }
             }
         }
     }
+    Tensor::from_vec(out, [m, n])
 }
 
 impl Tensor {
@@ -75,22 +88,24 @@ impl Tensor {
         // Shape-derived work estimate, recorded on the dispatching thread
         // before any band fan-out (see docs/OBSERVABILITY.md).
         work::record(KernelKind::MatMul, 2 * (m as u64) * (n as u64) * (k as u64));
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        if n > 0 {
-            let threads = parallel::effective_threads(m * n * k);
-            parallel::for_each_band(&mut out, n, threads, |row0, band| {
-                matmul_band(a, b, k, n, row0, band);
-            });
-        }
+        let threads = parallel::effective_threads(m * n * k);
+        pack::gemm(
+            Operand::plain(self.as_slice(), k),
+            Operand::plain(other.as_slice(), n),
+            (m, k, n),
+            threads,
+            Epilogue::None,
+            &mut out,
+        );
         Tensor::from_vec(out, [m, n])
     }
 
     /// `self @ otherᵀ` without materialising the transpose.
     ///
     /// This is the hot pattern in backprop (`dX = dY @ Wᵀ`) and in pairwise
-    /// distance computations (`X @ Yᵀ`).
+    /// distance computations (`X @ Yᵀ`); the transpose is absorbed into the
+    /// B-panel packing gather.
     ///
     /// ```
     /// use pilote_tensor::Tensor;
@@ -117,32 +132,23 @@ impl Tensor {
             });
         }
         work::record(KernelKind::MatMulT, 2 * (m as u64) * (n as u64) * (k as u64));
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        if n > 0 {
-            let threads = parallel::effective_threads(m * n * k);
-            parallel::for_each_band(&mut out, n, threads, |row0, band| {
-                for (bi, out_row) in band.chunks_mut(n).enumerate() {
-                    let i = row0 + bi;
-                    let a_row = &a[i * k..(i + 1) * k];
-                    for (j, o) in out_row.iter_mut().enumerate() {
-                        let b_row = &b[j * k..(j + 1) * k];
-                        let mut acc = 0.0f32;
-                        for (&x, &y) in a_row.iter().zip(b_row) {
-                            acc += x * y;
-                        }
-                        *o = acc;
-                    }
-                }
-            });
-        }
+        let threads = parallel::effective_threads(m * n * k);
+        pack::gemm(
+            Operand::plain(self.as_slice(), k),
+            Operand::transposed(other.as_slice(), k),
+            (m, k, n),
+            threads,
+            Epilogue::None,
+            &mut out,
+        );
         Tensor::from_vec(out, [m, n])
     }
 
     /// `selfᵀ @ other` without materialising the transpose.
     ///
-    /// Backprop's weight-gradient pattern (`dW = Xᵀ @ dY`).
+    /// Backprop's weight-gradient pattern (`dW = Xᵀ @ dY`); the transpose
+    /// is absorbed into the A-panel packing gather.
     pub fn t_matmul(&self, other: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 || other.rank() != 2 {
             return Err(TensorError::RankMismatch {
@@ -161,33 +167,16 @@ impl Tensor {
             });
         }
         work::record(KernelKind::TMatMul, 2 * (m as u64) * (n as u64) * (k as u64));
-        let a = self.as_slice();
-        let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
-        // out[i, j] = Σ_k a[k, i] * b[k, j]; iterate k outermost so both
-        // inner accesses are contiguous (rank-1 update per k). Each band
-        // owns output rows [i0, i0 + band_rows) and walks all of k, so the
-        // per-element accumulation order (ascending k) is band-invariant.
-        if n > 0 {
-            let threads = parallel::effective_threads(m * n * k);
-            parallel::for_each_band(&mut out, n, threads, |i0, band| {
-                let band_rows = band.len() / n;
-                for kk in 0..k {
-                    let a_row = &a[kk * m..(kk + 1) * m];
-                    let b_row = &b[kk * n..(kk + 1) * n];
-                    for bi in 0..band_rows {
-                        let av = a_row[i0 + bi];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let out_row = &mut band[bi * n..(bi + 1) * n];
-                        for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                            *o += av * bv;
-                        }
-                    }
-                }
-            });
-        }
+        let threads = parallel::effective_threads(m * n * k);
+        pack::gemm(
+            Operand::transposed(self.as_slice(), m),
+            Operand::plain(other.as_slice(), n),
+            (m, k, n),
+            threads,
+            Epilogue::None,
+            &mut out,
+        );
         Tensor::from_vec(out, [m, n])
     }
 
@@ -271,6 +260,21 @@ mod tests {
     }
 
     #[test]
+    fn packed_is_bitwise_identical_to_unpacked_reference() {
+        // The register-tiled kernel performs, per output element, the same
+        // ascending-k mul/add chain as the pre-PR loop — so the rewrite
+        // must be invisible at the bit level, not just within tolerance.
+        let mut rng = Rng64::new(9);
+        for &(m, k, n) in &[(3, 5, 2), (17, 64, 9), (33, 65, 37), (70, 63, 130)] {
+            let a = random(&mut rng, m, k);
+            let b = random(&mut rng, k, n);
+            let packed = a.matmul(&b).unwrap();
+            let reference = matmul_unpacked_reference(&a, &b).unwrap();
+            assert_eq!(packed.as_slice(), reference.as_slice(), "size ({m},{k},{n})");
+        }
+    }
+
+    #[test]
     fn matmul_t_equals_matmul_with_transpose() {
         let mut rng = Rng64::new(2);
         let a = random(&mut rng, 13, 7);
@@ -310,6 +314,7 @@ mod tests {
         assert!(a.matmul_t(&b).is_err());
         assert!(a.t_matmul(&b).is_err());
         assert!(a.matvec(&Tensor::zeros([4])).is_err());
+        assert!(matmul_unpacked_reference(&a, &b).is_err());
         let v = Tensor::zeros([3]);
         assert!(v.matmul(&a).is_err());
     }
@@ -321,6 +326,75 @@ mod tests {
         let i = Tensor::eye(6);
         assert!(a.matmul(&i).unwrap().max_abs_diff(&a).unwrap() < 1e-6);
         assert!(i.matmul(&a).unwrap().max_abs_diff(&a).unwrap() < 1e-6);
+    }
+
+    /// Regression for the zero-skip bug: a NaN planted in one operand must
+    /// propagate to the product even when the *other* operand is zero at
+    /// every coefficient that touches it (`0 · NaN = NaN`). The old
+    /// `matmul_band`/`t_matmul` loops skipped the update when `aik == 0`,
+    /// silently masking the NaN.
+    #[test]
+    fn nan_propagates_through_every_kernel() {
+        let m = 5;
+        let k = 7;
+        let n = 6;
+        // A is all zeros — the exact shape of the old skip.
+        let a = Tensor::zeros([m, k]);
+        let mut b = Tensor::zeros([k, n]);
+        b.set(&[3, 2], f32::NAN).unwrap();
+
+        // matmul: column 2 of the product must be NaN in every row.
+        let c = a.matmul(&b).unwrap();
+        for i in 0..m {
+            assert!(c.at(i, 2).is_nan(), "matmul row {i}");
+            assert_eq!(c.at(i, 0), 0.0);
+        }
+
+        // matmul_t: B is [n, k] with a NaN in row 4 → column 4 all NaN.
+        let mut bt = Tensor::zeros([n, k]);
+        bt.set(&[4, 3], f32::NAN).unwrap();
+        let c = a.matmul_t(&bt).unwrap();
+        for i in 0..m {
+            assert!(c.at(i, 4).is_nan(), "matmul_t row {i}");
+            assert_eq!(c.at(i, 0), 0.0);
+        }
+
+        // t_matmul: A is [k, m] all-zero, NaN in B row 3 → column 2 all NaN.
+        let at = Tensor::zeros([k, m]);
+        let c = at.t_matmul(&b).unwrap();
+        for i in 0..m {
+            assert!(c.at(i, 2).is_nan(), "t_matmul row {i}");
+            assert_eq!(c.at(i, 0), 0.0);
+        }
+
+        // matvec: NaN in v reaches every output element.
+        let mut v = Tensor::zeros([k]);
+        v.as_mut_slice()[1] = f32::NAN;
+        let c = a.matvec(&v).unwrap();
+        for i in 0..m {
+            assert!(c.as_slice()[i].is_nan(), "matvec row {i}");
+        }
+
+        // And the unpacked measurement baseline agrees with the packed
+        // kernel on the same poisoned inputs.
+        let reference = matmul_unpacked_reference(&a, &b).unwrap();
+        let packed = a.matmul(&b).unwrap();
+        assert_eq!(
+            packed.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            reference.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    /// Same guarantee for infinities: `0 · ∞ = NaN`, never silently 0.
+    #[test]
+    fn infinity_is_not_masked_by_zeros() {
+        let a = Tensor::zeros([2, 3]);
+        let mut b = Tensor::zeros([3, 2]);
+        b.set(&[1, 1], f32::INFINITY).unwrap();
+        let c = a.matmul(&b).unwrap();
+        for i in 0..2 {
+            assert!(c.at(i, 1).is_nan(), "0·∞ must be NaN, row {i}");
+        }
     }
 
     /// Parallel and serial paths must agree bit for bit, for every kernel

@@ -67,25 +67,73 @@ impl Default for ThreadConfig {
     }
 }
 
+/// Parses a `PILOTE_THREADS` value: `Ok(Some(n))` for an explicit positive
+/// count, `Ok(None)` for `0` (the documented "auto-detect" spelling), and
+/// `Err(())` for anything unparsable. Pure so the accepted grammar is
+/// unit-testable without touching the process environment.
+fn parse_thread_count(raw: &str) -> std::result::Result<Option<usize>, ()> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(()),
+    }
+}
+
+/// Parses a `PILOTE_MIN_PARALLEL_LEN` value (any `usize`, including `0` to
+/// force the parallel path on every kernel); `Err(())` when unparsable.
+fn parse_min_parallel_len(raw: &str) -> std::result::Result<usize, ()> {
+    raw.trim().parse::<usize>().map_err(|_| ())
+}
+
+/// Reads an environment variable through `parse`, warning **once per
+/// process** on stderr — naming the variable and the rejected value — when
+/// the value is set but unparsable, then falling back to `default`.
+/// A silent fallback here cost real debugging time: `PILOTE_THREADS=abc`
+/// used to behave exactly like auto-detection with no trace of the typo.
+fn env_or_warn<T>(
+    name: &str,
+    warn_once: &'static std::sync::Once,
+    parse: impl Fn(&str) -> std::result::Result<T, ()>,
+    default: impl FnOnce() -> T,
+) -> T {
+    match std::env::var(name) {
+        Ok(raw) => match parse(&raw) {
+            Ok(v) => v,
+            Err(()) => {
+                warn_once.call_once(|| {
+                    eprintln!(
+                        "[pilote-tensor] warning: ignoring unparsable {name}={raw:?} \
+                         (expected a non-negative integer); falling back to auto-detection"
+                    );
+                });
+                default()
+            }
+        },
+        Err(_) => default(),
+    }
+}
+
 impl ThreadConfig {
     /// Builds a configuration from the environment:
     ///
-    /// * `PILOTE_THREADS` — worker thread count; unset, `0`, or unparsable
-    ///   means "use [`std::thread::available_parallelism`]".
+    /// * `PILOTE_THREADS` — worker thread count; unset or `0` means "use
+    ///   [`std::thread::available_parallelism`]". An unparsable value also
+    ///   falls back to auto-detection, but emits a one-time stderr warning
+    ///   naming the variable and the rejected value.
     /// * `PILOTE_MIN_PARALLEL_LEN` — work threshold; defaults to
-    ///   [`DEFAULT_MIN_PARALLEL_LEN`].
+    ///   [`DEFAULT_MIN_PARALLEL_LEN`], with the same one-time warning when
+    ///   set but unparsable.
     pub fn from_env() -> Self {
-        let num_threads = std::env::var("PILOTE_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
+        static WARN_THREADS: std::sync::Once = std::sync::Once::new();
+        static WARN_MIN_LEN: std::sync::Once = std::sync::Once::new();
+        let auto = || std::thread::available_parallelism().map_or(1, |n| n.get());
+        let num_threads =
+            env_or_warn("PILOTE_THREADS", &WARN_THREADS, parse_thread_count, || None)
+                .unwrap_or_else(auto);
+        let min_parallel_len =
+            env_or_warn("PILOTE_MIN_PARALLEL_LEN", &WARN_MIN_LEN, parse_min_parallel_len, || {
+                DEFAULT_MIN_PARALLEL_LEN
             });
-        let min_parallel_len = std::env::var("PILOTE_MIN_PARALLEL_LEN")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_MIN_PARALLEL_LEN);
         ThreadConfig { num_threads, min_parallel_len }
     }
 
@@ -328,6 +376,31 @@ mod tests {
     fn map_bands_empty_input() {
         let r: Vec<usize> = map_bands(0, 4, |_| unreachable!());
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn env_value_grammar() {
+        // PILOTE_THREADS: 0 is the documented auto spelling, positives are
+        // explicit counts, everything else is a rejected misconfiguration.
+        assert_eq!(parse_thread_count("0"), Ok(None));
+        assert_eq!(parse_thread_count(" 3 "), Ok(Some(3)));
+        assert_eq!(parse_thread_count("abc"), Err(()));
+        assert_eq!(parse_thread_count("-1"), Err(()));
+        assert_eq!(parse_thread_count("2.5"), Err(()));
+        assert_eq!(parse_thread_count(""), Err(()));
+        // PILOTE_MIN_PARALLEL_LEN: any usize, 0 included.
+        assert_eq!(parse_min_parallel_len("0"), Ok(0));
+        assert_eq!(parse_min_parallel_len("65536"), Ok(65536));
+        assert_eq!(parse_min_parallel_len("lots"), Err(()));
+    }
+
+    #[test]
+    fn env_or_warn_falls_back_on_unparsable() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        // Variable unset → default, no warning machinery involved.
+        let v = env_or_warn("PILOTE_TEST_UNSET_VAR", &ONCE, parse_min_parallel_len, || 7);
+        assert_eq!(v, 7);
+        assert!(!ONCE.is_completed());
     }
 
     #[test]

@@ -20,10 +20,14 @@
 #      trace_quality.json byte-compared; the trace must parse as JSON
 #      with a non-empty traceEvents array and the A/B demo must show the
 #      re-trained arm alerting while the PILOTE arm does not
-#  10. the docs gate: every relative markdown link in README/DESIGN/
+#  10. the kernels gate (docs/KERNELS.md): `repro kernels` run twice plus
+#      once at PILOTE_THREADS=4, the deterministic BENCH_kernels_check.json
+#      byte-compared; oversubscribed rows must be flagged and claim no
+#      speedup, and the packed GEMM must not lose to the legacy loop
+#  11. the docs gate: every relative markdown link in README/DESIGN/
 #      EXPERIMENTS/docs resolves, and every docs/*.md is reachable from
 #      README.md by following links
-#  11. the scaling gate (docs/SCALING.md): `repro fleet --scale large`
+#  12. the scaling gate (docs/SCALING.md): `repro fleet --scale large`
 #      at a reduced device count, run twice plus once at
 #      PILOTE_THREADS=4, BENCH_fleet_large.json byte-compared
 #
@@ -165,6 +169,44 @@ assert plan["canary"], f"the canary stage is never empty: {plan}"
 print(f"policy gate: halts={summary['halts']} quarantines={summary['quarantines']} "
       f"degrades={summary['degrades']} alerts on/off="
       f"{on['forgetting_alerts']}/{off['forgetting_alerts']}")
+EOF
+
+# --- kernels gate (docs/KERNELS.md) ---------------------------------------
+
+step "kernels: repro kernels check file byte-identical across runs and at PILOTE_THREADS=4"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  kernels --out "$obs_dir/k1"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  kernels --out "$obs_dir/k2"
+PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
+  kernels --out "$obs_dir/k4"
+cmp "$obs_dir/k1/BENCH_kernels_check.json" "$obs_dir/k2/BENCH_kernels_check.json"
+cmp "$obs_dir/k1/BENCH_kernels_check.json" "$obs_dir/k4/BENCH_kernels_check.json"
+
+step "kernels: oversubscription flagged honestly; packed GEMM never loses to the legacy loop"
+python3 - "$obs_dir/k1" << 'EOF'
+import json, sys
+out = sys.argv[1]
+bench = json.load(open(f"{out}/BENCH_kernels.json"))
+host = bench["host_hardware_threads"]
+for row in bench["results"]:
+    over = row["threads"] > host
+    assert row["oversubscribed"] == over, (
+        f"row {row['kernel']}@{row['threads']} must be flagged "
+        f"oversubscribed={over} on a {host}-thread host: {row}")
+    if over:
+        assert row["speedup_vs_serial"] is None, (
+            f"oversubscribed row must not claim a speedup: {row}")
+check = json.load(open(f"{out}/BENCH_kernels_check.json"))
+assert check["gemm_checksum"] == check["legacy_gemm_checksum"], (
+    "packed GEMM must be bitwise-identical to the legacy loop")
+assert bench["packed_vs_legacy_speedup"] >= 1.0, (
+    f"packed single-thread GEMM must not be slower than the pre-packing "
+    f"loop: {bench['packed_vs_legacy_speedup']:.2f}x")
+print(f"kernels gate: simd={bench['simd']} packed vs legacy "
+      f"{bench['packed_vs_legacy_speedup']:.2f}x, "
+      f"{sum(r['oversubscribed'] for r in bench['results'])} oversubscribed "
+      f"row(s) flagged")
 EOF
 
 # --- docs gate ------------------------------------------------------------

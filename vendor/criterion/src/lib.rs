@@ -328,7 +328,10 @@ mod tests {
         let mut group = c.benchmark_group("demo");
         group.throughput(Throughput::Elements(100));
         group.bench_function("sum", |b| {
-            b.iter(|| (0..100u64).sum::<u64>());
+            // black_box the range bound so the sum cannot be const-folded
+            // to a sub-nanosecond no-op (which rounds the median Duration
+            // down to zero and makes the assertion below flaky).
+            b.iter(|| (0..black_box(100u64)).sum::<u64>());
         });
         group.finish();
         assert_eq!(c.results.len(), 1);
