@@ -7,7 +7,7 @@
 //! experiments: all, table2, fig4, fig5, fig6, fig7, timing,
 //!              ablate-alpha, ablate-margin, ablate-pairs,
 //!              ablate-strategies, cloud-vs-edge, kernels, faults, obs,
-//!              fleet, quality, policy
+//!              fleet, quality, policy, wire
 //! ```
 //!
 //! Run it in release mode: `cargo run --release -p pilote-bench --bin repro -- all`.
@@ -19,7 +19,7 @@
 use pilote_bench::report::{results_dir, ReportError};
 use pilote_bench::{
     exp_ablations, exp_cloud, exp_faults, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_fleet,
-    exp_kernels, exp_obs, exp_policy, exp_quality, exp_table2, exp_timing, Scale,
+    exp_kernels, exp_obs, exp_policy, exp_quality, exp_table2, exp_timing, exp_wire, Scale,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -42,7 +42,7 @@ fn usage() -> ExitCode {
          \x20                  [--per-activity N] [--devices N] [--seed N] [--out DIR]\n\
          experiments: all, table2, fig4, fig5, fig6, fig7, timing,\n\
                       ablate-alpha, ablate-margin, ablate-pairs, ablate-strategies,\n\
-                      cloud-vs-edge, kernels, faults, obs, fleet, quality, policy\n\
+                      cloud-vs-edge, kernels, faults, obs, fleet, quality, policy, wire\n\
          --scale large runs the ~10k-device sharded fleet benchmark (fleet only);\n\
          --devices N overrides its device count"
     );
@@ -134,6 +134,7 @@ fn dispatch(
         "fleet" => exp_fleet::run(scale, seed, out).map(drop),
         "quality" => exp_quality::run(scale, seed, out).map(drop),
         "policy" => exp_policy::run(scale, seed, out).map(drop),
+        "wire" => exp_wire::run(scale, seed, out),
         "all" => (|| {
             exp_table2::run(scale, seed, out)?;
             exp_fig4::run(scale, seed, out)?;
@@ -152,6 +153,7 @@ fn dispatch(
             exp_fleet::run(scale, seed, out)?;
             exp_quality::run(scale, seed, out)?;
             exp_policy::run(scale, seed, out)?;
+            exp_wire::run(scale, seed, out)?;
             Ok(())
         })(),
         _ => return None,

@@ -263,6 +263,7 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<serde_json::Value, Re
         support: base.model.support().clone(),
         normalizer: norm.clone(),
         config: base.model.config().clone(),
+        prototypes: None,
     };
     let link_rows: Vec<serde_json::Value> = FAULT_RATES
         .iter()

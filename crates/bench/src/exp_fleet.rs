@@ -71,6 +71,7 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<FleetStats, ReportErr
         support: base.model.support().clone(),
         normalizer: norm,
         config: base.model.config().clone(),
+        prototypes: None,
     };
 
     // --- fleet: heterogeneous devices over a link mix ------------------
@@ -270,6 +271,7 @@ pub fn run_large(
         support: base.model.support().clone(),
         normalizer: norm,
         config: base.model.config().clone(),
+        prototypes: None,
     };
 
     // --- fleet: sharded install over the standard link mix -------------

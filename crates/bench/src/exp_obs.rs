@@ -54,6 +54,7 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<Snapshot, ReportError
         support: base.model.support().clone(),
         normalizer: norm,
         config: base.model.config().clone(),
+        prototypes: None,
     };
     let mut device =
         EdgeDevice::install(DeviceProfile::budget_phone(), &deployment, &LinkModel::wifi())

@@ -127,6 +127,7 @@ pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<serde_json::Value, Re
         support: model.support().clone(),
         normalizer: norm,
         config: model.config().clone(),
+        prototypes: None,
     };
     let base_labels: Vec<usize> = BASE_ACTIVITIES.iter().map(|a| a.label()).collect();
     let probe = test.filter_classes(&base_labels).expect("probe classes");

@@ -1,0 +1,347 @@
+//! **Wire** — accuracy-vs-bytes frontier of the binary wire codec
+//! (`BENCH_wire.json`; see `docs/WIRE.md`).
+//!
+//! Pre-trains once, then replays the *same* fleet schedule under every
+//! wire configuration in `f32/u16/i8 × full/delta`: deploy to a
+//! heterogeneous fleet, have labelling users trigger on-device updates,
+//! run two explicit federated rounds (so delta payloads exercise a
+//! committed base), and upload one telemetry rollup. Every payload moves
+//! through [`pilote_magneto::wire`], so the recorded byte totals are the
+//! exact sizes the virtual links were charged with — not JSON-length
+//! proxies.
+//!
+//! Alongside the codec configs the run records the **JSON-f32 baseline**:
+//! the bytes the old `serde_json`-length accounting would have billed for
+//! the same federated rounds. Three contracts are asserted and recorded:
+//!
+//! * `i8-delta` federated traffic is at least `MIN_SAVINGS`× smaller
+//!   than the JSON-f32 baseline;
+//! * `i8-delta` old-class accuracy is within `MAX_OLD_ACC_LOSS` of the
+//!   lossless `f32-full` run;
+//! * `i8-delta` moves fewer federated bytes than `f32-full`.
+//!
+//! No wall-clock fields: device time is flop-modeled, link time is
+//! `LinkModel::transfer_seconds` over the binary payload sizes, so the
+//! JSON is byte-identical across runs and `PILOTE_THREADS` settings
+//! (`scripts/ci.sh` diffs two runs plus a `PILOTE_THREADS=4` run).
+
+use crate::exp_faults::faulted_scenario;
+use crate::report::{write_json, ReportError, Table};
+use crate::scale::Scale;
+use crate::scenario::pretrain_base;
+use pilote_edge_sim::{DeviceProfile, LinkModel, WirePrecision};
+use pilote_har_data::dataset::Dataset;
+use pilote_magneto::{Deployment, Fleet, FleetConfig, WireConfig, WireTotals};
+use pilote_nn::Checkpoint;
+use pilote_tensor::{Rng64, Tensor};
+use serde_json::json;
+use std::path::Path;
+
+/// Devices in the fleet (roster cycles flagship / budget / wearable;
+/// links cycle wifi / 4G / weak cellular).
+const WIRE_DEVICES: usize = 6;
+
+/// Simulated users routed into the fleet.
+const USERS: u64 = 8;
+
+/// Feature windows per served session.
+const WINDOWS_PER_SESSION: usize = 4;
+
+/// Users who label the held-out activity before each federated round.
+const LABELLING_USERS: u64 = 3;
+
+/// Labelled samples per labelling user per batch (also the update
+/// threshold, so the last label of a batch triggers exactly one
+/// incremental update).
+const LABELS_PER_USER: usize = 10;
+
+/// Explicit federated rounds in the schedule. The second round runs
+/// against the base committed by the first, so delta configs ship
+/// genuine diffs, not just the initial full broadcast.
+const FEDERATED_ROUNDS: usize = 2;
+
+/// `i8-delta` must shrink federated traffic at least this much vs the
+/// JSON-f32 baseline.
+const MIN_SAVINGS: f64 = 4.0;
+
+/// `i8-delta` may lose at most this much old-class accuracy vs the
+/// lossless `f32-full` run.
+const MAX_OLD_ACC_LOSS: f32 = 0.01;
+
+/// One wire configuration's measurements.
+struct ConfigRun {
+    name: String,
+    totals: WireTotals,
+    committed_round: u64,
+    old_accuracy: f32,
+    new_accuracy: f32,
+    clock_seconds_sum: f64,
+    /// JSON-length accounting for the same federated rounds (the bytes
+    /// the pre-codec implementation would have billed). Captured for
+    /// every config, but the *baseline* is the `f32-full` run's value.
+    json_federated_bytes: u64,
+}
+
+/// Runs the frontier sweep and writes `BENCH_wire.json`.
+pub fn run(scale: &Scale, seed: u64, out: &Path) -> Result<(), ReportError> {
+    eprintln!(
+        "[wire] {WIRE_DEVICES} devices, {USERS} users, {FEDERATED_ROUNDS} federated rounds per config, 6 wire configs"
+    );
+    let was_enabled = pilote_obs::enabled();
+    pilote_obs::reset();
+    pilote_obs::set_enabled(true);
+
+    // --- cloud: pre-train once, package once --------------------------
+    let (scenario, norm, _sim) = faulted_scenario(scale, seed);
+    let mut base = pretrain_base(scenario, scale, seed);
+    let deployment = Deployment {
+        checkpoint: Checkpoint::capture(base.model.net_mut().layers_mut()),
+        support: base.model.support().clone(),
+        normalizer: norm,
+        config: base.model.config().clone(),
+        prototypes: None,
+    };
+    let old_test = base.scenario.old_test();
+    let new_test = base.scenario.new_test();
+
+    // One deterministic label stream shared by every config: enough
+    // samples for every labeller to cross the update threshold once per
+    // federated round.
+    let new_label = base.scenario.new_activity.label();
+    let mut rng = Rng64::new(seed ^ 0x31e7);
+    let new_samples = base
+        .scenario
+        .new_pool
+        .sample_class(
+            new_label,
+            FEDERATED_ROUNDS * LABELLING_USERS as usize * LABELS_PER_USER,
+            &mut rng,
+        )
+        .expect("new-class batch");
+
+    // --- the sweep -----------------------------------------------------
+    let configs = [
+        WireConfig::full(WirePrecision::F32),
+        WireConfig::delta(WirePrecision::F32),
+        WireConfig::full(WirePrecision::U16),
+        WireConfig::delta(WirePrecision::U16),
+        WireConfig::full(WirePrecision::I8),
+        WireConfig::delta(WirePrecision::I8),
+    ];
+    let mut runs = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        runs.push(run_config(
+            cfg,
+            &base.scenario.test,
+            &deployment,
+            new_label,
+            &new_samples,
+            &old_test,
+            &new_test,
+            seed,
+        ));
+    }
+    pilote_obs::set_enabled(was_enabled);
+
+    // --- contracts -----------------------------------------------------
+    let f32_full = by_name(&runs, "f32-full");
+    let i8_delta = by_name(&runs, "i8-delta");
+    let json_baseline = f32_full.json_federated_bytes;
+    let savings = json_baseline as f64 / i8_delta.totals.federated_bytes().max(1) as f64;
+    let old_acc_loss = f32_full.old_accuracy - i8_delta.old_accuracy;
+
+    // --- report --------------------------------------------------------
+    let mut t = Table::new(
+        "Wire: accuracy vs federated bytes (binary codec, exact link accounting)",
+        &["config", "fed bytes", "deploy bytes", "telemetry", "old acc", "new acc", "clock sum (s)"],
+    );
+    for r in &runs {
+        t.row(vec![
+            r.name.clone(),
+            r.totals.federated_bytes().to_string(),
+            r.totals.deploy_bytes.to_string(),
+            r.totals.telemetry_bytes.to_string(),
+            format!("{:.4}", r.old_accuracy),
+            format!("{:.4}", r.new_accuracy),
+            format!("{:.4}", r.clock_seconds_sum),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "json-f32 baseline (old accounting): {json_baseline} federated bytes; i8-delta saves {savings:.1}x at {old_acc_loss:+.4} old-class accuracy",
+    );
+
+    assert!(
+        savings >= MIN_SAVINGS,
+        "i8-delta must shrink federated bytes >= {MIN_SAVINGS}x vs json-f32 ({json_baseline} -> {} is {savings:.2}x)",
+        i8_delta.totals.federated_bytes()
+    );
+    assert!(
+        old_acc_loss <= MAX_OLD_ACC_LOSS,
+        "i8-delta old-class accuracy lost {old_acc_loss:.4} vs f32-full (limit {MAX_OLD_ACC_LOSS})"
+    );
+    assert!(
+        i8_delta.totals.federated_bytes() < f32_full.totals.federated_bytes(),
+        "i8-delta must move fewer federated bytes than f32-full"
+    );
+
+    write_json(
+        out,
+        "BENCH_wire.json",
+        &json!({
+            "seed": seed,
+            "schedule": {
+                "devices": WIRE_DEVICES,
+                "users": USERS,
+                "windows_per_session": WINDOWS_PER_SESSION,
+                "labelling_users": LABELLING_USERS,
+                "labels_per_user": LABELS_PER_USER,
+                "federated_rounds": FEDERATED_ROUNDS,
+            },
+            "determinism": "same pre-trained package replayed under each wire config; byte totals are the exact binary payload sizes charged to the virtual links — byte-identical for a fixed seed at any PILOTE_THREADS",
+            "json_f32_baseline_federated_bytes": json_baseline,
+            "contracts": {
+                "min_savings_vs_json_f32": MIN_SAVINGS,
+                "max_old_accuracy_loss": MAX_OLD_ACC_LOSS,
+                "i8_delta_savings_vs_json_f32": savings,
+                "i8_delta_old_accuracy_loss": old_acc_loss,
+            },
+            "frontier": runs.iter().map(|r| json!({
+                "config": r.name,
+                "wire_totals": r.totals,
+                "federated_bytes": r.totals.federated_bytes(),
+                "total_bytes": r.totals.total_bytes(),
+                "json_federated_bytes": r.json_federated_bytes,
+                "committed_round": r.committed_round,
+                "old_accuracy": r.old_accuracy,
+                "new_accuracy": r.new_accuracy,
+                "clock_seconds_sum": r.clock_seconds_sum,
+            })).collect::<Vec<_>>(),
+        }),
+    )?;
+    Ok(())
+}
+
+fn by_name<'a>(runs: &'a [ConfigRun], name: &str) -> &'a ConfigRun {
+    runs.iter().find(|r| r.name == name).expect("config in sweep")
+}
+
+/// Replays the fixed schedule under one wire config on a fresh fleet.
+#[allow(clippy::too_many_arguments)]
+fn run_config(
+    wire: WireConfig,
+    eval: &Dataset,
+    deployment: &Deployment,
+    new_label: usize,
+    new_samples: &Dataset,
+    old_test: &Dataset,
+    new_test: &Dataset,
+    seed: u64,
+) -> ConfigRun {
+    let links = [LinkModel::wifi(), LinkModel::cellular_4g(), LinkModel::weak_cellular()];
+    let slots: Vec<(DeviceProfile, LinkModel)> = DeviceProfile::roster(WIRE_DEVICES)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, links[i % links.len()]))
+        .collect();
+    let config = FleetConfig {
+        seed: seed ^ 0x31e3,
+        serve_chunk: 16,
+        federated_every: 0, // rounds fire explicitly below
+        update_threshold: LABELS_PER_USER,
+        wire,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::deploy(slots, deployment, config).expect("fleet deploy");
+
+    // Identical schedule for every config: each federated round is
+    // preceded by one serve pass and one labelling batch per labeller
+    // (the batch crosses the update threshold, so round N merges fresh
+    // on-device updates and round N+1 ships a genuine diff).
+    let mut cursor = 0usize;
+    let mut json_federated_bytes = 0u64;
+    for round in 0..FEDERATED_ROUNDS {
+        for user in 0..USERS {
+            let features = session_slice(eval, &mut cursor);
+            fleet.serve_session(user, &features).expect("serve session");
+        }
+        for labeller in 0..LABELLING_USERS {
+            let start =
+                (round * LABELLING_USERS as usize + labeller as usize) * LABELS_PER_USER;
+            for i in start..start + LABELS_PER_USER {
+                fleet
+                    .label_sample(labeller, new_label, Tensor::vector(new_samples.features.row(i)))
+                    .expect("label sample");
+            }
+        }
+        // What the pre-codec JSON-length accounting would have billed
+        // for this round: each device uploads its checkpoint and
+        // downloads the merge, both priced at serialised-JSON length.
+        for i in 0..fleet.len() {
+            let ckpt = Checkpoint::capture(fleet.device_mut(i).model_mut().net_mut().layers_mut());
+            json_federated_bytes += ckpt.to_json().len() as u64 * 2;
+        }
+        fleet.federated_round().expect("federated round");
+    }
+    fleet.telemetry_rollup().expect("telemetry rollup");
+
+    let stats = fleet.stats();
+    let n = fleet.len();
+    let mut old_sum = 0.0f32;
+    let mut new_sum = 0.0f32;
+    for i in 0..n {
+        old_sum += fleet.device_mut(i).model_mut().accuracy(old_test).expect("old eval");
+        new_sum += fleet.device_mut(i).model_mut().accuracy(new_test).expect("new eval");
+    }
+    ConfigRun {
+        name: wire.name(),
+        totals: fleet.wire_totals(),
+        committed_round: fleet.committed_round(),
+        old_accuracy: old_sum / n as f32,
+        new_accuracy: new_sum / n as f32,
+        clock_seconds_sum: stats.devices.iter().map(|d| d.clock_seconds).sum(),
+        json_federated_bytes,
+    }
+}
+
+/// Next deterministic `[WINDOWS_PER_SESSION, 28]` slice of the eval pool,
+/// wrapping at the end.
+fn session_slice(eval: &Dataset, cursor: &mut usize) -> Tensor {
+    let rows = eval.features.rows();
+    let start = *cursor % rows.saturating_sub(WINDOWS_PER_SESSION).max(1);
+    *cursor += WINDOWS_PER_SESSION;
+    eval.features
+        .slice_rows(start, (start + WINDOWS_PER_SESSION).min(rows))
+        .expect("eval slice in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            per_activity: 60,
+            rounds: 1,
+            exemplars_per_class: 12,
+            max_epochs: 2,
+            pretrain_epochs: 2,
+            ..Scale::default()
+        }
+    }
+
+    /// Acceptance check: two runs at the same seed must produce the same
+    /// JSON bytes (the run itself asserts the savings and accuracy
+    /// contracts).
+    #[test]
+    #[ignore = "slow (six full fleet schedules, twice); run by scripts/ci.sh wire step"]
+    fn wire_frontier_is_deterministic() {
+        let dir = std::env::temp_dir().join("pilote_wire_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        run(&tiny(), 7, &dir).expect("run a");
+        let a = std::fs::read(dir.join("BENCH_wire.json")).expect("read a");
+        run(&tiny(), 7, &dir).expect("run b");
+        let b = std::fs::read(dir.join("BENCH_wire.json")).expect("read b");
+        assert_eq!(a, b, "same seed must produce byte-identical BENCH_wire.json");
+    }
+}

@@ -26,6 +26,7 @@
 //! repro fleet          # multi-device fleet orchestration (BENCH_fleet.json)
 //! repro quality        # quality monitors + fleet telemetry rollup (BENCH_quality.json)
 //! repro policy         # self-healing fleet policy A/B (BENCH_policy.json)
+//! repro wire           # accuracy-vs-bytes wire frontier (BENCH_wire.json)
 //! ```
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -44,6 +45,7 @@ pub mod exp_policy;
 pub mod exp_quality;
 pub mod exp_table2;
 pub mod exp_timing;
+pub mod exp_wire;
 pub mod report;
 pub mod scale;
 pub mod scenario;

@@ -39,6 +39,41 @@ impl NcmClassifier {
         Ok(clf)
     }
 
+    /// Builds a classifier directly from a prototype matrix: one row of
+    /// `prototypes` (`[classes, d]`) per entry of `labels`, installed
+    /// as-is without re-averaging. This is the wire-decode path: a device
+    /// receiving quantised prototypes serves from *exactly* the shipped
+    /// values, so the accuracy cost of quantisation is measured, not
+    /// hidden behind a local recompute.
+    ///
+    /// # Errors
+    /// [`TensorError::ShapeMismatch`] when `labels` and prototype rows
+    /// disagree in count, or `prototypes` is not rank 2;
+    /// [`TensorError::Empty`] on duplicate labels (two rows would alias
+    /// one class).
+    pub fn from_prototypes(labels: Vec<usize>, prototypes: Tensor) -> Result<Self, TensorError> {
+        if prototypes.rank() != 2 || prototypes.rows() != labels.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: prototypes.shape().dims().to_vec(),
+                right: vec![labels.len()],
+                op: "NcmClassifier::from_prototypes",
+            });
+        }
+        for (i, l) in labels.iter().enumerate() {
+            if labels[..i].contains(l) {
+                return Err(TensorError::Empty { op: "NcmClassifier::from_prototypes (duplicate label)" });
+            }
+        }
+        Ok(NcmClassifier { labels, prototypes })
+    }
+
+    /// The full `[classes, d]` prototype matrix (row order matches
+    /// [`NcmClassifier::labels`]) — the wire-encode counterpart of
+    /// [`NcmClassifier::from_prototypes`].
+    pub fn prototype_matrix(&self) -> &Tensor {
+        &self.prototypes
+    }
+
     /// Embedding dimensionality.
     pub fn dim(&self) -> usize {
         self.prototypes.cols()
@@ -159,6 +194,32 @@ mod tests {
         let clf = two_class();
         let x = Tensor::from_rows(&[vec![1.0, 1.0], vec![9.0, -1.0]]).unwrap();
         assert_eq!(clf.classify(&x).unwrap(), vec![7, 9]);
+    }
+
+    #[test]
+    fn from_prototypes_installs_rows_verbatim() {
+        let clf = two_class();
+        let direct = NcmClassifier::from_prototypes(
+            clf.labels().to_vec(),
+            clf.prototype_matrix().clone(),
+        )
+        .unwrap();
+        assert_eq!(direct, clf);
+        let x = Tensor::from_rows(&[vec![1.0, 1.0], vec![9.0, -1.0]]).unwrap();
+        assert_eq!(direct.classify(&x).unwrap(), vec![7, 9]);
+    }
+
+    #[test]
+    fn from_prototypes_rejects_bad_shapes_and_duplicates() {
+        let m = Tensor::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        assert!(matches!(
+            NcmClassifier::from_prototypes(vec![1], m.clone()),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            NcmClassifier::from_prototypes(vec![3, 3], m),
+            Err(TensorError::Empty { .. })
+        ));
     }
 
     #[test]

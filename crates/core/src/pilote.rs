@@ -576,6 +576,25 @@ impl Pilote {
         self.generation
     }
 
+    /// Installs an externally supplied classifier — labels plus a
+    /// `[classes, d]` prototype matrix — replacing the current one and
+    /// bumping the [`Pilote::generation`] so serving caches invalidate.
+    ///
+    /// This is the deploy-path counterpart of
+    /// [`Pilote::refresh_prototypes`]: where refresh recomputes prototypes
+    /// from local exemplars, install accepts the exact values a deployment
+    /// shipped (possibly quantised), so the device serves from what came
+    /// over the wire rather than a cleaner local reconstruction.
+    pub fn install_prototypes(
+        &mut self,
+        labels: Vec<usize>,
+        prototypes: Tensor,
+    ) -> Result<(), TensorError> {
+        self.classifier = NcmClassifier::from_prototypes(labels, prototypes)?;
+        self.generation = self.generation.wrapping_add(1);
+        Ok(())
+    }
+
     /// Classifies a `[n, input_dim]` feature batch.
     pub fn predict(&mut self, features: &Tensor) -> Result<Vec<usize>, TensorError> {
         let embeddings = self.net.embed(features);
@@ -735,6 +754,37 @@ mod tests {
         let acc = model.accuracy(&old_test).unwrap();
         assert!(acc > 0.7, "pre-trained accuracy {acc}");
         assert_eq!(model.classifier().n_classes(), 3);
+    }
+
+    #[test]
+    fn install_prototypes_replaces_classifier_and_bumps_generation() {
+        let (old, _, test) = tiny_scenario();
+        let cfg = PiloteConfig::fast_test(5);
+        let (mut model, _) = Pilote::pretrain(cfg, &old, 20, SelectionStrategy::Herding).unwrap();
+        let before = model.generation();
+        let labels = model.classifier().labels().to_vec();
+        let protos = model.classifier().prototype_matrix().clone();
+        // Re-installing the exact matrix keeps predictions and bumps the
+        // generation (caches must invalidate even on an identical install).
+        model.install_prototypes(labels.clone(), protos.clone()).unwrap();
+        assert_eq!(model.generation(), before + 1);
+        let old_test = test
+            .filter_classes(&[
+                Activity::Still.label(),
+                Activity::Walk.label(),
+                Activity::Drive.label(),
+            ])
+            .unwrap();
+        let acc_exact = model.accuracy(&old_test).unwrap();
+        // A slightly perturbed (e.g. dequantised) matrix installs verbatim:
+        // the classifier must serve the shipped values, not recompute.
+        let mut noisy = protos.clone();
+        noisy.as_mut_slice()[0] += 1e-3;
+        model.install_prototypes(labels, noisy.clone()).unwrap();
+        assert_eq!(model.generation(), before + 2);
+        assert_eq!(model.classifier().prototype_matrix(), &noisy);
+        let acc_noisy = model.accuracy(&old_test).unwrap();
+        assert!((acc_exact - acc_noisy).abs() < 0.05);
     }
 
     #[test]

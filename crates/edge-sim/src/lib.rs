@@ -21,7 +21,9 @@
 //!   device profile's CPU factor;
 //! * [`faults`] — deterministic, seed-driven fault injection (sensor
 //!   corruption, flaky links, update kill-points) used to exercise the
-//!   resilience tiers of `docs/RESILIENCE.md`.
+//!   resilience tiers of `docs/RESILIENCE.md`;
+//! * [`wire`] — checked binary wire primitives (little-endian, bit-exact
+//!   floats) underpinning the compact payload codec of `docs/WIRE.md`.
 
 // Library code must not panic on recoverable conditions (tier-0 of the
 // resilience contract); tests may unwrap freely.
@@ -33,6 +35,7 @@ pub mod latency;
 pub mod link;
 pub mod memory;
 pub mod quantize;
+pub mod wire;
 
 pub use device::{DeviceProfile, HOST_REF_FLOPS_PER_SEC};
 pub use faults::{
@@ -42,4 +45,5 @@ pub use faults::{
 pub use latency::LatencyMeter;
 pub use link::LinkModel;
 pub use memory::MemoryBudget;
-pub use quantize::{QuantizedMatrix, Quantization};
+pub use quantize::{QuantizeError, QuantizedMatrix, Quantization};
+pub use wire::{WireError, WirePrecision, WireReader, WireWriter};

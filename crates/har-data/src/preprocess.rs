@@ -152,6 +152,34 @@ impl Normalizer {
         self.mean.len()
     }
 
+    /// Fitted per-column means, in column order (for wire encoding).
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Fitted per-column standard deviations, in column order (for wire
+    /// encoding).
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+
+    /// Rebuilds a normaliser from fitted statistics (the wire-decode
+    /// counterpart of [`Normalizer::mean`]/[`Normalizer::std`]).
+    ///
+    /// # Errors
+    /// [`PreprocessError`] when the two slices disagree in length.
+    pub fn from_parts(mean: Vec<f32>, std: Vec<f32>) -> Result<Self, PreprocessError> {
+        if mean.len() != std.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![mean.len()],
+                right: vec![std.len()],
+                op: "Normalizer::from_parts",
+            }
+            .into());
+        }
+        Ok(Normalizer { mean, std })
+    }
+
     /// Applies the fitted transform to `data` (`[n, d]`).
     pub fn transform(&self, data: &Tensor) -> Result<Tensor, PreprocessError> {
         if data.rank() != 2 || data.cols() != self.dim() {

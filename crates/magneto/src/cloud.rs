@@ -11,9 +11,22 @@ use pilote_tensor::TensorError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Class prototypes shipped with a deployment, installed on the device
+/// verbatim via `Pilote::install_prototypes` so the edge serves from
+/// exactly the (possibly quantised) values that crossed the wire instead
+/// of a local recompute — otherwise quantisation error would be silently
+/// repaired by the device and never show up in the measured accuracy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShippedPrototypes {
+    /// Class labels, one per prototype row.
+    pub labels: Vec<usize>,
+    /// `[classes, d]` prototype matrix in label order.
+    pub matrix: pilote_tensor::Tensor,
+}
+
 /// Everything an edge device needs, shipped once (Fig. 2, right side,
-/// step i): model parameters, exemplar support set, and the feature
-/// normaliser fitted on the cloud corpus.
+/// step i): model parameters, exemplar support set, class prototypes,
+/// and the feature normaliser fitted on the cloud corpus.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Deployment {
     /// Embedding-network parameters.
@@ -24,6 +37,10 @@ pub struct Deployment {
     pub normalizer: Normalizer,
     /// Hyper-parameters the edge should keep using.
     pub config: PiloteConfig,
+    /// Cloud-computed class prototypes, installed verbatim when present;
+    /// when absent the device recomputes prototypes from the support set
+    /// (the legacy behaviour).
+    pub prototypes: Option<ShippedPrototypes>,
 }
 
 /// A deployment payload that could not be serialised for the wire.
@@ -33,7 +50,7 @@ pub struct Deployment {
 /// wraps it).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackageError {
-    /// What the JSON encoder reported.
+    /// What the wire encoder reported.
     pub detail: String,
 }
 
@@ -46,17 +63,22 @@ impl std::fmt::Display for PackageError {
 impl std::error::Error for PackageError {}
 
 impl Deployment {
-    /// Wire size of the deployment payload in bytes (JSON encoding — the
-    /// repo's cloud→edge format; a production system would use a binary
-    /// codec, making this an upper bound).
+    /// Exact wire size of the deployment payload in bytes: the binary
+    /// f32 encoding of `docs/WIRE.md` ([`crate::wire::encode_deployment`]
+    /// at [`pilote_edge_sim::WirePrecision::F32`]).
+    ///
+    /// This used to measure JSON text length — decimal-printed floats
+    /// cost ~10+ bytes each, so every modeled install time was inflated
+    /// by a format no real deployment would ship. Quantised deployments
+    /// are sized by encoding at their own precision; see
+    /// [`crate::wire::deployment_wire_bytes`].
     ///
     /// # Errors
-    /// Returns [`PackageError`] when the payload cannot be serialised
-    /// (e.g. non-finite statistics in the normaliser), instead of the
+    /// Returns [`PackageError`] when the payload cannot be encoded
+    /// (e.g. a non-rank-2 exemplar tensor), instead of the
     /// `expect("serialisable")` panic this used to hide behind.
     pub fn wire_bytes(&self) -> Result<u64, PackageError> {
-        serde_json::to_string(self)
-            .map(|body| body.len() as u64)
+        crate::wire::deployment_wire_bytes(self, pilote_edge_sim::WirePrecision::F32)
             .map_err(|e| PackageError { detail: e.to_string() })
     }
 }
@@ -170,11 +192,31 @@ impl CloudServer {
             exemplars_per_class,
             SelectionStrategy::Herding,
         )?;
+        let checkpoint = Checkpoint::capture(model.net_mut().layers_mut());
+        // Compute the shipped prototypes through a device-equivalent net:
+        // a fresh network with the checkpoint restored, exactly as the
+        // edge install path builds it. The checkpoint carries parameters
+        // but not BatchNorm running statistics, so prototypes taken from
+        // the cloud training net would live in a different embedding
+        // space than the device's probe embeddings. Through the restored
+        // net they are bitwise what the device would recompute locally —
+        // shipping them changes nothing at f32, and lets the wire codec
+        // quantise the prototype section end-to-end.
+        let mut rng = pilote_tensor::Rng64::new(self.config.seed ^ 0xed6e);
+        let mut net = pilote_core::EmbeddingNet::new(self.config.net.clone(), &mut rng);
+        checkpoint.restore(net.layers_mut()).map_err(|_| TensorError::Empty {
+            op: "CloudServer::pretrain_and_package (restore into shadow net)",
+        })?;
+        let shadow = Pilote::from_parts(self.config.clone(), net, model.support().clone(), rng)?;
         let deployment = Deployment {
-            checkpoint: Checkpoint::capture(model.net_mut().layers_mut()),
+            checkpoint,
             support: model.support().clone(),
             normalizer: self.normalizer.clone(),
             config: self.config.clone(),
+            prototypes: Some(ShippedPrototypes {
+                labels: shadow.classifier().labels().to_vec(),
+                matrix: shadow.classifier().prototype_matrix().clone(),
+            }),
         };
         Ok((deployment, report))
     }

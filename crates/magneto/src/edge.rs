@@ -282,12 +282,19 @@ impl EdgeDevice {
         let mut rng = Rng64::new(deployment.config.seed ^ 0xed6e);
         let mut net = EmbeddingNet::new(deployment.config.net.clone(), &mut rng);
         deployment.checkpoint.restore(net.layers_mut())?;
-        let model = Pilote::from_parts(
+        let mut model = Pilote::from_parts(
             deployment.config.clone(),
             net,
             deployment.support.clone(),
             rng,
         )?;
+        // Serve from the shipped prototypes when the package carries them
+        // — at quantised wire precisions these are the dequantised values,
+        // so quantisation error reaches the serve path instead of being
+        // silently repaired by a local recompute.
+        if let Some(p) = &deployment.prototypes {
+            model.install_prototypes(p.labels.clone(), p.matrix.clone())?;
+        }
         let assembler = WindowAssembler::new(WINDOW_LEN, WINDOW_LEN, 1)
             .with_normalizer(deployment.normalizer.clone());
         log.record(EventKind::Deployed { payload_bytes });
@@ -444,6 +451,9 @@ impl EdgeDevice {
         deployment.checkpoint.restore(self.model.net_mut().layers_mut())?;
         *self.model.support_mut() = deployment.support.clone();
         self.model.refresh_prototypes()?;
+        if let Some(p) = &deployment.prototypes {
+            self.model.install_prototypes(p.labels.clone(), p.matrix.clone())?;
+        }
         let flops = work::thread_flops().wrapping_sub(flops_before);
         self.log.advance(self.profile.seconds_for_flops(flops));
         self.baseline = (deployment.checkpoint.clone(), deployment.support.clone());

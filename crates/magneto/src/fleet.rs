@@ -14,7 +14,12 @@
 //!   which is bitwise identical to per-window classification.
 //! - **Federated rounds** fire on a session-count schedule
 //!   ([`FleetConfig::federated_every`]), charging each participant's link
-//!   with the parameter upload/download before averaging.
+//!   with the parameter upload/download before averaging. Payloads ship
+//!   through the binary wire codec ([`crate::wire`], `docs/WIRE.md`) at
+//!   the fleet's [`FleetConfig::wire`] setting — delta-encoded against
+//!   the last committed broadcast when both ends are current, with a
+//!   typed full-payload fallback for stale members — and what devices
+//!   install is always the **decoded** payload.
 //!
 //! At scale (10k+ devices — see `docs/SCALING.md`) the roster is
 //! **sharded** across worker threads: [`Fleet::deploy_sharded`] installs
@@ -31,11 +36,11 @@ use crate::edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus};
 use crate::events::{EventKind, ExclusionReason, DEFAULT_EVENT_CAPACITY};
 use crate::federated::{federated_average, FederatedCoordinator};
 use crate::policy::{FleetPolicy, PolicyConfig, RepairAction, RolloutStage};
+use crate::wire::{self, CodecError, WireConfig};
 use pilote_core::{AdaptiveThresholds, QualityThresholds};
-use pilote_edge_sim::{DeviceProfile, LinkModel};
+use pilote_edge_sim::{DeviceProfile, LinkModel, WirePrecision};
 use pilote_har_data::Dataset;
 use pilote_nn::Checkpoint;
-use pilote_obs::Snapshot;
 use pilote_tensor::{parallel, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +66,12 @@ pub struct FleetConfig {
     /// derived counts are unaffected by the bound — see
     /// [`crate::events::EventLog`].
     pub event_capacity: usize,
+    /// How deployments, federated round payloads and telemetry ship over
+    /// the links ([`crate::wire`]). The default — bit-exact `f32` with
+    /// deltas on — changes only byte counts and the virtual clocks they
+    /// feed; quantised precisions additionally make every installed model
+    /// the *decoded* (lossy) payload, so accuracy cost is real end to end.
+    pub wire: WireConfig,
 }
 
 impl Default for FleetConfig {
@@ -72,9 +83,16 @@ impl Default for FleetConfig {
             update_threshold: 20,
             exemplar_budget: 20,
             event_capacity: DEFAULT_EVENT_CAPACITY,
+            wire: WireConfig::default(),
         }
     }
 }
+
+/// A member's `base_round` after something wiped its copy of the last
+/// committed broadcast (a re-anchor or an uncommitted package install):
+/// never equal to any committed round, so the member's next federated
+/// payload falls back to the full encoding.
+const STALE_ROUND: u64 = u64::MAX;
 
 /// One device slot: the device plus the link it talks to the cloud (and
 /// the federated coordinator) over.
@@ -82,6 +100,11 @@ struct FleetMember {
     device: EdgeDevice,
     link: LinkModel,
     updates_completed: usize,
+    /// The fleet round whose committed broadcast this member holds a
+    /// bitwise copy of. Delta payloads are only exchanged with members
+    /// whose `base_round` matches the fleet's committed round; everyone
+    /// else gets the typed full-payload fallback ([`crate::wire`]).
+    base_round: u64,
 }
 
 /// A deterministic multi-device deployment: routes user sessions to
@@ -98,6 +121,17 @@ pub struct Fleet {
     /// deployment rollouts run staged (canary → cohort → fleet) with
     /// quarantine, repair escalation and halt-and-rollback.
     policy: Option<PolicyState>,
+    /// Committed broadcast round: bumps once per completed federated
+    /// round or fleet-wide rollout. Delta payloads reference this round.
+    round: u64,
+    /// The last committed broadcast checkpoint — the shared reference
+    /// both ends of a delta payload diff against. `None` never occurs
+    /// after [`Fleet::deploy`] (the deployment checkpoint seeds it), but
+    /// the codec's [`CodecError::MissingBase`] fallback keeps even that
+    /// case well-typed.
+    base: Option<Checkpoint>,
+    /// Cumulative wire bytes moved, by traffic class.
+    wire_totals: WireTotals,
 }
 
 /// The enabled policy plus the cloud anchor package its strike-2 repair
@@ -106,6 +140,34 @@ struct PolicyState {
     policy: FleetPolicy,
     anchor: Deployment,
     anchor_bytes: u64,
+}
+
+/// Cumulative wire bytes the fleet has moved, by traffic class — the
+/// exact binary payload sizes that fed [`LinkModel::transfer_seconds`]
+/// charges, summed over every device. `repro wire` sweeps these totals
+/// across [`WireConfig`]s to draw the accuracy-vs-bytes frontier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireTotals {
+    /// Package installs: initial deploys, rollouts and re-anchors.
+    pub deploy_bytes: u64,
+    /// Federated round uploads (device → coordinator).
+    pub federated_upload_bytes: u64,
+    /// Federated round downloads (coordinator → device).
+    pub federated_download_bytes: u64,
+    /// Telemetry snapshot and delta uploads.
+    pub telemetry_bytes: u64,
+}
+
+impl WireTotals {
+    /// Upload + download bytes of federated rounds.
+    pub fn federated_bytes(&self) -> u64 {
+        self.federated_upload_bytes + self.federated_download_bytes
+    }
+
+    /// All bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.deploy_bytes + self.federated_bytes() + self.telemetry_bytes
+    }
 }
 
 /// Per-device summary for reports.
@@ -151,20 +213,117 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Wire size of a checkpoint in the repo's JSON cloud↔edge format — the
-/// payload a federated participant uploads (and downloads back merged).
-fn checkpoint_wire_bytes(ckpt: &Checkpoint) -> Result<u64, PackageError> {
-    serde_json::to_string(ckpt)
-        .map(|body| body.len() as u64)
-        .map_err(|e| PackageError { detail: e.to_string() })
+fn codec_package_error(e: CodecError) -> PackageError {
+    PackageError { detail: format!("wire codec: {e}") }
 }
 
-/// Wire size of one device's telemetry snapshot in the repo's JSON
-/// edge→cloud format — the payload the device uploads for the rollup.
-fn snapshot_wire_bytes(snapshot: &Snapshot) -> Result<u64, PackageError> {
-    serde_json::to_string(snapshot)
-        .map(|body| body.len() as u64)
-        .map_err(|e| PackageError { detail: e.to_string() })
+/// Encodes `deployment` at `precision` and decodes it straight back —
+/// the package devices actually install — returning the decoded package
+/// with its exact binary wire size. Routing installs through the codec
+/// makes any quantisation loss real on the serve path instead of an
+/// accounting fiction; at `F32` the decode is bitwise lossless.
+fn package_for_wire(
+    deployment: &Deployment,
+    precision: WirePrecision,
+) -> Result<(Deployment, u64), PackageError> {
+    let encoded = wire::encode_deployment(deployment, precision).map_err(codec_package_error)?;
+    let bytes = encoded.len() as u64;
+    let package = wire::decode_deployment(&encoded).map_err(codec_package_error)?;
+    Ok((package, bytes))
+}
+
+/// Encodes one member's federated upload — delta against the fleet's
+/// committed base when the member is current, full otherwise — and
+/// decodes it back exactly as the coordinator would. The **decoded**
+/// checkpoint is what enters the average, so quantisation loss on
+/// uploads is real end to end.
+fn round_trip_upload(
+    ckpt: &Checkpoint,
+    base: Option<&Checkpoint>,
+    round: u64,
+    member_round: u64,
+    cfg: WireConfig,
+) -> Result<(Checkpoint, u64), CodecError> {
+    let payload = match (cfg.delta && member_round == round, base) {
+        (true, Some(b)) => wire::encode_round_delta(b, ckpt, round, cfg.precision)?,
+        _ => wire::encode_round_full(ckpt, cfg.precision)?,
+    };
+    let bytes = payload.len() as u64;
+    let decoded = wire::decode_round(&payload, base.map(|b| (b, round)))?;
+    Ok((decoded, bytes))
+}
+
+/// The download side of a federated round: the merged model encoded at
+/// most twice — the **canonical** payload current members receive (delta
+/// against the committed base when enabled) and the **full fallback**
+/// stale members receive — each decoded exactly once. Every receiver
+/// installs decoded bits, and the canonical decode becomes the next
+/// committed base.
+struct RoundBroadcast {
+    cfg: WireConfig,
+    /// The round the canonical payload's delta references.
+    round: u64,
+    canonical_bytes: u64,
+    canonical: Checkpoint,
+    canonical_is_delta: bool,
+    /// `(bytes, decoded)` of the full fallback, built by
+    /// [`RoundBroadcast::ensure_full`] when some receiver is stale.
+    full: Option<(u64, Checkpoint)>,
+    /// The exact merged model, kept to encode the full fallback from.
+    merged: Checkpoint,
+}
+
+impl RoundBroadcast {
+    fn new(
+        merged: Checkpoint,
+        base: Option<&Checkpoint>,
+        round: u64,
+        cfg: WireConfig,
+    ) -> Result<Self, CodecError> {
+        let (payload, canonical_is_delta) = match (cfg.delta, base) {
+            (true, Some(b)) => (wire::encode_round_delta(b, &merged, round, cfg.precision)?, true),
+            _ => (wire::encode_round_full(&merged, cfg.precision)?, false),
+        };
+        let canonical = wire::decode_round(&payload, base.map(|b| (b, round)))?;
+        Ok(RoundBroadcast {
+            cfg,
+            round,
+            canonical_bytes: payload.len() as u64,
+            canonical,
+            canonical_is_delta,
+            full: None,
+            merged,
+        })
+    }
+
+    /// Builds the full fallback payload. Must be called before
+    /// [`RoundBroadcast::payload_for`] sees any stale member.
+    fn ensure_full(&mut self) -> Result<(), CodecError> {
+        if self.full.is_none() {
+            let payload = wire::encode_round_full(&self.merged, self.cfg.precision)?;
+            let decoded = wire::decode_round(&payload, None)?;
+            self.full = Some((payload.len() as u64, decoded));
+        }
+        Ok(())
+    }
+
+    /// `(bytes, checkpoint to install, becomes current)` for a member
+    /// whose committed round is `member_round`. A full-fallback receiver
+    /// only becomes current when the precision is lossless — at `F32`
+    /// both payloads decode to the same bits, while a quantised full
+    /// decode differs from the canonical one, so the member would not
+    /// hold the committed base and must keep falling back.
+    fn payload_for(&self, member_round: u64) -> (u64, &Checkpoint, bool) {
+        if !self.canonical_is_delta || member_round == self.round {
+            (self.canonical_bytes, &self.canonical, true)
+        } else {
+            let (bytes, decoded) = self
+                .full
+                .as_ref()
+                .expect("ensure_full is called before any stale member downloads");
+            (*bytes, decoded, self.cfg.precision == WirePrecision::F32)
+        }
+    }
 }
 
 /// Serves one feature matrix on a device through the batched
@@ -251,7 +410,11 @@ fn map_member_bands<R: Send>(
 /// quality reports (local update samples, prior install samples) in
 /// device-index order and escalates the repair ladder on any new
 /// triggering alert.
-fn control_step(members: &mut [FleetMember], state: &mut PolicyState) -> Result<(), EdgeError> {
+fn control_step(
+    members: &mut [FleetMember],
+    state: &mut PolicyState,
+    totals: &mut WireTotals,
+) -> Result<(), EdgeError> {
     for (index, member) in members.iter_mut().enumerate() {
         let reports = member.device.quality_reports();
         let baseline = reports.first().map(|r| r.old_class_accuracy);
@@ -263,7 +426,7 @@ fn control_step(members: &mut [FleetMember], state: &mut PolicyState) -> Result<
         let seen = member.device.quality_reports().len();
         state.policy.mark_seen(index, seen);
         if let Some(rule) = trigger {
-            apply_repair(member, state, index, &rule)?;
+            apply_repair(member, state, index, &rule, totals)?;
         }
     }
     Ok(())
@@ -280,6 +443,7 @@ fn apply_repair(
     state: &mut PolicyState,
     index: usize,
     rule: &str,
+    totals: &mut WireTotals,
 ) -> Result<(), EdgeError> {
     let action = state.policy.escalate(index);
     let strike = state.policy.strikes(index);
@@ -294,7 +458,11 @@ fn apply_repair(
         RepairAction::Rollback => member.device.repair_rollback(strike)?,
         RepairAction::Reanchor => {
             member.device.advance_clock(member.link.transfer_seconds(state.anchor_bytes));
+            totals.deploy_bytes += state.anchor_bytes;
             member.device.adopt_deployment(&state.anchor)?;
+            // The re-install wiped the device's copy of the committed
+            // broadcast: its next federated payload must be a full one.
+            member.base_round = STALE_ROUND;
             member.device.record_event(EventKind::Reanchored {
                 payload_bytes: state.anchor_bytes,
                 strike,
@@ -318,19 +486,21 @@ impl Fleet {
         assert!(config.serve_chunk > 0, "serve_chunk must be positive");
         let span = pilote_obs::span("fleet.deploy");
         span.annotate("devices", slots.len() as f64);
-        // The package is identical for every device: size its wire form
-        // once and let every install reuse the value.
-        let wire = deployment.wire_bytes()?;
+        // The package is identical for every device: encode and decode it
+        // once at the configured precision and let every install share the
+        // decoded package and its exact wire size.
+        let (package, wire) = package_for_wire(deployment, config.wire.precision)?;
         let members = slots
             .into_iter()
             .map(|(profile, link)| {
                 let mut device =
-                    EdgeDevice::install_presized(profile, deployment, &link, wire)?;
+                    EdgeDevice::install_presized(profile, &package, &link, wire)?;
                 device.set_event_capacity(config.event_capacity);
-                Ok(FleetMember { device, link, updates_completed: 0 })
+                Ok(FleetMember { device, link, updates_completed: 0, base_round: 0 })
             })
             .collect::<Result<Vec<_>, EdgeError>>()?;
         drop(span);
+        let deploy_bytes = wire * members.len() as u64;
         Ok(Fleet {
             members,
             coordinator: FederatedCoordinator::new(),
@@ -338,6 +508,9 @@ impl Fleet {
             sessions_served: 0,
             windows_served: 0,
             policy: None,
+            round: 0,
+            base: Some(package.checkpoint),
+            wire_totals: WireTotals { deploy_bytes, ..WireTotals::default() },
         })
     }
 
@@ -363,20 +536,20 @@ impl Fleet {
         // Installs are coarse-grained; gate only on the configured thread
         // count, not the kernel layer's scalar-op threshold.
         let threads = parallel::current().num_threads.max(1).min(slots.len());
-        // One wire sizing for the whole roster — the package is shared.
-        let wire = deployment.wire_bytes()?;
+        // One encode/decode for the whole roster — the package is shared.
+        let (package, wire) = package_for_wire(deployment, config.wire.precision)?;
         let bands = parallel::map_bands(slots.len(), threads, |range| {
             slots[range]
                 .iter()
                 .map(|(profile, link)| {
                     let mut device = EdgeDevice::install_presized(
                         profile.clone(),
-                        deployment,
+                        &package,
                         link,
                         wire,
                     )?;
                     device.set_event_capacity(config.event_capacity);
-                    Ok(FleetMember { device, link: *link, updates_completed: 0 })
+                    Ok(FleetMember { device, link: *link, updates_completed: 0, base_round: 0 })
                 })
                 .collect::<Result<Vec<_>, EdgeError>>()
         });
@@ -384,6 +557,7 @@ impl Fleet {
         for band in bands {
             members.extend(band?);
         }
+        let deploy_bytes = wire * members.len() as u64;
         Ok(Fleet {
             members,
             coordinator: FederatedCoordinator::new(),
@@ -391,6 +565,9 @@ impl Fleet {
             sessions_served: 0,
             windows_served: 0,
             policy: None,
+            round: 0,
+            base: Some(package.checkpoint),
+            wire_totals: WireTotals { deploy_bytes, ..WireTotals::default() },
         })
     }
 
@@ -423,6 +600,24 @@ impl Fleet {
     /// Federated rounds completed so far.
     pub fn federated_rounds(&self) -> usize {
         self.coordinator.rounds()
+    }
+
+    /// Committed broadcast round — the generation delta payloads
+    /// reference ([`crate::wire`]). Bumps once per completed federated
+    /// round or fleet-wide rollout.
+    pub fn committed_round(&self) -> u64 {
+        self.round
+    }
+
+    /// The wire configuration this fleet's payloads ship under.
+    pub fn wire_config(&self) -> WireConfig {
+        self.config.wire
+    }
+
+    /// Cumulative wire bytes this fleet has moved, by traffic class —
+    /// the exact payload sizes its links were charged with.
+    pub fn wire_totals(&self) -> WireTotals {
+        self.wire_totals
     }
 
     /// Serves one user session — a pre-extracted feature matrix
@@ -566,36 +761,81 @@ impl Fleet {
     /// a non-empty support set uploads its parameters over its link and
     /// downloads the merged model back (both transfers advance that
     /// device's virtual clock); zero-support devices skip the upload but
-    /// still receive — and pay for — the download. Averaging itself is
-    /// [`FederatedCoordinator::run_round`].
+    /// still receive — and pay for — the download.
+    ///
+    /// Both directions ship through the binary codec ([`crate::wire`]) at
+    /// the fleet's [`FleetConfig::wire`] setting: uploads and the merged
+    /// broadcast are delta-encoded against the committed base when the
+    /// member is current (full-payload fallback otherwise), and what gets
+    /// averaged and installed is the **decoded** payload — so quantised
+    /// precisions pay their accuracy cost for real, while the default
+    /// `f32` round trip is bitwise lossless. A completed round commits
+    /// the decoded broadcast as the next delta base.
     pub fn federated_round(&mut self) -> Result<(), EdgeError> {
         if self.policy.is_some() {
             return self.staged_federated_round();
         }
         let span = pilote_obs::span("fleet.federated_round");
         span.annotate("devices", self.members.len() as f64);
-        // Charge link time first: upload for contributors, download for
-        // everyone. The merged checkpoint has the same parameter structure
-        // as each contribution, so its wire size is modeled as the
-        // device's own snapshot size. Wire sizing (capture + JSON
-        // serialisation) fans out across shards — it dispatches no kernel
-        // flops, so the open span and every device clock are unaffected —
-        // while the clock charges land serially in device-index order.
+        let cfg = self.config.wire;
+        let round = self.round;
+        let base = self.base.as_ref();
+        // Capture + encode + coordinator-side decode fan out across
+        // shards — no kernel flops, so neither the open span nor any
+        // clock moves — while every clock charge lands serially in
+        // device-index order below.
         let payloads = map_member_bands(&mut self.members, &|_, member| {
+            let support = member.device.model_mut().support().len();
+            if support == 0 {
+                return (None, support);
+            }
             let ckpt = Checkpoint::capture(member.device.model_mut().net_mut().layers_mut());
-            let bytes = checkpoint_wire_bytes(&ckpt);
-            let contributes = !member.device.model_mut().support().is_empty();
-            (bytes, contributes)
+            (Some(round_trip_upload(&ckpt, base, round, member.base_round, cfg)), support)
         });
-        for (member, (bytes, contributes)) in self.members.iter_mut().zip(payloads) {
-            let transfers = if contributes { 2 } else { 1 };
-            member
-                .device
-                .advance_clock(member.link.repeated_transfer_seconds(bytes?, transfers));
+        let mut contributions = Vec::new();
+        let mut upload_bytes: Vec<Option<u64>> = Vec::with_capacity(self.members.len());
+        for (upload, support) in payloads {
+            match upload {
+                Some(result) => {
+                    let (decoded, bytes) = result.map_err(codec_package_error)?;
+                    contributions.push((decoded, support));
+                    upload_bytes.push(Some(bytes));
+                }
+                None => upload_bytes.push(None),
+            }
         }
-        let mut devices: Vec<&mut EdgeDevice> =
-            self.members.iter_mut().map(|m| &mut m.device).collect();
-        self.coordinator.run_round(&mut devices)?;
+        let participants = contributions.len();
+        let merged = federated_average(&contributions)?;
+        let mut broadcast =
+            RoundBroadcast::new(merged, base, round, cfg).map_err(codec_package_error)?;
+        if broadcast.canonical_is_delta && self.members.iter().any(|m| m.base_round != round) {
+            broadcast.ensure_full().map_err(codec_package_error)?;
+        }
+        let new_round = round + 1;
+        for (index, member) in self.members.iter_mut().enumerate() {
+            if let Some(bytes) = upload_bytes[index] {
+                member.device.advance_clock(member.link.transfer_seconds(bytes));
+                self.wire_totals.federated_upload_bytes += bytes;
+            }
+            let (down, ckpt, current) = broadcast.payload_for(member.base_round);
+            member.device.advance_clock(member.link.transfer_seconds(down));
+            self.wire_totals.federated_download_bytes += down;
+            ckpt.restore(member.device.model_mut().net_mut().layers_mut())?;
+            member.device.model_mut().refresh_prototypes()?;
+            if upload_bytes[index].is_none() {
+                member.device.record_event(EventKind::FederatedExcluded {
+                    participants,
+                    reason: ExclusionReason::ZeroSupport,
+                });
+            }
+            member.device.note_federated_round(participants);
+            if current {
+                member.base_round = new_round;
+            }
+        }
+        self.base = Some(broadcast.canonical);
+        self.round = new_round;
+        self.coordinator.note_round();
         // The round installed merged parameters everywhere (generation
         // bumped), so armed quality monitors must sample the new model.
         for member in &mut self.members {
@@ -619,7 +859,10 @@ impl Fleet {
         config: PolicyConfig,
         anchor: Deployment,
     ) -> Result<(), EdgeError> {
-        let anchor_bytes = anchor.wire_bytes()?;
+        // The anchor re-installs over the wire: store the decoded package
+        // at the configured precision with its exact binary size, so a
+        // re-anchor ships (and installs) the same bits a deploy would.
+        let (anchor, anchor_bytes) = package_for_wire(&anchor, self.config.wire.precision)?;
         self.policy = Some(PolicyState {
             policy: FleetPolicy::new(config, self.members.len(), self.config.seed),
             anchor,
@@ -652,38 +895,50 @@ impl Fleet {
     /// no spans or kernel flops), so the round is byte-identical across
     /// runs and `PILOTE_THREADS` settings.
     fn staged_federated_round(&mut self) -> Result<(), EdgeError> {
-        let Fleet { members, coordinator, policy, .. } = self;
+        let Fleet { members, coordinator, policy, config, round, base, wire_totals, .. } = self;
         let state = policy.as_mut().expect("staged round requires an enabled policy");
         let span = pilote_obs::span("fleet.staged_round");
         span.annotate("devices", members.len() as f64);
 
         // 1. Control step: quarantine/repair on any new triggering alert.
-        control_step(members, state)?;
+        control_step(members, state, wire_totals)?;
 
         // 2. Collect contributions — healthy devices with non-empty
-        //    support, captured BEFORE any install — and size everyone's
-        //    wire payload once (the merged model has the same parameter
-        //    structure, so the download is modeled at the same size).
-        let payloads = map_member_bands(members, &|_, member| {
-            let ckpt = Checkpoint::capture(member.device.model_mut().net_mut().layers_mut());
-            let bytes = checkpoint_wire_bytes(&ckpt);
+        //    support, captured BEFORE any install — each encoded through
+        //    the wire codec (delta against the committed base when the
+        //    member is current) and decoded back: the decoded checkpoint
+        //    is what enters the average.
+        let cfg = config.wire;
+        let committed = *round;
+        let base_ref = base.as_ref();
+        let policy_ref = &state.policy;
+        let payloads = map_member_bands(members, &|index, member| {
             let support = member.device.model_mut().support().len();
-            (ckpt, bytes, support)
+            if !(policy_ref.contributes(index) && support > 0) {
+                return (None, support);
+            }
+            let ckpt = Checkpoint::capture(member.device.model_mut().net_mut().layers_mut());
+            (
+                Some(round_trip_upload(&ckpt, base_ref, committed, member.base_round, cfg)),
+                support,
+            )
         });
         let mut contributions = Vec::new();
         let mut contributing = vec![false; members.len()];
-        let mut wire_bytes = Vec::with_capacity(members.len());
-        for (index, (ckpt, bytes, support)) in payloads.into_iter().enumerate() {
-            wire_bytes.push(bytes?);
-            if state.policy.contributes(index) && support > 0 {
+        let mut upload_bytes = vec![0u64; members.len()];
+        for (index, (upload, support)) in payloads.into_iter().enumerate() {
+            if let Some(result) = upload {
+                let (decoded, bytes) = result.map_err(codec_package_error)?;
                 contributing[index] = true;
-                contributions.push((ckpt, support));
+                upload_bytes[index] = bytes;
+                contributions.push((decoded, support));
             }
         }
         let participants = contributions.len();
         for (index, member) in members.iter_mut().enumerate() {
             if contributing[index] {
-                member.device.advance_clock(member.link.transfer_seconds(wire_bytes[index]));
+                member.device.advance_clock(member.link.transfer_seconds(upload_bytes[index]));
+                wire_totals.federated_upload_bytes += upload_bytes[index];
             } else {
                 // Typed exclusion: a healthy-but-empty device skipped for
                 // zero support, everyone else because the policy holds it
@@ -698,10 +953,23 @@ impl Fleet {
             }
         }
         let merged = federated_average(&contributions)?;
+        let mut broadcast = RoundBroadcast::new(merged, base.as_ref(), committed, cfg)
+            .map_err(codec_package_error)?;
+        if broadcast.canonical_is_delta
+            && members
+                .iter()
+                .enumerate()
+                .any(|(i, m)| state.policy.receives(i) && m.base_round != committed)
+        {
+            broadcast.ensure_full().map_err(codec_package_error)?;
+        }
 
         // 3. Staged install: canary → cohort → fleet, halting (and
         //    restoring the stage) when the stage's triggering-alert rate
-        //    exceeds its historical baseline.
+        //    exceeds its historical baseline. Every install is the
+        //    **decoded** broadcast payload for that member — delta for
+        //    current members, the full fallback for stale ones.
+        let mut installed_current = vec![false; members.len()];
         for stage in RolloutStage::ALL {
             let indices: Vec<usize> = state
                 .policy
@@ -718,10 +986,13 @@ impl Fleet {
             for &i in &indices {
                 let member = &mut members[i];
                 snapshots.push(member.device.policy_snapshot());
-                member.device.advance_clock(member.link.transfer_seconds(wire_bytes[i]));
-                merged.restore(member.device.model_mut().net_mut().layers_mut())?;
+                let (down, ckpt, current) = broadcast.payload_for(member.base_round);
+                member.device.advance_clock(member.link.transfer_seconds(down));
+                wire_totals.federated_download_bytes += down;
+                ckpt.restore(member.device.model_mut().net_mut().layers_mut())?;
                 member.device.model_mut().refresh_prototypes()?;
                 member.device.note_federated_round(participants);
+                installed_current[i] = current;
             }
             let mut alerts = 0u64;
             for &i in &indices {
@@ -774,7 +1045,7 @@ impl Fleet {
                     let seen = member.device.quality_reports().len();
                     state.policy.mark_seen(index, seen);
                     if let Some(rule) = trigger {
-                        apply_repair(member, state, index, &rule)?;
+                        apply_repair(member, state, index, &rule, wire_totals)?;
                     }
                 }
                 state.policy.note_halted_round();
@@ -786,8 +1057,20 @@ impl Fleet {
             }
         }
 
-        // 4. All stages completed: count the round and serve quarantine
-        //    sentences.
+        // 4. All stages completed: commit the decoded broadcast as the
+        //    next delta base, count the round and serve quarantine
+        //    sentences. Members that installed the canonical payload are
+        //    current for the new round; full-fallback and held-out
+        //    members keep falling back until a lossless install catches
+        //    them up.
+        let new_round = committed + 1;
+        for (index, member) in members.iter_mut().enumerate() {
+            if installed_current[index] {
+                member.base_round = new_round;
+            }
+        }
+        *round = new_round;
+        *base = Some(broadcast.canonical);
         coordinator.note_round();
         for (index, strikes) in state.policy.finish_round() {
             members[index].device.record_event(EventKind::QuarantineLifted { strikes });
@@ -809,19 +1092,35 @@ impl Fleet {
     /// new deployment. Returns `true` when every stage completed, `false`
     /// when a stage halted (its installs restored exactly).
     pub fn rollout_deployment(&mut self, deployment: &Deployment) -> Result<bool, EdgeError> {
-        let wire = deployment.wire_bytes()?;
-        let Fleet { members, policy, .. } = self;
+        // Every device installs the decoded wire package (lossless at
+        // `f32`, genuinely quantised below it) and pays its exact binary
+        // size on the link. A completed rollout re-bases the federated
+        // delta chain on the package checkpoint — every installer now
+        // holds exactly those bits.
+        let (package, wire) = package_for_wire(deployment, self.config.wire.precision)?;
+        let Fleet { members, policy, round, base, wire_totals, .. } = self;
         let Some(state) = policy.as_mut() else {
             for member in members.iter_mut() {
                 member.device.advance_clock(member.link.transfer_seconds(wire));
-                member.device.adopt_deployment(deployment)?;
+                wire_totals.deploy_bytes += wire;
+                member.device.adopt_deployment(&package)?;
                 member.device.record_event(EventKind::Deployed { payload_bytes: wire });
                 member.device.sample_quality()?;
             }
+            *round += 1;
+            for member in members.iter_mut() {
+                member.base_round = *round;
+            }
+            *base = Some(package.checkpoint);
             return Ok(true);
         };
         let span = pilote_obs::span("fleet.rollout");
         span.annotate("devices", members.len() as f64);
+        // Devices from *completed* stages keep the new package when a
+        // later stage halts: the rollout never commits, so their copy of
+        // the committed broadcast is gone and their next federated
+        // payload must be a full one.
+        let mut adopted: Vec<usize> = Vec::new();
         for stage in RolloutStage::ALL {
             let indices: Vec<usize> = state
                 .policy
@@ -839,7 +1138,8 @@ impl Fleet {
                 let member = &mut members[i];
                 snapshots.push(member.device.policy_snapshot());
                 member.device.advance_clock(member.link.transfer_seconds(wire));
-                member.device.adopt_deployment(deployment)?;
+                wire_totals.deploy_bytes += wire;
+                member.device.adopt_deployment(&package)?;
                 member.device.record_event(EventKind::Deployed { payload_bytes: wire });
             }
             let mut alerts = 0u64;
@@ -864,16 +1164,27 @@ impl Fleet {
                     let seen = member.device.quality_reports().len();
                     state.policy.mark_seen(i, seen);
                 }
+                for &i in &adopted {
+                    members[i].base_round = STALE_ROUND;
+                }
                 drop(span);
                 if pilote_obs::enabled() {
                     pilote_obs::counter("fleet.policy.halted_rollouts").inc();
                 }
                 return Ok(false);
             }
+            adopted.extend_from_slice(&indices);
         }
         // The fleet now runs the new package everywhere: it becomes the
-        // re-anchor target too.
-        state.anchor = deployment.clone();
+        // re-anchor target and the new federated delta base. Held-out
+        // devices (quarantined, degraded) never installed it and stay on
+        // the full-payload fallback.
+        *round += 1;
+        for &i in &adopted {
+            members[i].base_round = *round;
+        }
+        *base = Some(package.checkpoint.clone());
+        state.anchor = package;
         state.anchor_bytes = wire;
         drop(span);
         if pilote_obs::enabled() {
@@ -907,13 +1218,16 @@ impl Fleet {
     /// deployment traffic) and merges them into a deterministic fleet-wide
     /// [`TelemetryRollup`] in device-index order.
     ///
+    /// Each payload is sized by the binary telemetry codec
+    /// ([`crate::wire::snapshot_wire_bytes`]) — the exact bytes
+    /// [`crate::wire::encode_snapshot`] would emit.
+    ///
     /// Under `PILOTE_OBS=0` each device ships an empty snapshot — the
     /// rollup stays well-formed (all sections empty) and the devices are
     /// still counted, but no telemetry leaves the device.
     ///
     /// # Errors
-    /// [`EdgeError::Package`] when a snapshot cannot be serialised for the
-    /// wire; [`EdgeError::Rollup`] when two devices disagree on histogram
+    /// [`EdgeError::Rollup`] when two devices disagree on histogram
     /// bucket bounds.
     pub fn telemetry_rollup(&mut self) -> Result<TelemetryRollup, EdgeError> {
         let span = pilote_obs::span("fleet.telemetry_rollup");
@@ -925,12 +1239,13 @@ impl Fleet {
         // identical to the serial walk.
         let payloads = map_member_bands(&mut self.members, &|_, member| {
             let snapshot = member.device.telemetry_snapshot();
-            let bytes = snapshot_wire_bytes(&snapshot);
+            let bytes = wire::snapshot_wire_bytes(&snapshot);
             (snapshot, bytes)
         });
         let mut rollup = TelemetryRollup::new();
         for (member, (snapshot, bytes)) in self.members.iter_mut().zip(payloads) {
-            member.device.advance_clock(member.link.transfer_seconds(bytes?));
+            member.device.advance_clock(member.link.transfer_seconds(bytes));
+            self.wire_totals.telemetry_bytes += bytes;
             rollup.merge_snapshot(&snapshot)?;
         }
         drop(span);
@@ -956,8 +1271,7 @@ impl Fleet {
     /// its baseline untouched.
     ///
     /// # Errors
-    /// [`EdgeError::Package`] when a delta cannot be serialised for the
-    /// wire; [`EdgeError::Rollup`] when two devices disagree on histogram
+    /// [`EdgeError::Rollup`] when two devices disagree on histogram
     /// bucket bounds.
     pub fn upload_telemetry_deltas(
         &mut self,
@@ -965,11 +1279,12 @@ impl Fleet {
     ) -> Result<(), EdgeError> {
         let payloads = map_member_bands(&mut self.members, &|_, member| {
             let delta = member.device.telemetry_delta();
-            let bytes = snapshot_wire_bytes(&delta);
+            let bytes = wire::snapshot_wire_bytes(&delta);
             (delta, bytes)
         });
         for (member, (delta, bytes)) in self.members.iter_mut().zip(payloads) {
-            member.device.advance_clock(member.link.transfer_seconds(bytes?));
+            member.device.advance_clock(member.link.transfer_seconds(bytes));
+            self.wire_totals.telemetry_bytes += bytes;
             rollup.merge_snapshot(&delta)?;
         }
         if pilote_obs::enabled() {
@@ -1222,6 +1537,80 @@ mod tests {
                 "device {i} must sample the federated install"
             );
         }
+    }
+
+    #[test]
+    fn f32_delta_rounds_match_full_rounds_bitwise_and_cost_less_link_time() {
+        let delta_cfg = FleetConfig {
+            update_threshold: 10,
+            federated_every: 0,
+            wire: WireConfig::delta(WirePrecision::F32),
+            ..FleetConfig::default()
+        };
+        let full_cfg =
+            FleetConfig { wire: WireConfig::full(WirePrecision::F32), ..delta_cfg.clone() };
+        let (mut with_delta, mut sim, norm) = fleet(3, delta_cfg);
+        let (mut with_full, _, _) = fleet(3, full_cfg);
+        // Diverge one device with a local update — identically on both
+        // fleets — so round payloads carry real parameter changes.
+        let features = session_features(&mut sim, &norm, Activity::Run, 10);
+        for i in 0..features.rows() {
+            for f in [&mut with_delta, &mut with_full] {
+                f.label_sample(1, Activity::Run.label(), Tensor::vector(features.row(i)))
+                    .expect("label");
+            }
+        }
+        with_delta.federated_round().expect("delta round");
+        with_full.federated_round().expect("full round");
+        assert_eq!(with_delta.committed_round(), 1);
+        assert_eq!(with_full.committed_round(), 1);
+        let mut delta_time = 0.0;
+        let mut full_time = 0.0;
+        for i in 0..with_delta.len() {
+            let a =
+                Checkpoint::capture(with_delta.device_mut(i).model_mut().net_mut().layers_mut());
+            let b =
+                Checkpoint::capture(with_full.device_mut(i).model_mut().net_mut().layers_mut());
+            assert_eq!(a, b, "device {i}: f32 delta and full rounds must agree bitwise");
+            delta_time += with_delta.device(i).log().now();
+            full_time += with_full.device(i).log().now();
+        }
+        // The two never-updated devices upload near-empty deltas (every
+        // layer still matches the committed base), dwarfing the few bytes
+        // of per-layer flag overhead the changed payloads add.
+        assert!(
+            delta_time < full_time,
+            "delta rounds must cost less total link time: {delta_time} vs {full_time}"
+        );
+    }
+
+    #[test]
+    fn quantised_rounds_commit_and_keep_the_fleet_serving() {
+        let cfg = FleetConfig {
+            federated_every: 0,
+            wire: WireConfig::delta(WirePrecision::I8),
+            ..FleetConfig::default()
+        };
+        let (mut fleet, mut sim, norm) = fleet(3, cfg);
+        let features = session_features(&mut sim, &norm, Activity::Still, 4);
+        fleet.serve_session(0, &features).expect("serve");
+        fleet.federated_round().expect("round");
+        assert_eq!(fleet.committed_round(), 1);
+        // The second round deltas against the base the first one committed.
+        fleet.federated_round().expect("second round");
+        assert_eq!(fleet.committed_round(), 2);
+        fleet.serve_session(1, &features).expect("serve after quantised installs");
+    }
+
+    #[test]
+    fn unpolicied_rollout_rebases_the_delta_chain() {
+        let cfg = FleetConfig { federated_every: 0, ..FleetConfig::default() };
+        let (mut fleet, _, _) = fleet(2, cfg);
+        let (package, _, _) = deployment();
+        assert!(fleet.rollout_deployment(&package).expect("rollout"));
+        assert_eq!(fleet.committed_round(), 1, "a fleet-wide install commits a new base");
+        fleet.federated_round().expect("round after rollout");
+        assert_eq!(fleet.committed_round(), 2);
     }
 
     #[test]

@@ -34,12 +34,14 @@ pub mod events;
 pub mod federated;
 pub mod fleet;
 pub mod policy;
+pub mod wire;
 
-pub use cloud::{CloudServer, Deployment, PackageError, RollupError, TelemetryRollup};
+pub use cloud::{CloudServer, Deployment, PackageError, RollupError, ShippedPrototypes, TelemetryRollup};
 pub use edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus, MAX_UPDATE_FAILURES};
 pub use events::{Event, EventKind, EventLog, ExclusionReason};
 pub use federated::{federated_average, FederatedCoordinator, FederatedError};
-pub use fleet::{DeviceStats, Fleet, FleetConfig, FleetStats};
+pub use fleet::{DeviceStats, Fleet, FleetConfig, FleetStats, WireTotals};
 pub use policy::{
     DeviceHealth, FleetPolicy, PolicyConfig, PolicySummary, RepairAction, RolloutStage, StagePlan,
 };
+pub use wire::{CodecError, WireConfig};

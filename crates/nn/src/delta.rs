@@ -1,0 +1,276 @@
+//! Checkpoint deltas — per-layer diffs for federated rounds.
+//!
+//! A federated round re-broadcasts the merged model to every member, but
+//! between consecutive rounds most layers barely move and the receiver
+//! already holds the previous broadcast. A [`CheckpointDelta`] captures
+//! only the layers whose bits changed since an agreed **base** checkpoint,
+//! tagged with the base's generation so a receiver that missed a round
+//! fails with a typed [`DeltaError::GenerationMismatch`] (and can fall
+//! back to requesting the full checkpoint) instead of silently applying a
+//! diff against the wrong base.
+//!
+//! The contract is bitwise: for a receiver holding the correct base,
+//! `delta.apply(&base)` reproduces the target [`Checkpoint`] exactly —
+//! byte-for-byte equal to shipping it whole. Unchanged layers are compared
+//! and reproduced via their IEEE-754 bit patterns (`f32::to_bits`), never
+//! via arithmetic, so `-0.0` vs `0.0` and NaN payloads cannot alias.
+
+use crate::persist::{Checkpoint, CHECKPOINT_VERSION};
+use pilote_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Errors from building or applying a [`CheckpointDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The receiver's base generation does not match the one the delta
+    /// was diffed against. Applying would mix layers from two different
+    /// models; the caller should fall back to a full checkpoint.
+    GenerationMismatch {
+        /// Generation the delta was built against.
+        expected: u64,
+        /// Generation the receiver holds.
+        found: u64,
+    },
+    /// Base and target disagree structurally (layer count or shapes), or
+    /// the base handed to `apply` does not match the delta's fingerprint.
+    StructureMismatch {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::GenerationMismatch { expected, found } => {
+                write!(f, "delta built against base generation {expected}, receiver holds {found}")
+            }
+            DeltaError::StructureMismatch { detail } => {
+                write!(f, "delta structure mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// A per-layer diff between two structurally identical [`Checkpoint`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointDelta {
+    /// Checkpoint format version of the target ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Generation tag of the base this delta was diffed against. The
+    /// meaning of the tag is the caller's (the fleet uses its committed
+    /// round counter); the delta only insists it matches on `apply`.
+    pub base_generation: u64,
+    /// Structural fingerprint of the base/target, checked on `apply`.
+    pub shapes: Vec<Vec<usize>>,
+    /// One entry per parameter tensor: `None` when the layer is
+    /// bitwise-unchanged from the base, `Some(target)` with the full new
+    /// values otherwise.
+    pub layers: Vec<Option<Tensor>>,
+}
+
+/// `true` iff both tensors hold identical IEEE-754 bit patterns.
+fn bitwise_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+impl CheckpointDelta {
+    /// Diffs `target` against `base`, tagging the result with
+    /// `base_generation`.
+    ///
+    /// # Errors
+    /// [`DeltaError::StructureMismatch`] when the two checkpoints disagree
+    /// on layer count or any layer shape — a diff across architectures is
+    /// meaningless.
+    pub fn diff(
+        base: &Checkpoint,
+        target: &Checkpoint,
+        base_generation: u64,
+    ) -> Result<CheckpointDelta, DeltaError> {
+        if base.params.len() != target.params.len() {
+            return Err(DeltaError::StructureMismatch {
+                detail: format!(
+                    "base has {} tensors, target has {}",
+                    base.params.len(),
+                    target.params.len()
+                ),
+            });
+        }
+        let mut layers = Vec::with_capacity(target.params.len());
+        for (i, (b, t)) in base.params.iter().zip(&target.params).enumerate() {
+            if b.shape() != t.shape() {
+                return Err(DeltaError::StructureMismatch {
+                    detail: format!(
+                        "tensor {i}: base {:?} vs target {:?}",
+                        b.shape().dims(),
+                        t.shape().dims()
+                    ),
+                });
+            }
+            layers.push(if bitwise_equal(b, t) { None } else { Some(t.clone()) });
+        }
+        Ok(CheckpointDelta {
+            version: target.version,
+            base_generation,
+            shapes: target.shapes.clone(),
+            layers,
+        })
+    }
+
+    /// Reconstructs the target checkpoint from the receiver's base copy.
+    ///
+    /// `base_generation` is the generation the *receiver* holds; it must
+    /// match the tag the delta was diffed against.
+    ///
+    /// # Errors
+    /// [`DeltaError::GenerationMismatch`] on a stale/skewed base (caller
+    /// should fall back to a full checkpoint);
+    /// [`DeltaError::StructureMismatch`] when the base does not match the
+    /// delta's structural fingerprint.
+    pub fn apply(&self, base: &Checkpoint, base_generation: u64) -> Result<Checkpoint, DeltaError> {
+        if base_generation != self.base_generation {
+            return Err(DeltaError::GenerationMismatch {
+                expected: self.base_generation,
+                found: base_generation,
+            });
+        }
+        if base.params.len() != self.layers.len() {
+            return Err(DeltaError::StructureMismatch {
+                detail: format!(
+                    "delta has {} layers, base has {}",
+                    self.layers.len(),
+                    base.params.len()
+                ),
+            });
+        }
+        let mut params = Vec::with_capacity(self.layers.len());
+        for (i, (layer, b)) in self.layers.iter().zip(&base.params).enumerate() {
+            let value = match layer {
+                None => b.clone(),
+                Some(t) => t.clone(),
+            };
+            if value.shape().dims() != self.shapes.get(i).map(Vec::as_slice).unwrap_or(&[]) {
+                return Err(DeltaError::StructureMismatch {
+                    detail: format!(
+                        "tensor {i}: delta fingerprint {:?} vs value {:?}",
+                        self.shapes.get(i),
+                        value.shape().dims()
+                    ),
+                });
+            }
+            params.push(value);
+        }
+        Ok(Checkpoint { version: self.version, shapes: self.shapes.clone(), params })
+    }
+
+    /// Number of layers carried in full (the `Some` entries).
+    pub fn changed_layers(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Number of scalar values carried in full.
+    pub fn changed_values(&self) -> usize {
+        self.layers.iter().flatten().map(Tensor::len).sum()
+    }
+
+    /// A delta that changes nothing — every layer marked unchanged.
+    /// Useful as the "no movement this round" broadcast.
+    pub fn identity(base: &Checkpoint, base_generation: u64) -> CheckpointDelta {
+        CheckpointDelta {
+            version: CHECKPOINT_VERSION,
+            base_generation,
+            shapes: base.shapes.clone(),
+            layers: vec![None; base.params.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{BatchNorm1d, Dense, ReLU, Sequential};
+    use pilote_tensor::Rng64;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = Rng64::new(seed);
+        Sequential::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(BatchNorm1d::new(8))
+            .push(ReLU::new())
+            .push(Dense::new(8, 2, &mut rng))
+    }
+
+    #[test]
+    fn diff_apply_is_bitwise_identical_to_full_checkpoint() {
+        let mut a = net(1);
+        let base = Checkpoint::capture(&mut a);
+        let mut target = base.clone();
+        // Perturb two layers, including awkward bit patterns.
+        target.params[0].as_mut_slice()[3] = -0.0;
+        target.params[3].as_mut_slice()[1] += 0.5;
+        let delta = CheckpointDelta::diff(&base, &target, 7).unwrap();
+        assert_eq!(delta.changed_layers(), 2);
+        let rebuilt = delta.apply(&base, 7).unwrap();
+        assert_eq!(rebuilt, target);
+        for (a, b) in rebuilt.params.iter().zip(&target.params) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_layers_are_elided() {
+        let mut a = net(2);
+        let base = Checkpoint::capture(&mut a);
+        let delta = CheckpointDelta::diff(&base, &base, 0).unwrap();
+        assert_eq!(delta.changed_layers(), 0);
+        assert_eq!(delta.apply(&base, 0).unwrap(), base);
+        assert_eq!(delta, CheckpointDelta::identity(&base, 0));
+    }
+
+    #[test]
+    fn negative_zero_counts_as_a_change() {
+        let mut a = net(3);
+        let base = Checkpoint::capture(&mut a);
+        let mut target = base.clone();
+        let old = target.params[0].as_mut_slice()[0];
+        // Flip the sign bit of a zero-or-not value: if the parameter is
+        // 0.0 this makes -0.0, arithmetically equal but bitwise distinct.
+        target.params[0].as_mut_slice()[0] = f32::from_bits(old.to_bits() ^ 0x8000_0000);
+        let delta = CheckpointDelta::diff(&base, &target, 1).unwrap();
+        assert_eq!(delta.changed_layers(), 1);
+    }
+
+    #[test]
+    fn generation_skew_is_a_typed_error() {
+        let mut a = net(4);
+        let base = Checkpoint::capture(&mut a);
+        let delta = CheckpointDelta::diff(&base, &base, 5).unwrap();
+        assert_eq!(
+            delta.apply(&base, 4),
+            Err(DeltaError::GenerationMismatch { expected: 5, found: 4 })
+        );
+    }
+
+    #[test]
+    fn structure_mismatch_is_a_typed_error() {
+        let mut a = net(5);
+        let base = Checkpoint::capture(&mut a);
+        let mut rng = Rng64::new(6);
+        let mut other = Sequential::new().push(Dense::new(4, 3, &mut rng));
+        let small = Checkpoint::capture(&mut other);
+        assert!(matches!(
+            CheckpointDelta::diff(&base, &small, 0),
+            Err(DeltaError::StructureMismatch { .. })
+        ));
+        let delta = CheckpointDelta::diff(&base, &base, 0).unwrap();
+        assert!(matches!(
+            delta.apply(&small, 0),
+            Err(DeltaError::StructureMismatch { .. })
+        ));
+    }
+}

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod gradcheck;
 pub mod layer;
 pub mod loss;
@@ -43,6 +44,7 @@ pub use layer::{
 };
 pub use optim::{Adam, Optimizer, Sgd};
 pub use optim_extra::{AdamW, RmsProp};
+pub use delta::{CheckpointDelta, DeltaError};
 pub use persist::{Checkpoint, CheckpointError};
 pub use sched::{ConstantLr, HalvingLr, LrSchedule, StepLr};
 pub use train::{grad_norm, grads_finite, observe_epoch, params_finite, EarlyStopper, EpochStats};

@@ -144,7 +144,8 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Serialises to JSON (the cloud→edge wire format in this repo).
+    /// Serialises to JSON (debug/inspection format; the shipped wire
+    /// format is the binary codec of `docs/WIRE.md`).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("checkpoint serialisation is infallible")
     }
@@ -155,9 +156,23 @@ impl Checkpoint {
             .map_err(|e| CheckpointError::Malformed { detail: e.to_string() })
     }
 
-    /// Size of the wire payload in bytes.
+    /// Exact size of this checkpoint's binary wire encoding in bytes
+    /// (the full-f32 layout of `docs/WIRE.md`): a `u32` version, a `u64`
+    /// tensor count, then per tensor a `u64` rank, `u64` dims and the
+    /// values as raw IEEE-754 `f32` bits.
+    ///
+    /// This used to report the JSON text length — decimal-printed floats
+    /// cost ~10+ bytes each, inflating every modeled transfer time by a
+    /// format we would never ship. The magneto wire codec asserts its
+    /// encoder produces exactly this many bytes.
     pub fn wire_bytes(&self) -> u64 {
-        self.to_json().len() as u64
+        let header = 4u64 + 8;
+        let tensors: u64 = self
+            .params
+            .iter()
+            .map(|p| 8 + 8 * p.shape().dims().len() as u64 + 4 * p.len() as u64)
+            .sum();
+        header + tensors
     }
 
     /// Number of scalar parameters stored.

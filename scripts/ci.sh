@@ -30,6 +30,10 @@
 #  12. the scaling gate (docs/SCALING.md): `repro fleet --scale large`
 #      at a reduced device count, run twice plus once at
 #      PILOTE_THREADS=4, BENCH_fleet_large.json byte-compared
+#  13. the wire gate (docs/WIRE.md): `repro wire` run twice plus once at
+#      PILOTE_THREADS=4, BENCH_wire.json byte-compared; i8-delta must
+#      move fewer federated bytes than f32-full and undercut the
+#      JSON-f32 baseline ≥4× at <1 point of old-class accuracy loss
 #
 # Usage: ./scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -264,5 +268,41 @@ PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
   fleet --scale large --devices 96 --out "$obs_dir/l4"
 cmp "$obs_dir/l1/BENCH_fleet_large.json" "$obs_dir/l2/BENCH_fleet_large.json"
 cmp "$obs_dir/l1/BENCH_fleet_large.json" "$obs_dir/l4/BENCH_fleet_large.json"
+
+# --- wire gate (docs/WIRE.md) ---------------------------------------------
+
+step "wire: repro wire byte-identical across runs and at PILOTE_THREADS=4"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  wire --quick --out "$obs_dir/w1"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  wire --quick --out "$obs_dir/w2"
+PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
+  wire --quick --out "$obs_dir/w4"
+cmp "$obs_dir/w1/BENCH_wire.json" "$obs_dir/w2/BENCH_wire.json"
+cmp "$obs_dir/w1/BENCH_wire.json" "$obs_dir/w4/BENCH_wire.json"
+
+step "wire: i8-delta frontier — >=4x under the JSON baseline, <1 point accuracy loss"
+python3 - "$obs_dir/w1" << 'EOF'
+import json, sys
+out = sys.argv[1]
+bench = json.load(open(f"{out}/BENCH_wire.json"))
+frontier = {r["config"]: r for r in bench["frontier"]}
+f32_full, i8_delta = frontier["f32-full"], frontier["i8-delta"]
+baseline = bench["json_f32_baseline_federated_bytes"]
+savings = baseline / max(i8_delta["federated_bytes"], 1)
+loss = f32_full["old_accuracy"] - i8_delta["old_accuracy"]
+assert i8_delta["federated_bytes"] < f32_full["federated_bytes"], (
+    f"i8-delta must move fewer federated bytes than f32-full: "
+    f"{i8_delta['federated_bytes']} vs {f32_full['federated_bytes']}")
+assert savings >= 4.0, (
+    f"i8-delta must undercut the JSON-f32 baseline >=4x: {savings:.2f}x")
+assert loss < 0.01, (
+    f"i8-delta old-class accuracy loss must stay under 1 point: {loss:.4f}")
+assert frontier["f32-delta"]["old_accuracy"] == f32_full["old_accuracy"], (
+    "f32 delta encoding must be lossless")
+print(f"wire gate: i8-delta {savings:.1f}x under JSON baseline, "
+      f"old-class accuracy {i8_delta['old_accuracy']:.4f} vs "
+      f"f32-full {f32_full['old_accuracy']:.4f}")
+EOF
 
 printf '\nci.sh: all gates passed\n'

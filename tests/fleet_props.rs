@@ -112,6 +112,7 @@ fn fleet_bounded(federated_every: usize, event_capacity: usize) -> pilote::magne
         update_threshold: 8,
         exemplar_budget: 15,
         event_capacity,
+        ..FleetConfig::default()
     };
     Fleet::deploy(slots, &fixture().deployment, config).expect("deploy")
 }

@@ -1,0 +1,267 @@
+//! Property-based tests of the binary wire codec (`docs/WIRE.md`):
+//!
+//! * **F32 round payloads are lossless**: a full payload decodes to the
+//!   encoded checkpoint bitwise, and a delta payload applied to the
+//!   shared base reconstructs the target bitwise;
+//! * **unchanged checkpoints are free**: a delta of a checkpoint against
+//!   itself decodes bitwise at *every* precision (a zero diff quantises
+//!   exactly) and costs fewer bytes than the full payload;
+//! * **quantised deltas are bounded**: an i8 delta reconstructs the
+//!   target within the per-column affine half-step of the diff — the
+//!   error is set by the *diff's* range, not the weights' range;
+//! * **staleness is typed**: a delta against a mismatched generation, a
+//!   structurally different base, or no base at all is a typed
+//!   [`CodecError`], never a silent corruption;
+//! * **malformed bytes are typed**: truncating any payload yields an
+//!   error, never a panic.
+//!
+//! Sibling of `tests/fleet_props.rs`, which covers the fleet layer that
+//! moves these payloads.
+
+use pilote::magneto::wire::{self, CodecError};
+use pilote::magneto::WireConfig;
+use pilote::edge_sim::WirePrecision;
+use pilote::nn::persist::CHECKPOINT_VERSION;
+use pilote::nn::{Checkpoint, DeltaError};
+use pilote::tensor::{Rng64, Tensor};
+use proptest::prelude::*;
+
+/// Even sizes become a rank-2 `[n/2, 2]` layer (per-column quantisation),
+/// odd sizes a rank-1 `[n]` layer (flattened-column quantisation), so
+/// both `rank2_view` paths of the codec are exercised.
+fn shape_for(size: usize) -> Vec<usize> {
+    if size.is_multiple_of(2) {
+        vec![size / 2, 2]
+    } else {
+        vec![size]
+    }
+}
+
+/// A checkpoint with layers of the given sizes and seeded random values.
+fn checkpoint_from(layout: &[usize], seed: u64) -> Checkpoint {
+    let mut rng = Rng64::new(seed ^ 0x3172e);
+    let params: Vec<Tensor> = layout
+        .iter()
+        .map(|&n| Tensor::randn(shape_for(n), 0.0, 2.0, &mut rng))
+        .collect();
+    Checkpoint {
+        version: CHECKPOINT_VERSION,
+        shapes: params.iter().map(|p| p.shape().dims().to_vec()).collect(),
+        params,
+    }
+}
+
+/// `base` with the layers selected by `mask` re-drawn from `seed` (the
+/// unselected layers stay bitwise identical, so delta payloads skip them).
+fn perturbed(base: &Checkpoint, mask: u64, seed: u64) -> Checkpoint {
+    let mut rng = Rng64::new(seed ^ 0x7a26e7);
+    let params: Vec<Tensor> = base
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if mask & (1 << i) != 0 {
+                Tensor::randn(p.shape().dims().to_vec(), 0.0, 2.0, &mut rng)
+            } else {
+                p.clone()
+            }
+        })
+        .collect();
+    Checkpoint { version: base.version, shapes: base.shapes.clone(), params }
+}
+
+fn assert_bitwise_eq(a: &Checkpoint, b: &Checkpoint, context: &str) {
+    assert_eq!(a.shapes, b.shapes, "{context}: shapes diverged");
+    assert_eq!(a.params.len(), b.params.len(), "{context}: layer count diverged");
+    for (i, (x, y)) in a.params.iter().zip(&b.params).enumerate() {
+        let xb: Vec<u32> = x.as_slice().iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u32> = y.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb, "{context}: layer {i} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn full_f32_round_payload_is_bitwise(
+        layout in prop::collection::vec(1usize..13, 1..5),
+        seed in 0u64..1_000_000,
+    ) {
+        let ckpt = checkpoint_from(&layout, seed);
+        let bytes = wire::encode_round_full(&ckpt, WirePrecision::F32).expect("encode");
+        let back = wire::decode_round(&bytes, None).expect("decode");
+        assert_bitwise_eq(&back, &ckpt, "full f32");
+    }
+
+    #[test]
+    fn delta_f32_reconstructs_the_target_bitwise(
+        layout in prop::collection::vec(1usize..13, 1..5),
+        base_seed in 0u64..1_000_000,
+        target_seed in 0u64..1_000_000,
+        mask in 0u64..32,
+        generation in 0u64..10_000,
+    ) {
+        let base = checkpoint_from(&layout, base_seed);
+        let target = perturbed(&base, mask, target_seed);
+        let bytes = wire::encode_round_delta(&base, &target, generation, WirePrecision::F32)
+            .expect("encode");
+        let back = wire::decode_round(&bytes, Some((&base, generation))).expect("decode");
+        assert_bitwise_eq(&back, &target, "delta f32");
+    }
+
+    #[test]
+    fn unchanged_checkpoint_round_trips_bitwise_at_every_precision(
+        layout in prop::collection::vec(1usize..13, 1..5),
+        seed in 0u64..1_000_000,
+        generation in 0u64..10_000,
+    ) {
+        let ckpt = checkpoint_from(&layout, seed);
+        for precision in [WirePrecision::F32, WirePrecision::U16, WirePrecision::I8] {
+            let delta = wire::encode_round_delta(&ckpt, &ckpt, generation, precision)
+                .expect("encode delta");
+            let full = wire::encode_round_full(&ckpt, precision).expect("encode full");
+            // A zero diff has an all-None layer list: cheaper than any
+            // full payload and exact even when quantised.
+            assert!(
+                delta.len() < full.len(),
+                "{}: no-change delta ({}B) must undercut full ({}B)",
+                precision.name(), delta.len(), full.len()
+            );
+            let back = wire::decode_round(&delta, Some((&ckpt, generation))).expect("decode");
+            assert_bitwise_eq(&back, &ckpt, precision.name());
+        }
+    }
+
+    #[test]
+    fn quantised_delta_error_stays_within_the_diff_half_step(
+        layout in prop::collection::vec(1usize..13, 1..5),
+        base_seed in 0u64..1_000_000,
+        target_seed in 0u64..1_000_000,
+        mask in 0u64..32,
+    ) {
+        let base = checkpoint_from(&layout, base_seed);
+        let target = perturbed(&base, mask, target_seed);
+        let bytes = wire::encode_round_delta(&base, &target, 7, WirePrecision::I8)
+            .expect("encode");
+        let back = wire::decode_round(&bytes, Some((&base, 7))).expect("decode");
+        for (i, ((b, t), d)) in base.params.iter().zip(&target.params).zip(&back.params).enumerate()
+        {
+            // The codec quantises the diff per column of its rank-2 view
+            // (rank-1 layers flatten to one column), so the guaranteed
+            // bound is half the per-column affine step of the *diff*.
+            let dims = t.shape().dims().to_vec();
+            let cols = if dims.len() == 2 { dims[1] } else { 1 };
+            let n = t.as_slice().len();
+            for c in 0..cols {
+                let column: Vec<f32> = (0..n)
+                    .filter(|j| j % cols == c)
+                    .map(|j| t.as_slice()[j] - b.as_slice()[j])
+                    .collect();
+                let lo = column.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = column.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let tol = (hi - lo) / 255.0 / 2.0 * 1.01 + 1e-5;
+                for j in (0..n).filter(|j| j % cols == c) {
+                    let err = (d.as_slice()[j] - t.as_slice()[j]).abs();
+                    assert!(
+                        err <= tol,
+                        "layer {i} col {c} elem {j}: err {err} exceeds half-step {tol}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_skew_is_a_typed_error(
+        layout in prop::collection::vec(1usize..13, 1..5),
+        seed in 0u64..1_000_000,
+        generation in 0u64..10_000,
+        skew in 1u64..50,
+    ) {
+        let base = checkpoint_from(&layout, seed);
+        let target = perturbed(&base, u64::MAX, seed ^ 1);
+        let bytes = wire::encode_round_delta(&base, &target, generation, WirePrecision::F32)
+            .expect("encode");
+        // Receiver committed a different round: typed mismatch, so the
+        // sender can fall back to a full payload.
+        let skewed = wire::decode_round(&bytes, Some((&base, generation + skew)));
+        assert!(
+            matches!(skewed, Err(CodecError::Delta(DeltaError::GenerationMismatch { .. }))),
+            "skewed generation must be typed, got {skewed:?}"
+        );
+        // Receiver holds no base at all: the other typed fallback signal.
+        assert_eq!(wire::decode_round(&bytes, None).err(), Some(CodecError::MissingBase));
+    }
+
+    #[test]
+    fn structurally_different_base_is_a_typed_error(
+        layout in prop::collection::vec(1usize..13, 2..5),
+        seed in 0u64..1_000_000,
+    ) {
+        let base = checkpoint_from(&layout, seed);
+        let target = perturbed(&base, u64::MAX, seed ^ 2);
+        let bytes = wire::encode_round_delta(&base, &target, 3, WirePrecision::I8)
+            .expect("encode");
+        let mut short = base.clone();
+        short.params.pop();
+        short.shapes.pop();
+        let err = wire::decode_round(&bytes, Some((&short, 3)));
+        assert!(
+            matches!(err, Err(CodecError::Delta(DeltaError::StructureMismatch { .. }))),
+            "layer-count mismatch must be typed, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors_not_panics(
+        layout in prop::collection::vec(1usize..13, 1..5),
+        seed in 0u64..1_000_000,
+        cut_per_mille in 0u64..1000,
+    ) {
+        let base = checkpoint_from(&layout, seed);
+        let target = perturbed(&base, u64::MAX, seed ^ 3);
+        for bytes in [
+            wire::encode_round_full(&target, WirePrecision::I8).expect("full"),
+            wire::encode_round_delta(&base, &target, 5, WirePrecision::U16).expect("delta"),
+        ] {
+            let cut = (bytes.len() as u64 * cut_per_mille / 1000) as usize;
+            assert!(
+                wire::decode_round(&bytes[..cut], Some((&base, 5))).is_err(),
+                "a strict prefix must never decode"
+            );
+        }
+    }
+}
+
+/// The default fleet wire config must stay bitwise lossless: swapping the
+/// JSON accounting for the codec may change bytes and clocks, but not a
+/// single model weight.
+#[test]
+fn default_wire_config_is_lossless() {
+    let cfg = WireConfig::default();
+    assert_eq!(cfg.precision, WirePrecision::F32);
+    assert!(cfg.delta);
+    assert_eq!(cfg.name(), "f32-delta");
+}
+
+/// Telemetry snapshots round-trip through the codec and the advertised
+/// wire size is the exact encoded length.
+#[test]
+fn snapshot_codec_round_trips_and_sizes_exactly() {
+    let was_enabled = pilote::obs::enabled();
+    pilote::obs::reset();
+    pilote::obs::set_enabled(true);
+    pilote::obs::counter("wire.test_counter").inc();
+    pilote::obs::counter("wire.test_counter").inc();
+    let snapshot = pilote::obs::snapshot();
+    pilote::obs::set_enabled(was_enabled);
+
+    let bytes = wire::encode_snapshot(&snapshot);
+    assert_eq!(wire::snapshot_wire_bytes(&snapshot), bytes.len() as u64);
+    let back = wire::decode_snapshot(&bytes).expect("decode");
+    // Re-encoding the decoded snapshot must reproduce the payload
+    // byte-for-byte — the codec has one canonical form.
+    assert_eq!(wire::encode_snapshot(&back), bytes);
+    assert!(wire::decode_snapshot(&bytes[..bytes.len() - 1]).is_err());
+}
