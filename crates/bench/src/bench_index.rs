@@ -1,0 +1,160 @@
+//! **Index** — the committed-benchmark manifest (`BENCH_index.json`).
+//!
+//! Scans the results directory for every committed `BENCH_*.json`, pulls
+//! each file's **headline figure** (one named metric per benchmark, see
+//! [`HEADLINES`]) and writes a single summary manifest so a reader — or a
+//! dashboard — gets the whole benchmark surface at a glance without
+//! opening ten files.
+//!
+//! The table of headline key paths doubles as a completeness gate: a
+//! `BENCH_*.json` with no entry in [`HEADLINES`], or whose headline path
+//! no longer resolves, is a **hard error** — adding a benchmark without
+//! declaring its headline metric (or silently renaming a headline field)
+//! fails `repro index`, and with it the `scripts/ci.sh` index step.
+
+use crate::report::{write_json, ReportError, Table};
+use serde_json::{json, Value};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Headline metric per committed benchmark file: `(file name, metric
+/// label, '/'-separated key path into the JSON document — array steps are
+/// numeric indices)`.
+pub const HEADLINES: &[(&str, &str, &str)] = &[
+    ("BENCH_faults.json", "pilote accuracy under sensor faults", "sensor/0/accuracy/pilote"),
+    ("BENCH_fleet.json", "fleet windows served", "fleet_counters/fleet.windows_served"),
+    ("BENCH_fleet_large.json", "sessions served at 10k devices", "totals/sessions"),
+    ("BENCH_kernels.json", "packed GEMM speedup vs legacy", "packed_vs_legacy_speedup"),
+    ("BENCH_kernels_check.json", "GEMM parity checksum", "gemm_checksum"),
+    ("BENCH_obs.json", "virtual clock seconds", "virtual_clock_seconds"),
+    ("BENCH_policy.json", "forgetting alerts caught by policy", "policy_on/forgetting_alerts"),
+    ("BENCH_quality.json", "re-trained forgetting (A/B demo)", "ab_demo/retrained/forgetting"),
+    (
+        "BENCH_scenarios.json",
+        "PILOTE final forgetting (class-incremental)",
+        "ab_split/pilote_final_forgetting",
+    ),
+    ("BENCH_wire.json", "JSON f32 federated payload bytes", "json_f32_baseline_federated_bytes"),
+];
+
+/// The index's own file name, excluded from the scan.
+pub const INDEX_FILE: &str = "BENCH_index.json";
+
+fn data_error(path: &Path, detail: String) -> ReportError {
+    ReportError {
+        path: path.to_path_buf(),
+        source: io::Error::new(io::ErrorKind::InvalidData, detail),
+    }
+}
+
+/// Walks a '/'-separated key path through a JSON document. Object steps
+/// are member names; array steps are numeric indices.
+fn lookup<'a>(doc: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut node = doc;
+    for step in path.split('/') {
+        node = match node {
+            Value::Array(_) => node.as_array()?.get(step.parse::<usize>().ok()?)?,
+            _ => node.get(step)?,
+        };
+    }
+    Some(node)
+}
+
+/// Scans `out` for committed `BENCH_*.json` files and writes
+/// `BENCH_index.json` summarising each one's headline figure. Returns the
+/// manifest (used by tests). Errors if a benchmark file has no
+/// [`HEADLINES`] entry, cannot be parsed, or its headline path is gone.
+pub fn run(out: &Path) -> Result<Value, ReportError> {
+    let mut names: Vec<String> = fs::read_dir(out)
+        .map_err(|source| ReportError { path: out.to_path_buf(), source })?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json") && name != INDEX_FILE)
+        .collect();
+    names.sort();
+
+    let mut files = Vec::new();
+    let mut table = Table::new("Committed benchmark headlines", &["file", "metric", "value"]);
+    for name in &names {
+        let path = out.join(name);
+        let (_, metric, key_path) = HEADLINES
+            .iter()
+            .find(|(file, _, _)| file == name)
+            .ok_or_else(|| {
+                data_error(
+                    &path,
+                    format!("no headline rule for {name}: add one to bench_index::HEADLINES"),
+                )
+            })?;
+        let body = fs::read_to_string(&path)
+            .map_err(|source| ReportError { path: path.clone(), source })?;
+        let doc: Value = serde_json::parse(&body)
+            .map_err(|e| data_error(&path, format!("unparsable benchmark JSON: {e}")))?;
+        let value = lookup(&doc, key_path)
+            .ok_or_else(|| data_error(&path, format!("headline path {key_path} not found")))?;
+        table.row(vec![name.clone(), metric.to_string(), serde_json::to_string(value).unwrap_or_default()]);
+        files.push(json!({
+            "file": name,
+            "metric": metric,
+            "path": key_path,
+            "value": value.clone(),
+        }));
+    }
+    println!("{table}");
+
+    let doc = json!({
+        "count": files.len(),
+        "files": files,
+    });
+    write_json(out, INDEX_FILE, &doc)?;
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_walks_objects_and_arrays() {
+        let doc = json!({"a": [{"b": 3.5}], "top": 7});
+        assert_eq!(lookup(&doc, "top").and_then(Value::as_u64), Some(7));
+        assert_eq!(lookup(&doc, "a/0/b").and_then(Value::as_f64), Some(3.5));
+        assert!(lookup(&doc, "a/1/b").is_none());
+        assert!(lookup(&doc, "a/x").is_none());
+        assert!(lookup(&doc, "missing").is_none());
+    }
+
+    #[test]
+    fn index_summarises_known_files_and_rejects_unknown_ones() {
+        let dir = std::env::temp_dir().join("pilote_bench_index_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("temp dir");
+        fs::write(
+            dir.join("BENCH_kernels.json"),
+            serde_json::to_string(&json!({"packed_vs_legacy_speedup": 2.5})).expect("json"),
+        )
+        .expect("write");
+        let doc = run(&dir).expect("index");
+        assert_eq!(doc["count"], json!(1));
+        assert_eq!(doc["files"][0]["file"], json!("BENCH_kernels.json"));
+        assert_eq!(doc["files"][0]["value"], json!(2.5));
+        assert!(dir.join(INDEX_FILE).exists(), "manifest written");
+
+        // Re-running over its own output is stable: the index excludes itself.
+        let again = run(&dir).expect("re-index");
+        assert_eq!(doc, again);
+
+        // A benchmark with no headline rule is a hard error...
+        fs::write(dir.join("BENCH_mystery.json"), "{}").expect("write");
+        let err = run(&dir).expect_err("unknown benchmark must fail");
+        assert!(err.to_string().contains("no headline rule"), "{err}");
+        fs::remove_file(dir.join("BENCH_mystery.json")).expect("cleanup");
+
+        // ...and so is a headline path that no longer resolves.
+        fs::write(dir.join("BENCH_kernels.json"), "{\"renamed\": 1}").expect("write");
+        let err = run(&dir).expect_err("missing headline path must fail");
+        assert!(err.to_string().contains("headline path"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

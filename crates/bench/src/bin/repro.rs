@@ -7,7 +7,7 @@
 //! experiments: all, table2, fig4, fig5, fig6, fig7, timing,
 //!              ablate-alpha, ablate-margin, ablate-pairs,
 //!              ablate-strategies, cloud-vs-edge, kernels, faults, obs,
-//!              fleet, quality, policy, wire
+//!              fleet, quality, policy, wire, scenarios, index
 //! ```
 //!
 //! Run it in release mode: `cargo run --release -p pilote-bench --bin repro -- all`.
@@ -18,8 +18,9 @@
 
 use pilote_bench::report::{results_dir, ReportError};
 use pilote_bench::{
-    exp_ablations, exp_cloud, exp_faults, exp_fig4, exp_fig5, exp_fig6, exp_fig7, exp_fleet,
-    exp_kernels, exp_obs, exp_policy, exp_quality, exp_table2, exp_timing, exp_wire, Scale,
+    bench_index, exp_ablations, exp_cloud, exp_faults, exp_fig4, exp_fig5, exp_fig6, exp_fig7,
+    exp_fleet, exp_kernels, exp_obs, exp_policy, exp_quality, exp_scenarios, exp_table2,
+    exp_timing, exp_wire, Scale,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -42,7 +43,8 @@ fn usage() -> ExitCode {
          \x20                  [--per-activity N] [--devices N] [--seed N] [--out DIR]\n\
          experiments: all, table2, fig4, fig5, fig6, fig7, timing,\n\
                       ablate-alpha, ablate-margin, ablate-pairs, ablate-strategies,\n\
-                      cloud-vs-edge, kernels, faults, obs, fleet, quality, policy, wire\n\
+                      cloud-vs-edge, kernels, faults, obs, fleet, quality, policy, wire,\n\
+                      scenarios, index\n\
          --scale large runs the ~10k-device sharded fleet benchmark (fleet only);\n\
          --devices N overrides its device count"
     );
@@ -135,6 +137,8 @@ fn dispatch(
         "quality" => exp_quality::run(scale, seed, out).map(drop),
         "policy" => exp_policy::run(scale, seed, out).map(drop),
         "wire" => exp_wire::run(scale, seed, out),
+        "scenarios" => exp_scenarios::run(scale, seed, out).map(drop),
+        "index" => bench_index::run(out).map(drop),
         "all" => (|| {
             exp_table2::run(scale, seed, out)?;
             exp_fig4::run(scale, seed, out)?;
@@ -154,6 +158,9 @@ fn dispatch(
             exp_quality::run(scale, seed, out)?;
             exp_policy::run(scale, seed, out)?;
             exp_wire::run(scale, seed, out)?;
+            exp_scenarios::run(scale, seed, out)?;
+            // Last: the index summarises everything written above.
+            bench_index::run(out)?;
             Ok(())
         })(),
         _ => return None,

@@ -27,10 +27,13 @@
 //! repro quality        # quality monitors + fleet telemetry rollup (BENCH_quality.json)
 //! repro policy         # self-healing fleet policy A/B (BENCH_policy.json)
 //! repro wire           # accuracy-vs-bytes wire frontier (BENCH_wire.json)
+//! repro scenarios      # class-incremental session-matrix comparison (BENCH_scenarios.json)
+//! repro index          # committed-benchmark headline manifest (BENCH_index.json)
 //! ```
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod bench_index;
 pub mod exp_ablations;
 pub mod exp_cloud;
 pub mod exp_faults;
@@ -43,6 +46,7 @@ pub mod exp_kernels;
 pub mod exp_obs;
 pub mod exp_policy;
 pub mod exp_quality;
+pub mod exp_scenarios;
 pub mod exp_table2;
 pub mod exp_timing;
 pub mod exp_wire;

@@ -12,7 +12,7 @@ fn repro() -> Command {
 const RUNNERS: &[&str] =
     &[
         "all", "table2", "kernels", "faults", "obs", "fleet", "quality", "policy", "timing",
-        "cloud-vs-edge",
+        "cloud-vs-edge", "wire", "scenarios", "index",
     ];
 
 #[test]

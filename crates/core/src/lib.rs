@@ -40,6 +40,9 @@
 //! * [`quality`] — run-time quality monitoring: forgetting scores,
 //!   prototype drift and NCM margin histograms with deterministic alert
 //!   rules.
+//! * [`session_metrics`] — the session × task accuracy matrix and the
+//!   continual-learning metrics derived from it (average accuracy,
+//!   forgetting curves, backward/forward transfer).
 
 pub mod baselines;
 pub mod config;
@@ -52,6 +55,7 @@ pub mod pairs;
 pub mod pilote;
 pub mod projection;
 pub mod quality;
+pub mod session_metrics;
 pub mod strategies;
 
 pub use config::{NetConfig, PiloteConfig};
@@ -65,3 +69,4 @@ pub use quality::{
     AdaptiveThresholds, AlertRule, ClassQuality, QualityAlert, QualityMonitor, QualityReport,
     QualityThresholds,
 };
+pub use session_metrics::{AccuracyMatrix, SessionRecord, SessionSummary, TaskGroup};

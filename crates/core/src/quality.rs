@@ -62,6 +62,7 @@
 
 use crate::metrics;
 use crate::pilote::Pilote;
+use crate::session_metrics::{AccuracyMatrix, TaskGroup};
 use pilote_har_data::Dataset;
 use pilote_obs::HistogramSnapshot;
 use pilote_tensor::TensorError;
@@ -246,6 +247,9 @@ pub struct QualityMonitor {
     /// When set, forgetting/drift thresholds are derived per observation
     /// from this monitor's own report history (see [`AdaptiveThresholds`]).
     adaptive: Option<AdaptiveThresholds>,
+    /// When set, every observation also stamps one row of the session ×
+    /// task accuracy matrix (see [`crate::session_metrics`]).
+    session_matrix: Option<AccuracyMatrix>,
     reports: Vec<QualityReport>,
 }
 
@@ -267,6 +271,7 @@ impl QualityMonitor {
             baseline_mean_margin: None,
             prev_known: Vec::new(),
             adaptive: None,
+            session_matrix: None,
             reports: Vec::new(),
         }
     }
@@ -275,6 +280,21 @@ impl QualityMonitor {
     pub fn with_adaptive(mut self, adaptive: AdaptiveThresholds) -> Self {
         self.adaptive = Some(adaptive);
         self
+    }
+
+    /// Enables session-matrix recording (builder form): every observation
+    /// appends one [`AccuracyMatrix`] row measuring the probe against each
+    /// task group. The same probe classification pass feeds both the
+    /// quality report and the matrix row, so recording adds no extra model
+    /// evaluation (and therefore no extra virtual-clock cost).
+    pub fn with_session_tasks(mut self, tasks: Vec<TaskGroup>) -> Self {
+        self.session_matrix = Some(AccuracyMatrix::new(tasks));
+        self
+    }
+
+    /// The session × task accuracy matrix, if recording is enabled.
+    pub fn session_matrix(&self) -> Option<&AccuracyMatrix> {
+        self.session_matrix.as_ref()
     }
 
     /// Enables or disables adaptive threshold derivation in place.
@@ -391,6 +411,11 @@ impl QualityMonitor {
             }
         }
         let mean_margin = if k >= 2 && n > 0 { margin_sum / n as f64 } else { -1.0 };
+
+        // Session-matrix row: same predictions, bucketed by task group.
+        if let Some(matrix) = &mut self.session_matrix {
+            matrix.record_predictions(generation, &self.probe, &predicted, &known_sorted);
+        }
 
         // Per-class probe accuracy (only classes the model knows), probe
         // accuracy over those rows, and the old-class mean.
@@ -554,6 +579,34 @@ mod tests {
         model.refresh_prototypes().unwrap();
         assert!(monitor.observe(&mut model).unwrap().is_some());
         assert_eq!(monitor.reports().len(), 2);
+    }
+
+    #[test]
+    fn session_matrix_rows_follow_observations() {
+        use crate::session_metrics::TaskGroup;
+        let (mut model, new, probe) = fixture(3);
+        let tasks = vec![
+            TaskGroup::new("base", &old_labels()),
+            TaskGroup::new("run", &[Activity::Run.label()]),
+        ];
+        let mut monitor = QualityMonitor::new(probe, &old_labels(), Default::default())
+            .with_session_tasks(tasks);
+        monitor.observe(&mut model).unwrap().expect("baseline");
+        let matrix = monitor.session_matrix().expect("recording enabled");
+        assert_eq!(matrix.sessions(), 1);
+        assert!(!matrix.rows()[0].known[1], "Run not learned yet");
+        assert!(matrix.at(0, 1) >= 0.0, "probe has Run rows, so FWT is measurable");
+
+        model.learn_new_class(&new, 15).unwrap();
+        let report = monitor.observe(&mut model).unwrap().expect("post-update");
+        let matrix = monitor.session_matrix().expect("recording enabled");
+        assert_eq!(matrix.sessions(), 2);
+        assert_eq!(matrix.rows()[1].generation, report.generation);
+        assert!(matrix.rows()[1].known[1], "Run learned in session 1");
+        assert_eq!(matrix.learned_session(1), Some(1));
+        // An unchanged generation stamps nothing.
+        assert!(monitor.observe(&mut model).unwrap().is_none());
+        assert_eq!(monitor.session_matrix().unwrap().sessions(), 2);
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! Session-level continual-learning metrics: the accuracy matrix and the
+//! curves derived from it.
+//!
+//! The paper's claim is about *forgetting across a sequence of incremental
+//! sessions*, not a single snapshot. The standard instrument for that (and
+//! the one Adaimi & Thomaz use for lifelong HAR, PAPERS.md) is the
+//! **accuracy matrix** `R`: row `i` is one training session (here, one
+//! [`Pilote`](crate::pilote::Pilote) generation bump observed by the
+//! quality monitor), column `j` is one **task** — a named group of class
+//! labels ([`TaskGroup`]) — and `R[i][j]` is the held-out probe accuracy on
+//! task `j` right after session `i`. Every classic continual-learning
+//! metric is a fold over this matrix:
+//!
+//! * **Average accuracy curve** — `mean_j R[i][j]` over the tasks measured
+//!   and known at session `i`; the last point is the usual "ACC" headline.
+//! * **Forgetting curve** — at session `i`, the mean over already-learned
+//!   tasks of `max_{k < i} R[k][j] − R[i][j]` (how far each task has
+//!   fallen from its own best). Zero while nothing has been learned twice.
+//! * **Backward transfer (BWT)** — `mean_j R[T][j] − R[learned(j)][j]`
+//!   where `T` is the final session and `learned(j)` the session that
+//!   first knew task `j`. Negative BWT *is* catastrophic forgetting.
+//! * **Forward transfer (FWT)** — `mean_j R[learned(j)−1][j]`: accuracy on
+//!   a task *before* the model learned it, against a zero-knowledge
+//!   baseline. For an NCM classifier the prior is exactly zero (an unknown
+//!   label is never predicted), so FWT reports the raw pre-learning
+//!   accuracy rather than a delta against random chance.
+//!
+//! Cells the probe cannot measure (no rows of that task) carry the `-1.0`
+//! sentinel — the same convention as
+//! [`ClassQuality::accuracy`](crate::quality::ClassQuality) — and every
+//! derived metric skips them. Each row also records which tasks the
+//! classifier *knew* at that session ([`SessionRecord::known`]), which is
+//! what separates "accuracy before learning" (FWT) from "accuracy since
+//! learning" (forgetting, BWT).
+//!
+//! Everything here is pure arithmetic over recorded values — no clock, no
+//! randomness, fixed iteration order — so a matrix recorded at one seed
+//! serialises byte-identically at any `PILOTE_THREADS`. The formulas and
+//! the determinism contract are documented in `docs/METRICS.md`.
+
+use pilote_har_data::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel accuracy for a cell the probe set cannot measure.
+const UNMEASURED: f32 = -1.0;
+
+/// A named group of class labels evaluated as one column of the matrix.
+///
+/// In the paper's class-incremental schedule each task is a single new
+/// activity (plus one task for the pre-trained base classes), but a group
+/// may hold any label set — e.g. all classes of one sensor placement in a
+/// domain-incremental scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskGroup {
+    /// Human-readable task name (used in JSON and rollups).
+    pub name: String,
+    /// The class labels this task covers, sorted and deduplicated.
+    pub labels: Vec<usize>,
+}
+
+impl TaskGroup {
+    /// Builds a task group; labels are sorted and deduplicated so two
+    /// groups over the same set compare equal.
+    pub fn new(name: impl Into<String>, labels: &[usize]) -> Self {
+        let mut labels = labels.to_vec();
+        labels.sort_unstable();
+        labels.dedup();
+        TaskGroup { name: name.into(), labels }
+    }
+}
+
+/// One row of the matrix: the per-task probe accuracies measured right
+/// after one training session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Model generation this row was measured at.
+    pub generation: u64,
+    /// Probe accuracy per task (same order as the matrix's tasks);
+    /// `-1.0` when the probe has no rows of that task.
+    pub accuracies: Vec<f32>,
+    /// Whether the classifier knew **all** of the task's labels at this
+    /// session. A task counts as learned at the first row where this is
+    /// true.
+    pub known: Vec<bool>,
+}
+
+/// Errors constructing a matrix from untrusted parts (the wire decoder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixShapeError {
+    /// A row's `accuracies`/`known` length disagrees with the task count.
+    RowWidth {
+        /// Index of the offending row.
+        row: usize,
+        /// Expected width (the task count).
+        expected: usize,
+        /// Actual `accuracies` length.
+        accuracies: usize,
+        /// Actual `known` length.
+        known: usize,
+    },
+}
+
+impl std::fmt::Display for MatrixShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixShapeError::RowWidth { row, expected, accuracies, known } => write!(
+                f,
+                "session matrix row {row}: expected {expected} tasks, got \
+                 {accuracies} accuracies and {known} known flags"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatrixShapeError {}
+
+/// The accuracy matrix recorder (see the module docs for the semantics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyMatrix {
+    tasks: Vec<TaskGroup>,
+    rows: Vec<SessionRecord>,
+}
+
+impl AccuracyMatrix {
+    /// An empty matrix over a fixed task list (columns never change after
+    /// construction).
+    pub fn new(tasks: Vec<TaskGroup>) -> Self {
+        AccuracyMatrix { tasks, rows: Vec::new() }
+    }
+
+    /// Rebuilds a matrix from raw parts (the wire decoder), validating
+    /// that every row is exactly as wide as the task list.
+    pub fn from_parts(
+        tasks: Vec<TaskGroup>,
+        rows: Vec<SessionRecord>,
+    ) -> Result<Self, MatrixShapeError> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.accuracies.len() != tasks.len() || row.known.len() != tasks.len() {
+                return Err(MatrixShapeError::RowWidth {
+                    row: i,
+                    expected: tasks.len(),
+                    accuracies: row.accuracies.len(),
+                    known: row.known.len(),
+                });
+            }
+        }
+        Ok(AccuracyMatrix { tasks, rows })
+    }
+
+    /// The task (column) definitions.
+    pub fn tasks(&self) -> &[TaskGroup] {
+        &self.tasks
+    }
+
+    /// The recorded rows, oldest first.
+    pub fn rows(&self) -> &[SessionRecord] {
+        &self.rows
+    }
+
+    /// Number of recorded sessions (rows).
+    pub fn sessions(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `R[session][task]`, or the `-1.0` sentinel for unmeasured cells.
+    pub fn at(&self, session: usize, task: usize) -> f32 {
+        self.rows[session].accuracies[task]
+    }
+
+    /// Appends a pre-computed row. Panics if the widths disagree with the
+    /// task list — recorder misuse, not data corruption (the wire path
+    /// goes through [`AccuracyMatrix::from_parts`]).
+    pub fn record(&mut self, generation: u64, accuracies: Vec<f32>, known: Vec<bool>) {
+        assert_eq!(accuracies.len(), self.tasks.len(), "accuracy row width");
+        assert_eq!(known.len(), self.tasks.len(), "known row width");
+        self.rows.push(SessionRecord { generation, accuracies, known });
+    }
+
+    /// Stamps one session row from a probe classification: `predicted[r]`
+    /// is the predicted label for probe row `r`, `known_labels` the labels
+    /// the classifier currently knows. Per-task accuracy is computed over
+    /// the union of the task's labels' probe rows; a task is `known` when
+    /// the classifier knows **all** of its labels.
+    pub fn record_predictions(
+        &mut self,
+        generation: u64,
+        probe: &Dataset,
+        predicted: &[usize],
+        known_labels: &[usize],
+    ) {
+        let mut accuracies = Vec::with_capacity(self.tasks.len());
+        let mut known = Vec::with_capacity(self.tasks.len());
+        for task in &self.tasks {
+            let mut correct = 0usize;
+            let mut total = 0usize;
+            for &label in &task.labels {
+                for row in probe.class_indices(label) {
+                    total += 1;
+                    if predicted[row] == label {
+                        correct += 1;
+                    }
+                }
+            }
+            accuracies.push(if total == 0 {
+                UNMEASURED
+            } else {
+                correct as f32 / total as f32
+            });
+            known.push(task.labels.iter().all(|l| known_labels.contains(l)));
+        }
+        self.rows.push(SessionRecord { generation, accuracies, known });
+    }
+
+    /// The first session (row index) at which the classifier knew all of
+    /// task `j`'s labels, or `None` if it never has.
+    pub fn learned_session(&self, task: usize) -> Option<usize> {
+        self.rows.iter().position(|row| row.known[task])
+    }
+
+    /// The matrix "diagonal" for task `j`: its accuracy at the session
+    /// that first learned it. `None` if never learned or unmeasured.
+    pub fn own_task_accuracy(&self, task: usize) -> Option<f32> {
+        let learned = self.learned_session(task)?;
+        let acc = self.at(learned, task);
+        (acc >= 0.0).then_some(acc)
+    }
+
+    /// Mean accuracy per session over the tasks known *and* measured at
+    /// that session; `-1.0` for a session with none.
+    pub fn average_accuracy_curve(&self) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut sum = 0.0f64;
+                let mut count = 0usize;
+                for (j, &acc) in row.accuracies.iter().enumerate() {
+                    if row.known[j] && acc >= 0.0 {
+                        sum += f64::from(acc);
+                        count += 1;
+                    }
+                }
+                if count == 0 { f64::from(UNMEASURED) } else { sum / count as f64 }
+            })
+            .collect()
+    }
+
+    /// Per-session forgetting: at session `i`, the mean over tasks learned
+    /// *before* `i` of `max_{learned(j) ≤ k < i} R[k][j] − R[i][j]`.
+    /// Positive = the task has fallen from its own best. Sessions with no
+    /// previously-learned measurable task report 0.
+    pub fn forgetting_curve(&self) -> Vec<f64> {
+        (0..self.rows.len())
+            .map(|i| {
+                let mut sum = 0.0f64;
+                let mut count = 0usize;
+                for j in 0..self.tasks.len() {
+                    let Some(learned) = self.learned_session(j) else { continue };
+                    if learned >= i {
+                        continue;
+                    }
+                    let now = self.at(i, j);
+                    if now < 0.0 {
+                        continue;
+                    }
+                    let mut best = f32::NEG_INFINITY;
+                    for k in learned..i {
+                        let past = self.at(k, j);
+                        if past >= 0.0 {
+                            best = best.max(past);
+                        }
+                    }
+                    if best.is_finite() {
+                        sum += f64::from(best) - f64::from(now);
+                        count += 1;
+                    }
+                }
+                if count == 0 { 0.0 } else { sum / count as f64 }
+            })
+            .collect()
+    }
+
+    /// The last point of the forgetting curve (0 for an empty matrix).
+    pub fn final_forgetting(&self) -> f64 {
+        self.forgetting_curve().last().copied().unwrap_or(0.0)
+    }
+
+    /// BWT: mean over tasks learned before the final session of
+    /// `R[T][j] − R[learned(j)][j]`. `None` when no task qualifies.
+    pub fn backward_transfer(&self) -> Option<f64> {
+        let last = self.rows.len().checked_sub(1)?;
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for j in 0..self.tasks.len() {
+            let Some(learned) = self.learned_session(j) else { continue };
+            if learned >= last {
+                continue;
+            }
+            let (then, now) = (self.at(learned, j), self.at(last, j));
+            if then >= 0.0 && now >= 0.0 {
+                sum += f64::from(now) - f64::from(then);
+                count += 1;
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// FWT: mean over tasks learned after session 0 of
+    /// `R[learned(j)−1][j]` — probe accuracy on a task the model had not
+    /// yet learned, against the NCM zero-knowledge baseline (an unknown
+    /// label is never predicted, so chance is exactly 0). `None` when no
+    /// task qualifies.
+    pub fn forward_transfer(&self) -> Option<f64> {
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for j in 0..self.tasks.len() {
+            let Some(learned) = self.learned_session(j) else { continue };
+            if learned == 0 {
+                continue;
+            }
+            let before = self.at(learned - 1, j);
+            if before >= 0.0 {
+                sum += f64::from(before);
+                count += 1;
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// All derived metrics in one serialisable bundle.
+    pub fn summary(&self) -> SessionSummary {
+        let curve = self.average_accuracy_curve();
+        SessionSummary {
+            sessions: self.sessions(),
+            tasks: self.tasks.len(),
+            average_accuracy: curve.last().copied().unwrap_or(f64::from(UNMEASURED)),
+            average_accuracy_curve: curve,
+            forgetting_curve: self.forgetting_curve(),
+            final_forgetting: self.final_forgetting(),
+            backward_transfer: self.backward_transfer(),
+            forward_transfer: self.forward_transfer(),
+        }
+    }
+}
+
+/// The derived continual-learning metrics of one device's matrix
+/// (formulas in the module docs and `docs/METRICS.md`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// Number of recorded sessions (matrix rows).
+    pub sessions: usize,
+    /// Number of tasks (matrix columns).
+    pub tasks: usize,
+    /// Final-session mean accuracy over known, measured tasks ("ACC").
+    pub average_accuracy: f64,
+    /// [`AccuracyMatrix::average_accuracy_curve`], one point per session.
+    pub average_accuracy_curve: Vec<f64>,
+    /// [`AccuracyMatrix::forgetting_curve`], one point per session.
+    pub forgetting_curve: Vec<f64>,
+    /// The forgetting curve's last point.
+    pub final_forgetting: f64,
+    /// Backward transfer; `None` when no task was learned before the
+    /// final session.
+    pub backward_transfer: Option<f64>,
+    /// Forward transfer; `None` when every task was known from session 0.
+    pub forward_transfer: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tasks() -> Vec<TaskGroup> {
+        vec![TaskGroup::new("base", &[0, 1]), TaskGroup::new("run", &[2])]
+    }
+
+    /// Base known throughout; run learned at session 1; base decays.
+    fn sample() -> AccuracyMatrix {
+        let mut m = AccuracyMatrix::new(tasks());
+        m.record(1, vec![0.9, 0.1], vec![true, false]);
+        m.record(2, vec![0.8, 0.7], vec![true, true]);
+        m.record(3, vec![0.6, 0.75], vec![true, true]);
+        m
+    }
+
+    #[test]
+    fn task_group_normalises_labels() {
+        let t = TaskGroup::new("x", &[3, 1, 3, 2]);
+        assert_eq!(t.labels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn learned_session_and_diagonal() {
+        let m = sample();
+        assert_eq!(m.learned_session(0), Some(0));
+        assert_eq!(m.learned_session(1), Some(1));
+        assert_eq!(m.own_task_accuracy(0), Some(0.9));
+        assert_eq!(m.own_task_accuracy(1), Some(0.7));
+    }
+
+    #[test]
+    fn average_accuracy_skips_unknown_and_unmeasured() {
+        let m = sample();
+        let curve = m.average_accuracy_curve();
+        // Session 0: run not yet known → base only.
+        assert!((curve[0] - 0.9).abs() < 1e-6);
+        assert!((curve[1] - 0.75).abs() < 1e-6);
+        assert!((curve[2] - 0.675).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forgetting_curve_tracks_drop_from_best() {
+        let m = sample();
+        let curve = m.forgetting_curve();
+        assert_eq!(curve[0], 0.0, "nothing learned before session 0");
+        // Session 1: only base qualifies; best-so-far 0.9, now 0.8.
+        assert!((curve[1] - (0.9 - 0.8)).abs() < 1e-6);
+        // Session 2: base 0.9 → 0.6, run 0.7 → 0.75 (negative forgetting).
+        let expected = (f64::from(0.9f32 - 0.6f32) + f64::from(0.7f32 - 0.75f32)) / 2.0;
+        assert!((curve[2] - expected).abs() < 1e-6, "{} vs {expected}", curve[2]);
+        assert!((m.final_forgetting() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_metrics() {
+        let m = sample();
+        // BWT: base (0.6 − 0.9) and run (0.75 − 0.7), averaged.
+        let bwt = m.backward_transfer().expect("both tasks qualify");
+        let expected = (f64::from(0.6f32 - 0.9f32) + f64::from(0.75f32 - 0.7f32)) / 2.0;
+        assert!((bwt - expected).abs() < 1e-6);
+        // FWT: run only — its accuracy at session 0, before learning.
+        let fwt = m.forward_transfer().expect("run was learned late");
+        assert!((fwt - f64::from(0.1f32)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_none_on_degenerate_shapes() {
+        let mut m = AccuracyMatrix::new(tasks());
+        assert_eq!(m.backward_transfer(), None, "empty matrix");
+        assert_eq!(m.forward_transfer(), None);
+        m.record(1, vec![0.9, -1.0], vec![true, true]);
+        assert_eq!(m.backward_transfer(), None, "nothing learned before the last row");
+        assert_eq!(m.forward_transfer(), None, "everything known from session 0");
+    }
+
+    #[test]
+    fn unmeasured_cells_are_skipped_everywhere() {
+        let mut m = AccuracyMatrix::new(tasks());
+        m.record(1, vec![0.9, -1.0], vec![true, false]);
+        m.record(2, vec![-1.0, 0.8], vec![true, true]);
+        let curve = m.average_accuracy_curve();
+        assert!((curve[0] - 0.9).abs() < 1e-6);
+        assert!((curve[1] - 0.8).abs() < 1e-6, "unmeasured base must not drag the mean");
+        // Forgetting at session 1: base has no measurable best *and* no
+        // current value → no qualifying task.
+        assert_eq!(m.forgetting_curve()[1], 0.0);
+    }
+
+    #[test]
+    fn from_parts_validates_row_width() {
+        let rows =
+            vec![SessionRecord { generation: 1, accuracies: vec![0.5], known: vec![true] }];
+        let err = AccuracyMatrix::from_parts(tasks(), rows).unwrap_err();
+        assert!(matches!(err, MatrixShapeError::RowWidth { row: 0, expected: 2, .. }));
+    }
+
+    #[test]
+    fn record_predictions_groups_labels() {
+        // Probe: labels 0,0,1,2 with a predictor that nails 0 and 2 but
+        // misses 1 → base task (labels 0,1) = 2/3, run task = 1/1.
+        let probe =
+            Dataset::new(pilote_tensor::Tensor::zeros(vec![4, 3]), vec![0, 0, 1, 2]).unwrap();
+        let mut m = AccuracyMatrix::new(tasks());
+        m.record_predictions(7, &probe, &[0, 0, 0, 2], &[0, 1]);
+        assert_eq!(m.sessions(), 1);
+        assert_eq!(m.rows()[0].generation, 7);
+        assert!((m.at(0, 0) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(m.at(0, 1), 1.0);
+        assert_eq!(m.rows()[0].known, vec![true, false], "label 2 is not known");
+    }
+
+    #[test]
+    fn summary_matches_parts_and_serde_round_trips() {
+        let m = sample();
+        let s = m.summary();
+        assert_eq!(s.sessions, 3);
+        assert_eq!(s.tasks, 2);
+        assert_eq!(s.average_accuracy_curve, m.average_accuracy_curve());
+        assert_eq!(s.forgetting_curve, m.forgetting_curve());
+        assert_eq!(s.average_accuracy, *s.average_accuracy_curve.last().unwrap());
+        assert_eq!(s.final_forgetting, *s.forgetting_curve.last().unwrap());
+        assert_eq!(s.backward_transfer, m.backward_transfer());
+        assert_eq!(s.forward_transfer, m.forward_transfer());
+
+        let json = serde_json::to_string(&m).expect("serialise matrix");
+        let back: AccuracyMatrix = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, m);
+        let json = serde_json::to_string(&s).expect("serialise summary");
+        let back: SessionSummary = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, s);
+    }
+}

@@ -2,7 +2,9 @@
 //! package, and the fleet telemetry rollup.
 
 use pilote_core::pilote::TrainReport;
-use pilote_core::{Pilote, PiloteConfig, SelectionStrategy, SupportSet};
+use pilote_core::{
+    AccuracyMatrix, Pilote, PiloteConfig, SelectionStrategy, SessionSummary, SupportSet,
+};
 use pilote_har_data::preprocess::Normalizer;
 use pilote_har_data::Dataset;
 use pilote_nn::Checkpoint;
@@ -160,6 +162,104 @@ impl TelemetryRollup {
     }
 }
 
+/// Fleet-wide continual-learning scenario telemetry: the cloud-side
+/// rollup of per-device session × task accuracy matrices
+/// (`pilote_core::session_metrics`, shipped as `PWM1` payloads).
+///
+/// Devices are merged in device-index order — the same contract as
+/// [`TelemetryRollup`] — and every fleet curve is a serial fold over the
+/// stored per-device summaries in that order, so the rollup is
+/// byte-identical across runs and `PILOTE_THREADS` settings
+/// (`docs/METRICS.md`).
+///
+/// Devices may have recorded different session counts (a device that
+/// joined late has a shorter curve); the fleet curves are as long as the
+/// longest device curve, each point averaging only the devices that
+/// reached that session.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScenarioRollup {
+    /// Per-device derived metrics, in merge (device-index) order.
+    pub per_device: Vec<SessionSummary>,
+}
+
+impl ScenarioRollup {
+    /// Empty rollup.
+    pub fn new() -> Self {
+        ScenarioRollup::default()
+    }
+
+    /// Devices merged in so far.
+    pub fn devices(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Merges one device's matrix. Callers merge in device-index order
+    /// (the curve folds below iterate the stored order, so merge order is
+    /// the only order there is).
+    pub fn merge_matrix(&mut self, matrix: &AccuracyMatrix) {
+        self.per_device.push(matrix.summary());
+    }
+
+    /// Position-wise mean over the per-device curves selected by `f`:
+    /// point `i` averages the devices whose curve has an `i`-th point,
+    /// accumulated in `f64` in device order. Empty when no device
+    /// recorded anything.
+    fn mean_curve(&self, f: impl Fn(&SessionSummary) -> &[f64]) -> Vec<f64> {
+        let longest = self.per_device.iter().map(|s| f(s).len()).max().unwrap_or(0);
+        (0..longest)
+            .map(|i| {
+                let mut sum = 0.0f64;
+                let mut count = 0usize;
+                for summary in &self.per_device {
+                    if let Some(&v) = f(summary).get(i) {
+                        sum += v;
+                        count += 1;
+                    }
+                }
+                sum / count as f64
+            })
+            .collect()
+    }
+
+    /// Position-wise percentile (nearest-rank, `p` in `[0, 100]`) over
+    /// the per-device curves selected by `f`. Values at each position are
+    /// sorted by total order (`f64::total_cmp`), so ties and signed zeros
+    /// resolve deterministically.
+    fn percentile_curve(&self, p: f64, f: impl Fn(&SessionSummary) -> &[f64]) -> Vec<f64> {
+        let longest = self.per_device.iter().map(|s| f(s).len()).max().unwrap_or(0);
+        (0..longest)
+            .map(|i| {
+                let mut values: Vec<f64> = self
+                    .per_device
+                    .iter()
+                    .filter_map(|s| f(s).get(i).copied())
+                    .collect();
+                values.sort_unstable_by(f64::total_cmp);
+                let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
+                values[rank.clamp(1, values.len()) - 1]
+            })
+            .collect()
+    }
+
+    /// Fleet mean forgetting curve: point `i` averages, in `f64` and in
+    /// device order, the devices whose forgetting curve has an `i`-th
+    /// point. Empty when no device recorded anything.
+    pub fn mean_forgetting_curve(&self) -> Vec<f64> {
+        self.mean_curve(|s| &s.forgetting_curve)
+    }
+
+    /// Fleet mean average-accuracy curve.
+    pub fn mean_accuracy_curve(&self) -> Vec<f64> {
+        self.mean_curve(|s| &s.average_accuracy_curve)
+    }
+
+    /// Fleet percentile forgetting curve (nearest-rank; `p50` is the
+    /// median device, `p90` the worst-but-one decile).
+    pub fn percentile_forgetting_curve(&self, p: f64) -> Vec<f64> {
+        self.percentile_curve(p, |s| &s.forgetting_curve)
+    }
+}
+
 /// The cloud training service.
 pub struct CloudServer {
     corpus: Dataset,
@@ -307,6 +407,52 @@ mod tests {
         }
         let per_device: u64 = snaps.iter().map(|s| s.counters["edge.inference"]).sum();
         assert_eq!(rollup.counter("edge.inference"), per_device);
+    }
+
+    #[test]
+    fn scenario_rollup_curves_merge_per_device_curves() {
+        use pilote_core::TaskGroup;
+        let tasks = || vec![TaskGroup::new("base", &[0]), TaskGroup::new("new", &[1])];
+        // Device A: three sessions; device B joined late, only two.
+        let mut a = AccuracyMatrix::new(tasks());
+        a.record(1, vec![0.9, 0.2], vec![true, false]);
+        a.record(2, vec![0.8, 0.7], vec![true, true]);
+        a.record(3, vec![0.7, 0.6], vec![true, true]);
+        let mut b = AccuracyMatrix::new(tasks());
+        b.record(1, vec![1.0, -1.0], vec![true, false]);
+        b.record(2, vec![0.5, 0.9], vec![true, true]);
+
+        let mut rollup = ScenarioRollup::new();
+        rollup.merge_matrix(&a);
+        rollup.merge_matrix(&b);
+        assert_eq!(rollup.devices(), 2);
+        assert_eq!(rollup.per_device, vec![a.summary(), b.summary()]);
+
+        // Each fleet point is the plain mean of the device curves that
+        // reach that session; session 2 exists only on device A.
+        let fa = a.summary().forgetting_curve;
+        let fb = b.summary().forgetting_curve;
+        let fleet = rollup.mean_forgetting_curve();
+        assert_eq!(fleet.len(), 3);
+        assert!((fleet[0] - (fa[0] + fb[0]) / 2.0).abs() < 1e-12);
+        assert!((fleet[1] - (fa[1] + fb[1]) / 2.0).abs() < 1e-12);
+        assert!((fleet[2] - fa[2]).abs() < 1e-12);
+        let aa = a.summary().average_accuracy_curve;
+        let ab = b.summary().average_accuracy_curve;
+        let fleet_acc = rollup.mean_accuracy_curve();
+        assert!((fleet_acc[0] - (aa[0] + ab[0]) / 2.0).abs() < 1e-12);
+
+        // Nearest-rank percentiles: p50 of two values is the lower one,
+        // p90 the upper.
+        let p50 = rollup.percentile_forgetting_curve(50.0);
+        let p90 = rollup.percentile_forgetting_curve(90.0);
+        assert_eq!(p50[1], fa[1].min(fb[1]));
+        assert_eq!(p90[1], fa[1].max(fb[1]));
+
+        // Serde round-trip: the rollup is a report payload.
+        let json = serde_json::to_string(&rollup).expect("serialise");
+        let back: ScenarioRollup = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(back, rollup);
     }
 
     #[test]

@@ -11,8 +11,8 @@ use crate::cloud::{Deployment, PackageError, RollupError};
 use crate::events::{EventKind, EventLog};
 use crate::federated::FederatedError;
 use pilote_core::{
-    AdaptiveThresholds, EmbeddingNet, NcmClassifier, Pilote, QualityMonitor, QualityReport,
-    QualityThresholds, SupportSet, UpdateOutcome,
+    AccuracyMatrix, AdaptiveThresholds, EmbeddingNet, NcmClassifier, Pilote, QualityMonitor,
+    QualityReport, QualityThresholds, SupportSet, TaskGroup, UpdateOutcome,
 };
 use pilote_edge_sim::faults::{FlakyLink, LinkFault, RetryPolicy};
 use pilote_edge_sim::{DeviceProfile, LinkModel};
@@ -371,6 +371,32 @@ impl EdgeDevice {
         Ok(())
     }
 
+    /// [`EdgeDevice::arm_quality_monitor`] plus session-matrix recording:
+    /// every observation also stamps one row of a session × task
+    /// [`AccuracyMatrix`] (see `pilote_core::session_metrics` and
+    /// `docs/METRICS.md`) and records [`EventKind::SessionRecorded`]. The
+    /// baseline observation taken here is row 0, so pre-learning accuracy
+    /// on not-yet-known tasks (forward transfer) is measured from the
+    /// start.
+    pub fn arm_quality_monitor_with_sessions(
+        &mut self,
+        probe: Dataset,
+        old_labels: &[usize],
+        thresholds: QualityThresholds,
+        tasks: Vec<TaskGroup>,
+    ) -> Result<(), EdgeError> {
+        self.quality =
+            Some(QualityMonitor::new(probe, old_labels, thresholds).with_session_tasks(tasks));
+        self.sample_quality()?;
+        Ok(())
+    }
+
+    /// The armed monitor's session × task accuracy matrix, when recording
+    /// was enabled via [`EdgeDevice::arm_quality_monitor_with_sessions`].
+    pub fn session_matrix(&self) -> Option<&AccuracyMatrix> {
+        self.quality.as_ref().and_then(|m| m.session_matrix())
+    }
+
     /// Samples the quality monitor if it is armed and the model generation
     /// moved since the last observation. The probe evaluation is charged
     /// to the virtual clock as modeled device work, and every alert in the
@@ -382,12 +408,31 @@ impl EdgeDevice {
         let span = pilote_obs::span("edge.quality_sample");
         let flops_before = work::thread_flops();
         let report = monitor.observe(&mut self.model)?;
+        // When the monitor records a session matrix, a fresh report means
+        // a fresh row — summarise it for the event log while the monitor
+        // borrow is live.
+        let session_row = match (&report, monitor.session_matrix()) {
+            (Some(_), Some(matrix)) => {
+                let session = matrix.sessions().saturating_sub(1);
+                let summary = matrix.summary();
+                Some((session as u64, summary.average_accuracy, summary.final_forgetting))
+            }
+            _ => None,
+        };
         let flops = work::thread_flops().wrapping_sub(flops_before);
         let device_seconds = self.profile.seconds_for_flops(flops);
         span.annotate("device_seconds", device_seconds);
         drop(span);
         self.log.advance(device_seconds);
         if let Some(report) = &report {
+            if let Some((session, average_accuracy, forgetting)) = session_row {
+                self.log.record(EventKind::SessionRecorded {
+                    session,
+                    generation: report.generation,
+                    average_accuracy,
+                    forgetting,
+                });
+            }
             for alert in &report.alerts {
                 self.log.record(EventKind::AlertRaised {
                     rule: alert.rule.name().to_string(),
@@ -828,6 +873,25 @@ impl EdgeDevice {
                     "quality.old_class_accuracy".to_string(),
                     point(f64::from(last.old_class_accuracy)),
                 );
+            }
+            if let Some(matrix) = monitor.session_matrix() {
+                let summary = matrix.summary();
+                snapshot
+                    .gauges
+                    .insert("session.sessions".to_string(), point(summary.sessions as f64));
+                snapshot.gauges.insert(
+                    "session.average_accuracy".to_string(),
+                    point(summary.average_accuracy),
+                );
+                snapshot
+                    .gauges
+                    .insert("session.forgetting".to_string(), point(summary.final_forgetting));
+                if let Some(bwt) = summary.backward_transfer {
+                    snapshot.gauges.insert("session.bwt".to_string(), point(bwt));
+                }
+                if let Some(fwt) = summary.forward_transfer {
+                    snapshot.gauges.insert("session.fwt".to_string(), point(fwt));
+                }
             }
         }
         snapshot

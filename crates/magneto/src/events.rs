@@ -166,6 +166,20 @@ pub enum EventKind {
         /// Strike that triggered the re-anchor.
         strike: u32,
     },
+    /// The quality monitor stamped one row of the session × task accuracy
+    /// matrix (see `pilote_core::session_metrics` and `docs/METRICS.md`).
+    SessionRecorded {
+        /// 0-based matrix row index (session number).
+        session: u64,
+        /// Model generation the row was measured at.
+        generation: u64,
+        /// Mean accuracy over the tasks known and measured at this session
+        /// (the accuracy curve's newest point; `-1.0` when none qualify).
+        average_accuracy: f64,
+        /// The forgetting curve's newest point (mean drop from each
+        /// learned task's own best; 0 until a task is measured twice).
+        forgetting: f64,
+    },
     /// A staged rollout halted while this device held the new model; the
     /// device was restored to its pre-install state.
     RolloutHalted {
@@ -208,6 +222,7 @@ impl EventKind {
             EventKind::QuarantineLifted { .. } => "edge.quarantine_lifted",
             EventKind::RepairRollback { .. } => "edge.repair_rollback",
             EventKind::Reanchored { .. } => "edge.reanchored",
+            EventKind::SessionRecorded { .. } => "edge.session_recorded",
             EventKind::RolloutHalted { .. } => "edge.rollout_halted",
         }
     }
@@ -641,6 +656,12 @@ mod tests {
             EventKind::QuarantineLifted { strikes: 1 },
             EventKind::RepairRollback { strike: 1 },
             EventKind::Reanchored { payload_bytes: 1024, strike: 2 },
+            EventKind::SessionRecorded {
+                session: 0,
+                generation: 1,
+                average_accuracy: 0.9,
+                forgetting: 0.0,
+            },
             EventKind::RolloutHalted { stage: "canary".into(), alerts: 1, stage_size: 1 },
         ];
         let mut names: Vec<_> = kinds.iter().map(EventKind::metric_name).collect();

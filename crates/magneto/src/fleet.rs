@@ -31,13 +31,13 @@
 //! stats are byte-identical to the serial walk at any `PILOTE_THREADS`
 //! setting.
 
-use crate::cloud::{Deployment, PackageError, TelemetryRollup};
+use crate::cloud::{Deployment, PackageError, ScenarioRollup, TelemetryRollup};
 use crate::edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus};
 use crate::events::{EventKind, ExclusionReason, DEFAULT_EVENT_CAPACITY};
 use crate::federated::{federated_average, FederatedCoordinator};
 use crate::policy::{FleetPolicy, PolicyConfig, RepairAction, RolloutStage};
 use crate::wire::{self, CodecError, WireConfig};
-use pilote_core::{AdaptiveThresholds, QualityThresholds};
+use pilote_core::{AdaptiveThresholds, QualityThresholds, TaskGroup};
 use pilote_edge_sim::{DeviceProfile, LinkModel, WirePrecision};
 use pilote_har_data::Dataset;
 use pilote_nn::Checkpoint;
@@ -1213,6 +1213,29 @@ impl Fleet {
         Ok(())
     }
 
+    /// [`Fleet::arm_quality_monitors`] plus session-matrix recording on
+    /// every device: each monitor also stamps one row of a session × task
+    /// [`pilote_core::AccuracyMatrix`] per observation (the baseline taken
+    /// here is row 0), collected fleet-wide by
+    /// [`Fleet::session_matrix_rollup`].
+    pub fn arm_quality_monitors_with_sessions(
+        &mut self,
+        probe: &Dataset,
+        old_labels: &[usize],
+        thresholds: QualityThresholds,
+        tasks: &[TaskGroup],
+    ) -> Result<(), EdgeError> {
+        for member in &mut self.members {
+            member.device.arm_quality_monitor_with_sessions(
+                probe.clone(),
+                old_labels,
+                thresholds,
+                tasks.to_vec(),
+            )?;
+        }
+        Ok(())
+    }
+
     /// Collects every device's telemetry snapshot over its own link
     /// (charging real wire bytes and modeled transfer time, like any other
     /// deployment traffic) and merges them into a deterministic fleet-wide
@@ -1291,6 +1314,41 @@ impl Fleet {
             pilote_obs::counter("fleet.telemetry_uploads").inc();
         }
         Ok(())
+    }
+
+    /// Collects every device's session × task accuracy matrix over its
+    /// own link (each payload sized by the binary `PWM1` codec,
+    /// [`crate::wire::session_matrix_wire_bytes`]) and merges them into a
+    /// [`ScenarioRollup`] in device-index order — the same merge-order
+    /// contract as [`Fleet::telemetry_rollup`], so the fleet curves are
+    /// byte-identical across runs and `PILOTE_THREADS` settings.
+    ///
+    /// Devices without session recording (armed via
+    /// [`Fleet::arm_quality_monitors`] or not at all) ship nothing and are
+    /// skipped. Unlike telemetry snapshots, matrices are device
+    /// *behaviour* records fed by the always-on quality monitor, so the
+    /// `PILOTE_OBS` kill switch does not empty them.
+    pub fn session_matrix_rollup(&mut self) -> ScenarioRollup {
+        let span = pilote_obs::span("fleet.session_matrix_rollup");
+        span.annotate("devices", self.members.len() as f64);
+        let payloads = map_member_bands(&mut self.members, &|_, member| {
+            member.device.session_matrix().map(|matrix| {
+                let bytes = wire::session_matrix_wire_bytes(matrix);
+                (matrix.clone(), bytes)
+            })
+        });
+        let mut rollup = ScenarioRollup::new();
+        for (member, payload) in self.members.iter_mut().zip(payloads) {
+            let Some((matrix, bytes)) = payload else { continue };
+            member.device.advance_clock(member.link.transfer_seconds(bytes));
+            self.wire_totals.telemetry_bytes += bytes;
+            rollup.merge_matrix(&matrix);
+        }
+        drop(span);
+        if pilote_obs::enabled() {
+            pilote_obs::counter("fleet.session_matrix_rollups").inc();
+        }
+        rollup
     }
 
     /// Fleet-wide summary.

@@ -36,7 +36,10 @@ pub mod fleet;
 pub mod policy;
 pub mod wire;
 
-pub use cloud::{CloudServer, Deployment, PackageError, RollupError, ShippedPrototypes, TelemetryRollup};
+pub use cloud::{
+    CloudServer, Deployment, PackageError, RollupError, ScenarioRollup, ShippedPrototypes,
+    TelemetryRollup,
+};
 pub use edge::{EdgeDevice, EdgeError, InferenceOutcome, UpdateStatus, MAX_UPDATE_FAILURES};
 pub use events::{Event, EventKind, EventLog, ExclusionReason};
 pub use federated::{federated_average, FederatedCoordinator, FederatedError};

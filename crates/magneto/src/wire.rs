@@ -1,7 +1,7 @@
 //! The MAGNETO payload codec — exact binary encodings for every byte
 //! that crosses the cloud↔edge link (`docs/WIRE.md`).
 //!
-//! Three payload families share the checked little-endian primitives of
+//! Four payload families share the checked little-endian primitives of
 //! [`pilote_edge_sim::wire`]:
 //!
 //! * **Deployments** (`PWD1`) — checkpoint, exemplar support set,
@@ -17,6 +17,10 @@
 //! * **Telemetry** (`PWS1`) — [`pilote_obs::Snapshot`]s (both full
 //!   snapshots and since-last-rollup deltas use the same shape), with
 //!   `f64` statistics encoded as IEEE-754 bits, never decimal text.
+//! * **Session matrices** (`PWM1`) — the continual-learning accuracy
+//!   matrix of `pilote_core::session_metrics` (task definitions plus
+//!   per-session rows), `f32` accuracies bit-exact; the fleet's
+//!   scenario rollup ships these (`docs/METRICS.md`).
 //!
 //! Every encoder's `len()` **is** the byte count charged to the link
 //! model, so wire bytes → modeled transfer time with no format fudge
@@ -27,7 +31,8 @@
 use crate::cloud::{Deployment, ShippedPrototypes};
 use pilote_core::PiloteConfig;
 use pilote_core::config::NetConfig;
-use pilote_core::SupportSet;
+use pilote_core::session_metrics::SessionRecord;
+use pilote_core::{AccuracyMatrix, SupportSet, TaskGroup};
 use pilote_edge_sim::quantize::{QuantizeError, Quantization, QuantizedMatrix};
 use pilote_edge_sim::wire::{WireError, WirePrecision, WireReader, WireWriter};
 use pilote_har_data::preprocess::Normalizer;
@@ -44,6 +49,9 @@ pub const DEPLOYMENT_MAGIC: [u8; 4] = *b"PWD1";
 pub const ROUND_MAGIC: [u8; 4] = *b"PWR1";
 /// Telemetry payload magic.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PWS1";
+/// Session-matrix payload magic (the continual-learning accuracy matrix,
+/// `pilote_core::session_metrics`).
+pub const SESSION_MATRIX_MAGIC: [u8; 4] = *b"PWM1";
 
 /// Span trees deeper than this are rejected as corrupt rather than
 /// recursed into (a hostile payload could otherwise exhaust the stack).
@@ -676,6 +684,80 @@ pub fn snapshot_wire_bytes(s: &Snapshot) -> u64 {
     encode_snapshot(s).len() as u64
 }
 
+// ---------------------------------------------------------------------
+// Session-matrix payloads
+// ---------------------------------------------------------------------
+
+/// Encodes a session × task [`AccuracyMatrix`] (see
+/// `pilote_core::session_metrics`): the task definitions (name + label
+/// set) followed by every row's generation, per-task known flag and
+/// per-task `f32` accuracy, bit-exact. Infallible: every field is a
+/// plain scalar or string.
+pub fn encode_session_matrix(m: &AccuracyMatrix) -> Vec<u8> {
+    let mut w = WireWriter::with_magic(SESSION_MATRIX_MAGIC);
+    w.u64(m.tasks().len() as u64);
+    for task in m.tasks() {
+        w.str(&task.name);
+        w.u64(task.labels.len() as u64);
+        for &label in &task.labels {
+            w.u64(label as u64);
+        }
+    }
+    w.u64(m.rows().len() as u64);
+    for row in m.rows() {
+        w.u64(row.generation);
+        for (j, &acc) in row.accuracies.iter().enumerate() {
+            w.u8(row.known[j] as u8);
+            w.f32(acc);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a session-matrix payload, re-validating the row shape through
+/// [`AccuracyMatrix::from_parts`].
+pub fn decode_session_matrix(bytes: &[u8]) -> Result<AccuracyMatrix, CodecError> {
+    let mut r = WireReader::with_magic(bytes, SESSION_MATRIX_MAGIC)?;
+    let nt = r.len_for("session matrix tasks", 9)?;
+    let mut tasks = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        let name = r.str()?;
+        let nl = r.len_for("task labels", 8)?;
+        let mut labels = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            labels.push(r.u64()? as usize);
+        }
+        tasks.push(TaskGroup { name, labels });
+    }
+    let nr = r.len_for("session matrix rows", 8)?;
+    let mut rows = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        let generation = r.u64()?;
+        let mut accuracies = Vec::with_capacity(nt);
+        let mut known = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            known.push(match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(WireError::BadTag { context: "session known flag", tag }.into())
+                }
+            });
+            accuracies.push(r.f32()?);
+        }
+        rows.push(SessionRecord { generation, accuracies, known });
+    }
+    r.finish()?;
+    AccuracyMatrix::from_parts(tasks, rows)
+        .map_err(|e| CodecError::Structure { detail: e.to_string() })
+}
+
+/// Exact byte count [`encode_session_matrix`] produces — what a matrix
+/// upload charges the link with.
+pub fn session_matrix_wire_bytes(m: &AccuracyMatrix) -> u64 {
+    encode_session_matrix(m).len() as u64
+}
+
 fn write_spans(w: &mut WireWriter, spans: &[SpanNode]) {
     w.u64(spans.len() as u64);
     for span in spans {
@@ -860,6 +942,49 @@ mod tests {
         // Binary is materially smaller than the JSON it replaces.
         let json_len = serde_json::to_string(&s).unwrap().len();
         assert!(bytes.len() < json_len);
+    }
+
+    #[test]
+    fn session_matrix_round_trips_bitwise() {
+        let mut m = AccuracyMatrix::new(vec![
+            TaskGroup::new("base", &[0, 1]),
+            TaskGroup::new("run", &[2]),
+        ]);
+        m.record(3, vec![0.9375, -1.0], vec![true, false]);
+        m.record(4, vec![0.875, 0.75], vec![true, true]);
+        let bytes = encode_session_matrix(&m);
+        assert_eq!(bytes.len() as u64, session_matrix_wire_bytes(&m));
+        let back = decode_session_matrix(&bytes).unwrap();
+        assert_eq!(back, m);
+        // Binary is materially smaller than the JSON it replaces.
+        let json_len = serde_json::to_string(&m).unwrap().len();
+        assert!(bytes.len() < json_len);
+    }
+
+    #[test]
+    fn corrupt_session_matrix_payloads_are_typed_errors() {
+        let m = AccuracyMatrix::new(vec![TaskGroup::new("base", &[0])]);
+        let mut bytes = encode_session_matrix(&m);
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_session_matrix(&bytes),
+            Err(CodecError::Wire(WireError::BadMagic { .. }))
+        ));
+        assert!(matches!(
+            decode_session_matrix(b"PWM1"),
+            Err(CodecError::Wire(WireError::UnexpectedEof { .. }))
+        ));
+        // A bad known-flag tag is caught, not coerced.
+        let mut m = AccuracyMatrix::new(vec![TaskGroup::new("base", &[0])]);
+        m.record(1, vec![0.5], vec![true]);
+        let mut bytes = encode_session_matrix(&m);
+        let flag_at = bytes.len() - 5; // last row: u8 flag then f32 accuracy
+        assert_eq!(bytes[flag_at], 1);
+        bytes[flag_at] = 7;
+        assert!(matches!(
+            decode_session_matrix(&bytes),
+            Err(CodecError::Wire(WireError::BadTag { context: "session known flag", .. }))
+        ));
     }
 
     #[test]

@@ -34,6 +34,13 @@
 #      PILOTE_THREADS=4, BENCH_wire.json byte-compared; i8-delta must
 #      move fewer federated bytes than f32-full and undercut the
 #      JSON-f32 baseline ≥4× at <1 point of old-class accuracy loss
+#  14. the scenarios gate (docs/METRICS.md): `repro scenarios` run twice
+#      plus once at PILOTE_THREADS=4, BENCH_scenarios.json byte-compared;
+#      every strategy's accuracy matrix must cover the full schedule and
+#      PILOTE's final forgetting must stay strictly below re-trained's
+#  15. the index gate: `repro index` over the committed results/ BENCH
+#      files must parse every one, resolve every headline metric, and
+#      reproduce the committed BENCH_index.json byte-for-byte
 #
 # Usage: ./scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -304,5 +311,57 @@ print(f"wire gate: i8-delta {savings:.1f}x under JSON baseline, "
       f"old-class accuracy {i8_delta['old_accuracy']:.4f} vs "
       f"f32-full {f32_full['old_accuracy']:.4f}")
 EOF
+
+# --- scenarios gate (docs/METRICS.md) --------------------------------------
+
+step "scenarios: repro scenarios byte-identical across runs and at PILOTE_THREADS=4"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  scenarios --quick --out "$obs_dir/s1"
+cargo run --release -q -p pilote-bench --bin repro -- \
+  scenarios --quick --out "$obs_dir/s2"
+PILOTE_THREADS=4 cargo run --release -q -p pilote-bench --bin repro -- \
+  scenarios --quick --out "$obs_dir/s4"
+cmp "$obs_dir/s1/BENCH_scenarios.json" "$obs_dir/s2/BENCH_scenarios.json"
+cmp "$obs_dir/s1/BENCH_scenarios.json" "$obs_dir/s4/BENCH_scenarios.json"
+
+step "scenarios: matrices cover the schedule; PILOTE forgets less than re-trained"
+python3 - "$obs_dir/s1" << 'EOF'
+import json, sys
+out = sys.argv[1]
+bench = json.load(open(f"{out}/BENCH_scenarios.json"))
+sessions = 1 + len(bench["schedule"]["increments"])
+tasks = 1 + len(bench["schedule"]["increments"])
+for name in ("pilote", "retrained", "pretrained"):
+    arm = bench["strategies"][name]
+    rows = arm["matrix"]["rows"]
+    assert len(rows) == sessions, f"{name}: want {sessions} matrix rows, got {len(rows)}"
+    for row in rows:
+        assert len(row["accuracies"]) == tasks and len(row["known"]) == tasks, (
+            f"{name}: ragged matrix row: {row}")
+    s = arm["summary"]
+    assert s["sessions"] == sessions and s["tasks"] == tasks, f"{name}: summary shape: {s}"
+    assert len(s["forgetting_curve"]) == sessions, f"{name}: forgetting-curve length"
+split = bench["ab_split"]
+assert split["pilote_final_forgetting"] < split["retrained_final_forgetting"], (
+    f"PILOTE must forget strictly less than the re-trained baseline: {split}")
+fleet = bench["fleet"]
+assert fleet["devices"] >= 1 and len(fleet["mean_forgetting_curve"]) >= sessions, (
+    f"fleet rollup must span the schedule: {fleet}")
+print(f"scenarios gate: pilote forgetting {split['pilote_final_forgetting']:.4f} "
+      f"< retrained {split['retrained_final_forgetting']:.4f}; "
+      f"{fleet['devices']}-device rollup")
+EOF
+
+# --- index gate ------------------------------------------------------------
+
+step "index: committed BENCH files parse, headlines resolve, manifest reproduces"
+idx_dir="$obs_dir/index"
+mkdir -p "$idx_dir"
+for f in results/BENCH_*.json; do
+  [ "$(basename "$f")" = "BENCH_index.json" ] && continue
+  cp "$f" "$idx_dir/"
+done
+cargo run --release -q -p pilote-bench --bin repro -- index --out "$idx_dir"
+cmp "$idx_dir/BENCH_index.json" results/BENCH_index.json
 
 printf '\nci.sh: all gates passed\n'

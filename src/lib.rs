@@ -63,10 +63,10 @@ pub mod prelude {
     pub use pilote_core::pairs::PairScheme;
     pub use pilote_core::strategies::{run_strategy, Strategy};
     pub use pilote_core::{
-        accuracy, select_exemplars, ConfusionMatrix, EmbeddingNet, NcmClassifier, NetConfig,
-        AdaptiveThresholds, Pilote, PiloteConfig, QualityMonitor, QualityReport,
-        QualityThresholds,
-        SelectionStrategy, SupportSet,
+        accuracy, select_exemplars, AccuracyMatrix, ConfusionMatrix, EmbeddingNet, NcmClassifier,
+        NetConfig, AdaptiveThresholds, Pilote, PiloteConfig, QualityMonitor, QualityReport,
+        QualityThresholds, SelectionStrategy, SessionRecord, SessionSummary, SupportSet,
+        TaskGroup,
     };
     pub use pilote_edge_sim::{
         CrashPlan, DeviceProfile, FaultPlan, FlakyLink, LatencyMeter, LinkFaultRates, LinkModel,
@@ -74,7 +74,8 @@ pub mod prelude {
     };
     pub use pilote_magneto::{
         CloudServer, EdgeDevice, EdgeError, FederatedCoordinator, FederatedError, Fleet,
-        FleetConfig, FleetPolicy, FleetStats, PolicyConfig, TelemetryRollup, UpdateStatus,
+        FleetConfig, FleetPolicy, FleetStats, PolicyConfig, ScenarioRollup, TelemetryRollup,
+        UpdateStatus,
     };
     pub use pilote_har_data::dataset::generate_features;
     pub use pilote_har_data::{Activity, Dataset, Simulator, SimulatorConfig, FEATURE_DIM};
